@@ -1,0 +1,18 @@
+//! HopsFS-like deployment preset.
+
+use cfs_core::CfsConfig;
+use cfs_types::FsResult;
+
+use crate::variants::{BaselineCluster, Variant};
+
+/// A HopsFS-like cluster: namenode proxy layer over NDB-style hash-partitioned
+/// shards with row locks held across round trips, 2PC for cross-shard
+/// transactions, and subtree-locked renames.
+pub struct HopsFsCluster;
+
+impl HopsFsCluster {
+    /// Boots the deployment.
+    pub fn start(config: CfsConfig, proxies: usize) -> FsResult<BaselineCluster> {
+        BaselineCluster::start(Variant::HopsFs, config, proxies)
+    }
+}

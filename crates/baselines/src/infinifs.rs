@@ -1,0 +1,19 @@
+//! InfiniFS-like deployment preset.
+
+use cfs_core::CfsConfig;
+use cfs_types::FsResult;
+
+use crate::variants::{BaselineCluster, Variant};
+
+/// An InfiniFS-like cluster: MDS proxy layer, parent-children grouped
+/// partitioning (single-shard create/unlink, 2PC mkdir/rmdir), file
+/// attributes grouped with the parent directory's shard, coordinator-routed
+/// renames with no fast path.
+pub struct InfiniFsCluster;
+
+impl InfiniFsCluster {
+    /// Boots the deployment.
+    pub fn start(config: CfsConfig, proxies: usize) -> FsResult<BaselineCluster> {
+        BaselineCluster::start(Variant::InfiniFs, config, proxies)
+    }
+}

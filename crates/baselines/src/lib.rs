@@ -1,0 +1,29 @@
+//! Baseline metadata services: HopsFS-like and InfiniFS-like.
+//!
+//! Both baselines run on the *same* substrate as CFS (the TafDB shard
+//! backends with their interactive lock-based transaction engine, the
+//! FileStore for data blocks, the simulated network) and differ exactly along
+//! the axes the paper varies:
+//!
+//! | Axis | HopsFS-like | InfiniFS-like | CFS |
+//! |---|---|---|---|
+//! | Row schema | inline attributes in the inode row (NDB `inodes` table) | decoupled access/content records, file attrs grouped with parent | tiered: namespace in TafDB, file attrs in FileStore |
+//! | Partitioning | by parent-id hash (cross-shard create/mkdir) | parent-children grouping (single-shard create, 2PC mkdir) | range on `kID` + hash on FileStore |
+//! | Execution | row locks held across client↔shard round trips + 2PC | row locks, single-shard txns where grouping allows | single-shard atomic primitives, no locks |
+//! | Front end | metadata proxy layer (namenode) | metadata proxy layer (MDS) | client-side metadata resolving |
+//! | Rename | subtree locks + 2PC | rename coordinator, no fast path | fast-path primitive + Renamer |
+//!
+//! The same machinery also provides the **CFS-base / +new-org / +primitives /
+//! +no-proxy** ablation variants of the paper's Figure 13 via
+//! [`engine::EngineConfig`].
+
+pub mod engine;
+pub mod hopsfs;
+pub mod infinifs;
+pub mod proxy;
+pub mod variants;
+
+pub use engine::{AttrSchema, EngineConfig, Placement};
+pub use hopsfs::HopsFsCluster;
+pub use infinifs::InfiniFsCluster;
+pub use variants::{BaselineCluster, Variant};

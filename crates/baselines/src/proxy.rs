@@ -1,0 +1,519 @@
+//! The metadata proxy layer (namenode / MDS) of the baseline systems.
+//!
+//! Clients of the baselines send whole metadata operations to a proxy node,
+//! which coordinates the transaction against the shard tier (paper Figure 1
+//! and Figure 3 step ①). The extra client↔proxy round trip — and the fact
+//! that the proxy, not the client, holds the resolution cache — is the cost
+//! CFS removes with client-side metadata resolving; the `+no-proxy` ablation
+//! of Figure 13 measures exactly this hop.
+
+use std::sync::Arc;
+
+use cfs_core::{DirEntryInfo, FileSystem};
+use cfs_filestore::SetAttrPatch;
+use cfs_rpc::mux::{frame, CH_APP};
+use cfs_rpc::{Network, Service};
+use cfs_types::codec::{Decode, DecodeError, Encode, EncodeListItem};
+use cfs_types::{Attr, FileType, FsError, FsResult, InodeId, NodeId};
+
+use crate::engine::MetaEngine;
+
+/// One metadata/data operation shipped to a proxy.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProxyRequest {
+    /// `create(path)`.
+    Create(String),
+    /// `mkdir(path)`.
+    Mkdir(String),
+    /// `unlink(path)`.
+    Unlink(String),
+    /// `rmdir(path)`.
+    Rmdir(String),
+    /// `lookup(path)`.
+    Lookup(String),
+    /// `getattr(path)`.
+    Getattr(String),
+    /// `setattr(path, patch)`.
+    Setattr(String, SetAttrPatch),
+    /// `readdir(path)`.
+    Readdir(String),
+    /// `rename(src, dst)`.
+    Rename(String, String),
+    /// `symlink(target, linkpath)`.
+    Symlink(String, String),
+    /// `readlink(path)`.
+    Readlink(String),
+    /// `write(path, offset, data)`.
+    Write(String, u64, Vec<u8>),
+    /// `read(path, offset, len)`.
+    Read(String, u64, u64),
+}
+
+impl Encode for ProxyRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ProxyRequest::Create(p) => {
+                buf.push(0);
+                p.encode(buf);
+            }
+            ProxyRequest::Mkdir(p) => {
+                buf.push(1);
+                p.encode(buf);
+            }
+            ProxyRequest::Unlink(p) => {
+                buf.push(2);
+                p.encode(buf);
+            }
+            ProxyRequest::Rmdir(p) => {
+                buf.push(3);
+                p.encode(buf);
+            }
+            ProxyRequest::Lookup(p) => {
+                buf.push(4);
+                p.encode(buf);
+            }
+            ProxyRequest::Getattr(p) => {
+                buf.push(5);
+                p.encode(buf);
+            }
+            ProxyRequest::Setattr(p, patch) => {
+                buf.push(6);
+                p.encode(buf);
+                patch.encode(buf);
+            }
+            ProxyRequest::Readdir(p) => {
+                buf.push(7);
+                p.encode(buf);
+            }
+            ProxyRequest::Rename(a, b) => {
+                buf.push(8);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            ProxyRequest::Symlink(a, b) => {
+                buf.push(9);
+                a.encode(buf);
+                b.encode(buf);
+            }
+            ProxyRequest::Readlink(p) => {
+                buf.push(10);
+                p.encode(buf);
+            }
+            ProxyRequest::Write(p, off, data) => {
+                buf.push(11);
+                p.encode(buf);
+                off.encode(buf);
+                data.encode(buf);
+            }
+            ProxyRequest::Read(p, off, len) => {
+                buf.push(12);
+                p.encode(buf);
+                off.encode(buf);
+                len.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ProxyRequest {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => ProxyRequest::Create(String::decode(input)?),
+            1 => ProxyRequest::Mkdir(String::decode(input)?),
+            2 => ProxyRequest::Unlink(String::decode(input)?),
+            3 => ProxyRequest::Rmdir(String::decode(input)?),
+            4 => ProxyRequest::Lookup(String::decode(input)?),
+            5 => ProxyRequest::Getattr(String::decode(input)?),
+            6 => ProxyRequest::Setattr(String::decode(input)?, SetAttrPatch::decode(input)?),
+            7 => ProxyRequest::Readdir(String::decode(input)?),
+            8 => ProxyRequest::Rename(String::decode(input)?, String::decode(input)?),
+            9 => ProxyRequest::Symlink(String::decode(input)?, String::decode(input)?),
+            10 => ProxyRequest::Readlink(String::decode(input)?),
+            11 => ProxyRequest::Write(
+                String::decode(input)?,
+                u64::decode(input)?,
+                Vec::<u8>::decode(input)?,
+            ),
+            12 => ProxyRequest::Read(
+                String::decode(input)?,
+                u64::decode(input)?,
+                u64::decode(input)?,
+            ),
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+/// A wire-encodable directory entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WireEntry {
+    /// Entry name.
+    pub name: String,
+    /// Inode id.
+    pub ino: InodeId,
+    /// Type.
+    pub ftype: FileType,
+}
+
+impl EncodeListItem for WireEntry {}
+
+impl Encode for WireEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.ino.encode(buf);
+        self.ftype.encode(buf);
+    }
+}
+
+impl Decode for WireEntry {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(WireEntry {
+            name: String::decode(input)?,
+            ino: InodeId::decode(input)?,
+            ftype: FileType::decode(input)?,
+        })
+    }
+}
+
+/// Proxy responses.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProxyResponse {
+    /// Success without payload.
+    Ok,
+    /// An inode id.
+    Ino(InodeId),
+    /// An attribute record.
+    Attr(Attr),
+    /// Directory entries.
+    Entries(Vec<WireEntry>),
+    /// A string payload (readlink).
+    Text(String),
+    /// Data bytes.
+    Data(Vec<u8>),
+    /// Failure.
+    Err(FsError),
+}
+
+impl Encode for ProxyResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ProxyResponse::Ok => buf.push(0),
+            ProxyResponse::Ino(i) => {
+                buf.push(1);
+                i.encode(buf);
+            }
+            ProxyResponse::Attr(a) => {
+                buf.push(2);
+                a.encode(buf);
+            }
+            ProxyResponse::Entries(es) => {
+                buf.push(3);
+                es.encode(buf);
+            }
+            ProxyResponse::Text(s) => {
+                buf.push(4);
+                s.encode(buf);
+            }
+            ProxyResponse::Data(d) => {
+                buf.push(5);
+                d.encode(buf);
+            }
+            ProxyResponse::Err(e) => {
+                buf.push(6);
+                e.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ProxyResponse {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => ProxyResponse::Ok,
+            1 => ProxyResponse::Ino(InodeId::decode(input)?),
+            2 => ProxyResponse::Attr(Attr::decode(input)?),
+            3 => ProxyResponse::Entries(Vec::<WireEntry>::decode(input)?),
+            4 => ProxyResponse::Text(String::decode(input)?),
+            5 => ProxyResponse::Data(Vec::<u8>::decode(input)?),
+            6 => ProxyResponse::Err(FsError::decode(input)?),
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+/// The proxy service: runs the engine server-side.
+pub struct ProxyService {
+    engine: Arc<MetaEngine>,
+}
+
+impl ProxyService {
+    /// Wraps an engine.
+    pub fn new(engine: Arc<MetaEngine>) -> Arc<ProxyService> {
+        Arc::new(ProxyService { engine })
+    }
+
+    fn process(&self, req: ProxyRequest) -> ProxyResponse {
+        let e = &self.engine;
+        let to_resp = |r: FsResult<()>| match r {
+            Ok(()) => ProxyResponse::Ok,
+            Err(err) => ProxyResponse::Err(err),
+        };
+        match req {
+            ProxyRequest::Create(p) => match e.create(&p) {
+                Ok(i) => ProxyResponse::Ino(i),
+                Err(err) => ProxyResponse::Err(err),
+            },
+            ProxyRequest::Mkdir(p) => match e.mkdir(&p) {
+                Ok(i) => ProxyResponse::Ino(i),
+                Err(err) => ProxyResponse::Err(err),
+            },
+            ProxyRequest::Unlink(p) => to_resp(e.unlink(&p)),
+            ProxyRequest::Rmdir(p) => to_resp(e.rmdir(&p)),
+            ProxyRequest::Lookup(p) => match e.lookup(&p) {
+                Ok(i) => ProxyResponse::Ino(i),
+                Err(err) => ProxyResponse::Err(err),
+            },
+            ProxyRequest::Getattr(p) => match e.getattr(&p) {
+                Ok(a) => ProxyResponse::Attr(a),
+                Err(err) => ProxyResponse::Err(err),
+            },
+            ProxyRequest::Setattr(p, patch) => to_resp(e.setattr(&p, patch)),
+            ProxyRequest::Readdir(p) => match e.readdir(&p) {
+                Ok(es) => ProxyResponse::Entries(
+                    es.into_iter()
+                        .map(|d| WireEntry {
+                            name: d.name,
+                            ino: d.ino,
+                            ftype: d.ftype,
+                        })
+                        .collect(),
+                ),
+                Err(err) => ProxyResponse::Err(err),
+            },
+            ProxyRequest::Rename(a, b) => to_resp(e.rename(&a, &b)),
+            ProxyRequest::Symlink(t, l) => match e.symlink(&t, &l) {
+                Ok(i) => ProxyResponse::Ino(i),
+                Err(err) => ProxyResponse::Err(err),
+            },
+            ProxyRequest::Readlink(p) => match e.readlink(&p) {
+                Ok(s) => ProxyResponse::Text(s),
+                Err(err) => ProxyResponse::Err(err),
+            },
+            ProxyRequest::Write(p, off, data) => to_resp(e.write(&p, off, &data)),
+            ProxyRequest::Read(p, off, len) => match e.read(&p, off, len as usize) {
+                Ok(d) => ProxyResponse::Data(d),
+                Err(err) => ProxyResponse::Err(err),
+            },
+        }
+    }
+}
+
+impl Service for ProxyService {
+    fn handle(&self, _from: NodeId, payload: &[u8]) -> Vec<u8> {
+        let resp = match ProxyRequest::from_bytes(payload) {
+            Ok(req) => self.process(req),
+            Err(e) => ProxyResponse::Err(FsError::from(e)),
+        };
+        resp.to_bytes()
+    }
+}
+
+/// How a baseline client reaches the metadata service.
+pub enum FrontEnd {
+    /// Through the proxy layer: the client round-robins proxy nodes.
+    Proxy {
+        /// The simulated network.
+        net: Arc<Network>,
+        /// This client's address.
+        me: NodeId,
+        /// Proxy node addresses.
+        proxies: Vec<NodeId>,
+        /// Round-robin cursor.
+        next: std::sync::atomic::AtomicUsize,
+    },
+    /// Directly against an engine instance (no proxy hop; the `+no-proxy`
+    /// ablation).
+    Direct(Arc<MetaEngine>),
+}
+
+/// A baseline file system handle.
+pub struct BaselineFs {
+    front: FrontEnd,
+}
+
+impl BaselineFs {
+    /// Client reaching the service through proxies.
+    pub fn via_proxy(net: Arc<Network>, me: NodeId, proxies: Vec<NodeId>) -> BaselineFs {
+        BaselineFs {
+            front: FrontEnd::Proxy {
+                net,
+                me,
+                proxies,
+                next: std::sync::atomic::AtomicUsize::new(0),
+            },
+        }
+    }
+
+    /// Client embedding the engine (client-side resolving).
+    pub fn direct(engine: Arc<MetaEngine>) -> BaselineFs {
+        BaselineFs {
+            front: FrontEnd::Direct(engine),
+        }
+    }
+
+    fn call(&self, req: ProxyRequest) -> FsResult<ProxyResponse> {
+        match &self.front {
+            FrontEnd::Proxy {
+                net,
+                me,
+                proxies,
+                next,
+            } => {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let target = proxies[i % proxies.len()];
+                let resp = net.call(*me, target, &frame(CH_APP, &req.to_bytes()))?;
+                Ok(ProxyResponse::from_bytes(&resp)?)
+            }
+            FrontEnd::Direct(engine) => {
+                let svc = ProxyService {
+                    engine: Arc::clone(engine),
+                };
+                Ok(svc.process(req))
+            }
+        }
+    }
+
+    fn expect_ino(&self, req: ProxyRequest) -> FsResult<InodeId> {
+        match self.call(req)? {
+            ProxyResponse::Ino(i) => Ok(i),
+            ProxyResponse::Err(e) => Err(e),
+            other => Err(FsError::Corrupted(format!("unexpected {other:?}"))),
+        }
+    }
+
+    fn expect_ok(&self, req: ProxyRequest) -> FsResult<()> {
+        match self.call(req)? {
+            ProxyResponse::Ok => Ok(()),
+            ProxyResponse::Err(e) => Err(e),
+            other => Err(FsError::Corrupted(format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+impl FileSystem for BaselineFs {
+    fn create(&self, path: &str) -> FsResult<InodeId> {
+        self.expect_ino(ProxyRequest::Create(path.to_string()))
+    }
+
+    fn mkdir(&self, path: &str) -> FsResult<InodeId> {
+        self.expect_ino(ProxyRequest::Mkdir(path.to_string()))
+    }
+
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        self.expect_ok(ProxyRequest::Unlink(path.to_string()))
+    }
+
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        self.expect_ok(ProxyRequest::Rmdir(path.to_string()))
+    }
+
+    fn lookup(&self, path: &str) -> FsResult<InodeId> {
+        self.expect_ino(ProxyRequest::Lookup(path.to_string()))
+    }
+
+    fn getattr(&self, path: &str) -> FsResult<Attr> {
+        match self.call(ProxyRequest::Getattr(path.to_string()))? {
+            ProxyResponse::Attr(a) => Ok(a),
+            ProxyResponse::Err(e) => Err(e),
+            other => Err(FsError::Corrupted(format!("unexpected {other:?}"))),
+        }
+    }
+
+    fn setattr(&self, path: &str, patch: SetAttrPatch) -> FsResult<()> {
+        self.expect_ok(ProxyRequest::Setattr(path.to_string(), patch))
+    }
+
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntryInfo>> {
+        match self.call(ProxyRequest::Readdir(path.to_string()))? {
+            ProxyResponse::Entries(es) => Ok(es
+                .into_iter()
+                .map(|e| DirEntryInfo {
+                    name: e.name,
+                    ino: e.ino,
+                    ftype: e.ftype,
+                })
+                .collect()),
+            ProxyResponse::Err(e) => Err(e),
+            other => Err(FsError::Corrupted(format!("unexpected {other:?}"))),
+        }
+    }
+
+    fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        self.expect_ok(ProxyRequest::Rename(src.to_string(), dst.to_string()))
+    }
+
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<InodeId> {
+        self.expect_ino(ProxyRequest::Symlink(
+            target.to_string(),
+            linkpath.to_string(),
+        ))
+    }
+
+    fn readlink(&self, path: &str) -> FsResult<String> {
+        match self.call(ProxyRequest::Readlink(path.to_string()))? {
+            ProxyResponse::Text(s) => Ok(s),
+            ProxyResponse::Err(e) => Err(e),
+            other => Err(FsError::Corrupted(format!("unexpected {other:?}"))),
+        }
+    }
+
+    fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<()> {
+        self.expect_ok(ProxyRequest::Write(path.to_string(), offset, data.to_vec()))
+    }
+
+    fn read(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        match self.call(ProxyRequest::Read(path.to_string(), offset, len as u64))? {
+            ProxyResponse::Data(d) => Ok(d),
+            ProxyResponse::Err(e) => Err(e),
+            other => Err(FsError::Corrupted(format!("unexpected {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_messages_round_trip() {
+        let reqs = vec![
+            ProxyRequest::Create("/a".into()),
+            ProxyRequest::Setattr(
+                "/b".into(),
+                SetAttrPatch {
+                    mode: Some(0o700),
+                    ..Default::default()
+                },
+            ),
+            ProxyRequest::Rename("/x".into(), "/y".into()),
+            ProxyRequest::Write("/f".into(), 4096, vec![1, 2, 3]),
+            ProxyRequest::Read("/f".into(), 0, 100),
+        ];
+        for r in reqs {
+            assert_eq!(ProxyRequest::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+        let resps = vec![
+            ProxyResponse::Ok,
+            ProxyResponse::Ino(InodeId(7)),
+            ProxyResponse::Entries(vec![WireEntry {
+                name: "x".into(),
+                ino: InodeId(3),
+                ftype: FileType::File,
+            }]),
+            ProxyResponse::Err(FsError::NotEmpty),
+        ];
+        for r in resps {
+            assert_eq!(ProxyResponse::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+}

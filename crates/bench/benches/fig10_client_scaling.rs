@@ -1,0 +1,56 @@
+//! Figure 10 — scalability w.r.t. the number of concurrent clients for
+//! `create` and `getattr` with no contention.
+//!
+//! Paper: CFS scales well (500 clients = 6.88× of 50 clients); HopsFS's
+//! curve flattens early; InfiniFS sits between — it tracks CFS for create
+//! but flattens for getattr.
+
+use cfs_baselines::Variant;
+use cfs_bench::{banner, cell_duration, expectation, SystemUnderTest};
+use cfs_harness::bench_scale;
+use cfs_harness::metrics::fmt_ops;
+use cfs_harness::workload::{prepare_op_workload, run_op_bench, MetaOp, WorkloadOptions};
+
+fn main() {
+    let scale = bench_scale();
+    let client_points: Vec<usize> = [1, 2, 4, 8].iter().map(|c| c * scale).collect();
+    banner(
+        "Figure 10",
+        "throughput vs concurrent clients, create and getattr, no contention",
+        &format!("clients={client_points:?}, 4 shards x3, 4 FileStore nodes x3"),
+    );
+    expectation(&[
+        "CFS rises fastest and plateaus highest for both ops",
+        "HopsFS flattens earliest (extra proxy hop + per-statement round trips + locks)",
+        "InfiniFS tracks CFS for create but falls behind CFS for getattr (no attr offload)",
+    ]);
+
+    for op in [MetaOp::Create, MetaOp::Getattr] {
+        println!("--- {} ---", op.name());
+        print!("{:>10}", "system");
+        for c in &client_points {
+            print!(" {:>10}", format!("{c} cli"));
+        }
+        println!();
+        for variant in [Some(Variant::HopsFs), Some(Variant::InfiniFs), None] {
+            let system = match variant {
+                Some(v) => SystemUnderTest::baseline(v, 4, 4),
+                None => SystemUnderTest::cfs(4, 4),
+            };
+            print!("{:>10}", system.name());
+            for &clients in &client_points {
+                let opts = WorkloadOptions {
+                    clients,
+                    duration: cell_duration(),
+                    files_per_client: 200,
+                    ..Default::default()
+                };
+                prepare_op_workload(&system.client(), op, &opts).expect("prepare");
+                let r = run_op_bench(|_| system.client(), op, &opts);
+                print!(" {:>10}", fmt_ops(r.throughput()));
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,80 @@
+//! Figure 14 — file and I/O size distributions of the sampled traces.
+//!
+//! Prints the CDFs of the synthetic tr-0/1/2 generators next to the anchor
+//! points the paper reports (75.27% / 91.34% / 87.51% of files ≤ 32 KB;
+//! 45.20–70.70% of I/Os ≤ 1 KB, up to 96.37% ≤ 32 KB).
+
+use cfs_bench::{banner, expectation};
+use cfs_harness::traces::{Trace, TraceKind, TraceOp};
+
+fn cdf_of(sizes: &[u64], points: &[u64]) -> Vec<f64> {
+    points
+        .iter()
+        .map(|&p| sizes.iter().filter(|&&s| s <= p).count() as f64 / sizes.len().max(1) as f64)
+        .collect()
+}
+
+fn main() {
+    banner(
+        "Figure 14",
+        "file/IO size distributions of the synthetic traces",
+        "20k sampled files and I/Os per trace",
+    );
+    expectation(&[
+        "files <=32KB: tr-0 75.27%, tr-1 91.34%, tr-2 87.51%",
+        "I/Os <=1KB: 45.20-70.70%; I/Os <=32KB: up to 96.37%",
+    ]);
+
+    let points = [1 << 10, 32 << 10, 1 << 20, 16 << 20];
+    let paper_file_32k = [("tr-0", 0.7527), ("tr-1", 0.9134), ("tr-2", 0.8751)];
+
+    println!("(a) file sizes — CDF at 1KB / 32KB / 1MB / 16MB");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8}   {:>14}",
+        "trace", "<=1KB", "<=32KB", "<=1MB", "<=16MB", "paper <=32KB"
+    );
+    for (i, kind) in [TraceKind::Tr0, TraceKind::Tr1, TraceKind::Tr2]
+        .into_iter()
+        .enumerate()
+    {
+        let t = Trace::generate(kind, 1, 0, 200, 100, u64::MAX, 1234);
+        let sizes: Vec<u64> = t.files.iter().map(|(_, s)| *s).collect();
+        let cdf = cdf_of(&sizes, &points);
+        println!(
+            "{:>6} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%   {:>13.2}%",
+            kind.name(),
+            cdf[0] * 100.0,
+            cdf[1] * 100.0,
+            cdf[2] * 100.0,
+            cdf[3] * 100.0,
+            paper_file_32k[i].1 * 100.0,
+        );
+    }
+
+    println!();
+    println!("(b) I/O sizes — CDF at 1KB / 32KB / 256KB");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8}",
+        "trace", "<=1KB", "<=32KB", "<=256KB"
+    );
+    for kind in [TraceKind::Tr0, TraceKind::Tr1, TraceKind::Tr2] {
+        let t = Trace::generate(kind, 4, 5000, 16, 16, u64::MAX, 99);
+        let ios: Vec<u64> = t
+            .streams
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                TraceOp::Read(_, _, len) | TraceOp::Write(_, _, len) => Some(u64::from(*len)),
+                _ => None,
+            })
+            .collect();
+        let cdf = cdf_of(&ios, &[1 << 10, 32 << 10, 256 << 10]);
+        println!(
+            "{:>6} {:>7.1}% {:>7.1}% {:>7.1}%",
+            kind.name(),
+            cdf[0] * 100.0,
+            cdf[1] * 100.0,
+            cdf[2] * 100.0,
+        );
+    }
+}

@@ -1,0 +1,28 @@
+use cfs_baselines::{BaselineCluster, Variant};
+use cfs_core::{CfsConfig, FileSystem};
+use cfs_filestore::SetAttrPatch;
+use cfs_types::{FileType, FsError};
+
+fn main() {
+    for round in 0..5 {
+        let c = BaselineCluster::start(Variant::CfsBase, CfsConfig::test_small(), 2).unwrap();
+        let fs = c.client();
+        fs.mkdir("/w").unwrap();
+        let ino = fs.create("/w/f1").unwrap();
+        assert_eq!(fs.lookup("/w/f1").unwrap(), ino);
+        let attr = fs.getattr("/w/f1").unwrap();
+        assert_eq!(attr.ftype, FileType::File);
+        assert_eq!(fs.getattr("/w").unwrap().children, 1);
+        assert_eq!(fs.create("/w/f1").unwrap_err(), FsError::AlreadyExists);
+        fs.setattr(
+            "/w/f1",
+            SetAttrPatch {
+                mode: Some(0o640),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let m = fs.getattr("/w/f1").unwrap().mode;
+        println!("round {round}: mode={m:o}");
+    }
+}

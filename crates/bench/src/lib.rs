@@ -1,0 +1,141 @@
+//! Shared support for the figure/table benchmark targets.
+//!
+//! Every bench target (one per paper table/figure, see DESIGN.md §3) builds
+//! its clusters through [`bench_cfs_config`] so all systems run with
+//! identical substrate parameters, and prints through the helpers here so
+//! output is uniform: a header naming the experiment, the parameter values,
+//! the measured rows, and the paper's qualitative expectation for the shape.
+
+use std::time::Duration;
+
+use cfs_core::CfsConfig;
+use cfs_harness::bench_scale;
+use cfs_rpc::{NetConfig, SimLatency};
+
+/// Simulated one-way network hop cost used by all figure benches. Chosen in
+/// the tens of microseconds — datacenter scale — so that holding locks
+/// *across* round trips (the baselines) costs visibly more than executing a
+/// single shard-local command (CFS).
+pub const HOP_LATENCY: Duration = Duration::from_micros(25);
+
+/// Cluster shape shared by every system under test in the figure benches.
+pub fn bench_cfs_config(taf_shards: usize, filestore_nodes: usize) -> CfsConfig {
+    CfsConfig {
+        taf_shards,
+        filestore_nodes,
+        replication: 3,
+        net: NetConfig {
+            hop_latency: SimLatency::fixed(HOP_LATENCY),
+            oneway_workers: 4,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Default number of concurrent clients, scaled by `CFS_BENCH_SCALE`.
+pub fn default_clients() -> usize {
+    12 * bench_scale()
+}
+
+/// Default measurement window per cell.
+pub fn cell_duration() -> Duration {
+    Duration::from_millis(1200)
+}
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, title: &str, params: &str) {
+    println!();
+    println!("==============================================================================");
+    println!("{id}: {title}");
+    println!("  params: {params} (CFS_BENCH_SCALE={})", bench_scale());
+    println!("==============================================================================");
+}
+
+/// Prints the paper's expected qualitative shape for comparison.
+pub fn expectation(lines: &[&str]) {
+    println!("  paper-reported shape:");
+    for l in lines {
+        println!("    - {l}");
+    }
+    println!();
+}
+
+/// Formats a speedup factor.
+pub fn speedup(a: f64, b: f64) -> String {
+    if b <= 0.0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2}x", a / b)
+    }
+}
+
+/// A booted system under test, driven uniformly through `dyn FileSystem`.
+pub enum SystemUnderTest {
+    /// The full CFS deployment.
+    Cfs(std::sync::Arc<cfs_core::CfsCluster>),
+    /// A baseline or ablation variant.
+    Baseline(std::sync::Arc<cfs_baselines::BaselineCluster>),
+}
+
+impl SystemUnderTest {
+    /// Boots CFS with the shared bench shape.
+    pub fn cfs(taf_shards: usize, filestore_nodes: usize) -> SystemUnderTest {
+        SystemUnderTest::Cfs(std::sync::Arc::new(
+            cfs_core::CfsCluster::start(bench_cfs_config(taf_shards, filestore_nodes))
+                .expect("boot cfs"),
+        ))
+    }
+
+    /// Boots a baseline/ablation variant with the shared bench shape; the
+    /// proxy layer gets one node per shard (the paper co-locates one proxy
+    /// process per server).
+    pub fn baseline(
+        variant: cfs_baselines::Variant,
+        taf_shards: usize,
+        filestore_nodes: usize,
+    ) -> SystemUnderTest {
+        SystemUnderTest::Baseline(std::sync::Arc::new(
+            cfs_baselines::BaselineCluster::start(
+                variant,
+                bench_cfs_config(taf_shards, filestore_nodes),
+                taf_shards,
+            )
+            .expect("boot baseline"),
+        ))
+    }
+
+    /// Display name.
+    pub fn name(&self) -> String {
+        match self {
+            SystemUnderTest::Cfs(_) => "CFS".to_string(),
+            SystemUnderTest::Baseline(b) => format!("{:?}", b.variant()),
+        }
+    }
+
+    /// A fresh client handle.
+    pub fn client(&self) -> Box<dyn cfs_core::FileSystem> {
+        match self {
+            SystemUnderTest::Cfs(c) => Box::new(c.client()),
+            SystemUnderTest::Baseline(b) => Box::new(b.client()),
+        }
+    }
+
+    /// Aggregated shard lock metrics, when meaningful.
+    pub fn shard_metrics(&self) -> cfs_tafdb::shard::ShardMetricsSnapshot {
+        match self {
+            SystemUnderTest::Cfs(c) => {
+                let mut total = cfs_tafdb::shard::ShardMetricsSnapshot::default();
+                for g in c.taf_groups() {
+                    let m = g.metrics_snapshot();
+                    total.lock_wait_ns += m.lock_wait_ns;
+                    total.lock_hold_ns += m.lock_hold_ns;
+                    total.lock_acquisitions += m.lock_acquisitions;
+                    total.primitives += m.primitives;
+                }
+                total
+            }
+            SystemUnderTest::Baseline(b) => b.shard_metrics(),
+        }
+    }
+}

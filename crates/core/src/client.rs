@@ -1,0 +1,706 @@
+//! ClientLib — CFS' client library with client-side metadata resolving.
+//!
+//! Paper §3.2: "the entrance to CFS is ClientLib ... As ClientLib caches the
+//! partition information of TafDB and FileStore, it implements a client-side
+//! metadata resolving, and directly interacts with the different components
+//! of CFS ... there are three paths from ClientLib to the rest of CFS: file
+//! data and attribute requests sent to FileStore, complex rename requests
+//! forwarded to Renamer, and the remaining ones posted to TafDB."
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cfs_filestore::{FileStoreClient, SetAttrPatch};
+use cfs_renamer::{RenameRequest, RenamerClient};
+use cfs_tafdb::primitive::{Primitive, UpdateSpec};
+use cfs_tafdb::{TafDbClient, TsClient};
+use cfs_types::record::{LwwField, NumField, Pred};
+use cfs_types::{
+    Attr, BlockId, Cond, FieldAssign, FileType, FsError, FsResult, InodeId, Key, Record, Timestamp,
+    ROOT_INODE,
+};
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+
+use crate::fsapi::{DirEntryInfo, FileSystem};
+use crate::path;
+
+/// Maximum cached directory entries before the cache is cleared.
+const ENTRY_CACHE_CAP: usize = 65_536;
+
+/// Page size used by `readdir` scans.
+const READDIR_PAGE: u32 = 1024;
+
+/// Asynchronous write-back work (paper §5.2: unlink's FileStore deletion is
+/// asynchronous, hiding its latency).
+enum Writeback {
+    DeleteFile(InodeId),
+    Stop,
+}
+
+/// The CFS client: implements [`FileSystem`] against a running cluster.
+pub struct CfsClient {
+    taf: TafDbClient,
+    fs: Arc<FileStoreClient>,
+    ts: TsClient,
+    renamer: RenamerClient,
+    /// `(parent, name) → (ino, type)` resolution cache.
+    entry_cache: RwLock<HashMap<(InodeId, String), (InodeId, FileType)>>,
+    block_size: u64,
+    writeback_tx: Sender<Writeback>,
+    writeback_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CfsClient {
+    /// Assembles a client from component handles (normally via
+    /// [`crate::cluster::CfsCluster::client`]).
+    pub fn new(
+        taf: TafDbClient,
+        fs: FileStoreClient,
+        ts: TsClient,
+        renamer: RenamerClient,
+        block_size: u64,
+    ) -> CfsClient {
+        let fs = Arc::new(fs);
+        let (tx, rx) = unbounded::<Writeback>();
+        let fs_bg = Arc::clone(&fs);
+        let writeback_thread = std::thread::Builder::new()
+            .name("cfs-writeback".into())
+            .spawn(move || {
+                while let Ok(op) = rx.recv() {
+                    match op {
+                        Writeback::DeleteFile(ino) => {
+                            let _ = fs_bg.delete_file(ino);
+                        }
+                        Writeback::Stop => return,
+                    }
+                }
+            })
+            .expect("spawn writeback thread");
+        CfsClient {
+            taf,
+            fs,
+            ts,
+            renamer,
+            entry_cache: RwLock::new(HashMap::new()),
+            block_size,
+            writeback_tx: tx,
+            writeback_thread: Some(writeback_thread),
+        }
+    }
+
+    /// Direct access to the TafDB client (GC, tests).
+    pub fn taf(&self) -> &TafDbClient {
+        &self.taf
+    }
+
+    /// Direct access to the FileStore client (GC, tests).
+    pub fn filestore(&self) -> &FileStoreClient {
+        &self.fs
+    }
+
+    /// Direct access to the TS client.
+    pub fn ts(&self) -> &TsClient {
+        &self.ts
+    }
+
+    // ---- resolution -----------------------------------------------------
+
+    fn cache_get(&self, parent: InodeId, name: &str) -> Option<(InodeId, FileType)> {
+        self.entry_cache
+            .read()
+            .get(&(parent, name.to_string()))
+            .copied()
+    }
+
+    fn cache_put(&self, parent: InodeId, name: &str, ino: InodeId, ftype: FileType) {
+        // Only directory entries are cached: directories are the stable
+        // ancestors every path resolution walks, while file entries churn
+        // (create/unlink/rename) and caching them would skew the lookup path
+        // away from TafDB — the paper's lookup reads the final component
+        // from the metadata service.
+        if ftype != FileType::Dir {
+            return;
+        }
+        let mut cache = self.entry_cache.write();
+        if cache.len() >= ENTRY_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert((parent, name.to_string()), (ino, ftype));
+    }
+
+    fn cache_forget(&self, parent: InodeId, name: &str) {
+        self.entry_cache.write().remove(&(parent, name.to_string()));
+    }
+
+    /// Resolves one entry, consulting the cache first.
+    fn resolve_entry(&self, parent: InodeId, name: &str) -> FsResult<(InodeId, FileType)> {
+        if let Some(hit) = self.cache_get(parent, name) {
+            return Ok(hit);
+        }
+        let rec = self
+            .taf
+            .get(&Key::entry(parent, name))?
+            .ok_or(FsError::NotFound)?;
+        let ino = rec.id.ok_or(FsError::Corrupted("entry lacks id".into()))?;
+        let ftype = rec
+            .ftype
+            .ok_or(FsError::Corrupted("entry lacks type".into()))?;
+        self.cache_put(parent, name, ino, ftype);
+        Ok((ino, ftype))
+    }
+
+    /// Walks directory components to the containing directory's inode.
+    fn resolve_dir(&self, comps: &[&str]) -> FsResult<InodeId> {
+        let mut cur = ROOT_INODE;
+        for comp in comps {
+            let (ino, ftype) = self.resolve_entry(cur, comp)?;
+            if ftype != FileType::Dir {
+                return Err(FsError::NotDir);
+            }
+            cur = ino;
+        }
+        Ok(cur)
+    }
+
+    fn resolve_parent_of(&self, p: &str) -> FsResult<(InodeId, String)> {
+        let (parents, name) = path::split_parent(p)?;
+        Ok((self.resolve_dir(&parents)?, name.to_string()))
+    }
+
+    // ---- primitive builders ----------------------------------------------
+
+    fn parent_update(
+        parent: InodeId,
+        children_delta: i64,
+        links_delta: i64,
+        now: u64,
+        ts: Timestamp,
+    ) -> UpdateSpec {
+        let mut assigns = vec![
+            FieldAssign::Set {
+                field: LwwField::Mtime,
+                value: now,
+                ts,
+            },
+            FieldAssign::Set {
+                field: LwwField::Ctime,
+                value: now,
+                ts,
+            },
+        ];
+        if children_delta != 0 {
+            assigns.push(FieldAssign::Delta {
+                field: NumField::Children,
+                delta: children_delta,
+            });
+        }
+        if links_delta != 0 {
+            assigns.push(FieldAssign::Delta {
+                field: NumField::Links,
+                delta: links_delta,
+            });
+        }
+        UpdateSpec::new(
+            Cond::require(Key::attr(parent), vec![Pred::TypeIs(FileType::Dir)]),
+            assigns,
+        )
+    }
+
+    fn insert_entry_prim(
+        parent: InodeId,
+        name: &str,
+        rec: Record,
+        links_delta: i64,
+        now: u64,
+        ts: Timestamp,
+    ) -> Primitive {
+        Primitive::insert_with_update(
+            Key::entry(parent, name),
+            rec,
+            Self::parent_update(parent, 1, links_delta, now, ts),
+        )
+    }
+
+    // ---- internal op used by tests to model a crashed client -------------
+
+    /// First phase of `create` only: writes the FileStore attribute but never
+    /// links it into TafDB. Models a client crash between the two tiers of
+    /// Figure 7; the garbage collector must clean the orphan up.
+    #[doc(hidden)]
+    pub fn create_crash_before_link(&self, p: &str) -> FsResult<InodeId> {
+        let (_parent, _name) = self.resolve_parent_of(p)?;
+        let ino = self.ts.alloc_id()?;
+        let now = self.ts.timestamp()?;
+        self.fs.put_attr(Attr::new_file(ino, now.raw()))?;
+        Ok(ino)
+    }
+
+    /// First phase of `rmdir` only (unlink from parent), never deleting the
+    /// directory's `/_ATTR` record. Models the crash that the on-demand GC
+    /// path repairs.
+    #[doc(hidden)]
+    pub fn unlink_crash_before_filestore(&self, p: &str) -> FsResult<InodeId> {
+        let (parent, name) = self.resolve_parent_of(p)?;
+        let now = self.ts.timestamp()?;
+        let prim = Primitive::delete_with_update(
+            Cond::require(
+                Key::entry(parent, &name),
+                vec![Pred::TypeIsNot(FileType::Dir)],
+            ),
+            Self::parent_update(parent, -1, 0, now.raw(), now),
+        );
+        let res = self.taf.execute(prim)?;
+        self.cache_forget(parent, &name);
+        let ino = res.deleted[0]
+            .1
+            .id
+            .ok_or(FsError::Corrupted("deleted entry lacks id".into()))?;
+        Ok(ino)
+    }
+}
+
+impl Drop for CfsClient {
+    fn drop(&mut self) {
+        let _ = self.writeback_tx.send(Writeback::Stop);
+        if let Some(t) = self.writeback_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl FileSystem for CfsClient {
+    fn create(&self, p: &str) -> FsResult<InodeId> {
+        let (parent, name) = self.resolve_parent_of(p)?;
+        let ino = self.ts.alloc_id()?;
+        let ts = self.ts.timestamp()?;
+        let now = ts.raw();
+        // Figure 7: creation writes FileStore first, namespace link last, so
+        // a crash in between leaves only an invisible orphaned attribute.
+        self.fs.put_attr(Attr::new_file(ino, now))?;
+        let prim = Self::insert_entry_prim(
+            parent,
+            &name,
+            Record::id_record(ino, FileType::File),
+            0,
+            now,
+            ts,
+        );
+        match self.taf.execute(prim) {
+            Ok(_) => {
+                self.cache_put(parent, &name, ino, FileType::File);
+                Ok(ino)
+            }
+            Err(e) => {
+                // The FileStore attribute is now orphaned; the GC's pairing
+                // analysis will reclaim it. Surface the original error.
+                Err(e)
+            }
+        }
+    }
+
+    fn mkdir(&self, p: &str) -> FsResult<InodeId> {
+        let (parent, name) = self.resolve_parent_of(p)?;
+        let ino = self.ts.alloc_id()?;
+        let ts = self.ts.timestamp()?;
+        let now = ts.raw();
+        // Same deterministic order inside TafDB: the new directory's /_ATTR
+        // record (on its home shard) first, the namespace link last.
+        let mut attr_rec = Record::dir_attr_record(now, ts);
+        attr_rec.id = Some(parent); // parent pointer, used by rename loop checks
+        self.taf.put(Key::attr(ino), attr_rec)?;
+        let prim = Self::insert_entry_prim(
+            parent,
+            &name,
+            Record::id_record(ino, FileType::Dir),
+            1, // child directory adds a link to the parent
+            now,
+            ts,
+        );
+        match self.taf.execute(prim) {
+            Ok(_) => {
+                self.cache_put(parent, &name, ino, FileType::Dir);
+                Ok(ino)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn unlink(&self, p: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent_of(p)?;
+        let ts = self.ts.timestamp()?;
+        // Figure 7: deletion unlinks from the namespace first, then removes
+        // the FileStore attribute (asynchronously; latency hidden).
+        let prim = Primitive::delete_with_update(
+            Cond::require(
+                Key::entry(parent, &name),
+                vec![Pred::TypeIsNot(FileType::Dir)],
+            ),
+            Self::parent_update(parent, -1, 0, ts.raw(), ts),
+        );
+        let res = self.taf.execute(prim)?;
+        self.cache_forget(parent, &name);
+        if let Some(ino) = res.deleted.first().and_then(|(_, r)| r.id) {
+            let _ = self.writeback_tx.send(Writeback::DeleteFile(ino));
+        }
+        Ok(())
+    }
+
+    fn rmdir(&self, p: &str) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent_of(p)?;
+        let (ino, ftype) = self.resolve_entry(parent, &name)?;
+        if ftype != FileType::Dir {
+            return Err(FsError::NotDir);
+        }
+        let ts = self.ts.timestamp()?;
+        // Namespace unlink first (with the id guard against stale cache),
+        // then the directory's own /_ATTR record with the atomic emptiness
+        // check on its home shard.
+        //
+        // The emptiness check runs on the attr shard; deleting the parent
+        // link first would orphan a non-empty directory, so the attr record
+        // (and its emptiness check) must go first here: the orphan left by a
+        // crash in between is the *link* (dangling id record), which the
+        // on-demand GC path reclaims when lookups fail (§4.4).
+        let purge = Primitive {
+            deletes: vec![Cond::require(
+                Key::attr(ino),
+                vec![Pred::TypeIs(FileType::Dir), Pred::ChildrenEq(0)],
+            )],
+            ..Primitive::default()
+        };
+        self.taf.execute(purge)?;
+        let unlink = Primitive::delete_with_update(
+            Cond::require(Key::entry(parent, &name), vec![Pred::IdEq(ino)]),
+            Self::parent_update(parent, -1, -1, ts.raw(), ts),
+        );
+        self.taf.execute(unlink)?;
+        self.cache_forget(parent, &name);
+        Ok(())
+    }
+
+    fn lookup(&self, p: &str) -> FsResult<InodeId> {
+        let comps = path::split(p)?;
+        if comps.is_empty() {
+            return Ok(ROOT_INODE);
+        }
+        let parent = self.resolve_dir(&comps[..comps.len() - 1])?;
+        Ok(self.resolve_entry(parent, comps[comps.len() - 1])?.0)
+    }
+
+    fn getattr(&self, p: &str) -> FsResult<Attr> {
+        let comps = path::split(p)?;
+        let (ino, ftype) = if comps.is_empty() {
+            (ROOT_INODE, FileType::Dir)
+        } else {
+            let parent = self.resolve_dir(&comps[..comps.len() - 1])?;
+            self.resolve_entry(parent, comps[comps.len() - 1])?
+        };
+        match ftype {
+            FileType::Dir => {
+                let rec = self.taf.get(&Key::attr(ino))?.ok_or(FsError::NotFound)?;
+                rec.to_dir_attr(ino)
+            }
+            FileType::File | FileType::Symlink => {
+                match self.fs.get_attr(ino)? {
+                    Some(a) => Ok(a),
+                    None => {
+                        // Dangling id record (crashed unlink/rename): repair
+                        // on demand, then report NotFound (§4.4).
+                        if !comps.is_empty() {
+                            let parent = self.resolve_dir(&comps[..comps.len() - 1])?;
+                            let name = comps[comps.len() - 1];
+                            self.cache_forget(parent, name);
+                            let _ = crate::gc::repair_dangling_entry(&self.taf, parent, name, ino);
+                        }
+                        Err(FsError::NotFound)
+                    }
+                }
+            }
+        }
+    }
+
+    fn setattr(&self, p: &str, patch: SetAttrPatch) -> FsResult<()> {
+        let comps = path::split(p)?;
+        let (ino, ftype) = if comps.is_empty() {
+            (ROOT_INODE, FileType::Dir)
+        } else {
+            let parent = self.resolve_dir(&comps[..comps.len() - 1])?;
+            self.resolve_entry(parent, comps[comps.len() - 1])?
+        };
+        let ts = self.ts.timestamp()?;
+        match ftype {
+            FileType::Dir => {
+                let mut assigns = Vec::new();
+                if let Some(m) = patch.mode {
+                    assigns.push(FieldAssign::Set {
+                        field: LwwField::Mode,
+                        value: u64::from(m),
+                        ts,
+                    });
+                }
+                if let Some(u) = patch.uid {
+                    assigns.push(FieldAssign::Set {
+                        field: LwwField::Uid,
+                        value: u64::from(u),
+                        ts,
+                    });
+                }
+                if let Some(g) = patch.gid {
+                    assigns.push(FieldAssign::Set {
+                        field: LwwField::Gid,
+                        value: u64::from(g),
+                        ts,
+                    });
+                }
+                if let Some(t) = patch.mtime {
+                    assigns.push(FieldAssign::Set {
+                        field: LwwField::Mtime,
+                        value: t,
+                        ts,
+                    });
+                }
+                if let Some(t) = patch.atime {
+                    assigns.push(FieldAssign::Set {
+                        field: LwwField::Atime,
+                        value: t,
+                        ts,
+                    });
+                }
+                let prim = Primitive {
+                    update: Some(UpdateSpec::new(
+                        Cond::require(Key::attr(ino), vec![Pred::TypeIs(FileType::Dir)]),
+                        assigns,
+                    )),
+                    ..Primitive::default()
+                };
+                self.taf.execute(prim).map(|_| ())
+            }
+            _ => self.fs.set_attr(ino, patch, ts),
+        }
+    }
+
+    fn readdir(&self, p: &str) -> FsResult<Vec<DirEntryInfo>> {
+        let comps = path::split(p)?;
+        let dir = self.resolve_dir(&comps)?;
+        // Confirm it exists as a directory (root always does).
+        if dir != ROOT_INODE || !comps.is_empty() {
+            // resolve_dir already type-checked each component.
+        }
+        let mut out = Vec::new();
+        let mut after: Option<String> = None;
+        loop {
+            let page = self.taf.scan(dir, after.clone(), READDIR_PAGE)?;
+            let done = page.len() < READDIR_PAGE as usize;
+            for e in &page {
+                let ino = e
+                    .record
+                    .id
+                    .ok_or(FsError::Corrupted("entry lacks id".into()))?;
+                let ftype = e
+                    .record
+                    .ftype
+                    .ok_or(FsError::Corrupted("entry lacks type".into()))?;
+                out.push(DirEntryInfo {
+                    name: e.name.clone(),
+                    ino,
+                    ftype,
+                });
+            }
+            if done {
+                break;
+            }
+            after = page.last().map(|e| e.name.clone());
+        }
+        Ok(out)
+    }
+
+    fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        let (src_parent, src_name) = self.resolve_parent_of(src)?;
+        let (dst_parent, dst_name) = self.resolve_parent_of(dst)?;
+        if src_parent == dst_parent && src_name == dst_name {
+            // POSIX: renaming a path onto itself succeeds iff it exists.
+            return self.resolve_entry(src_parent, &src_name).map(|_| ());
+        }
+        // The lookups that preceded a POSIX rename cached the entry types;
+        // fast path iff both ends are files in the same directory (§4.3).
+        let (src_ino, src_type) = self.resolve_entry(src_parent, &src_name)?;
+        let dst_hit = match self.resolve_entry(dst_parent, &dst_name) {
+            Ok(hit) => Some(hit),
+            Err(FsError::NotFound) => None,
+            Err(e) => return Err(e),
+        };
+        let fast = src_parent == dst_parent
+            && src_type != FileType::Dir
+            && dst_hit.is_none_or(|(_, t)| t != FileType::Dir);
+        if fast {
+            let ts = self.ts.timestamp()?;
+            // Figure 8(c): one insert_and_delete_with_update primitive.
+            let prim = Primitive::insert_and_delete_with_update(
+                Key::entry(dst_parent, &dst_name),
+                Record::id_record(src_ino, src_type),
+                vec![
+                    Cond::require(
+                        Key::entry(src_parent, &src_name),
+                        vec![Pred::TypeIsNot(FileType::Dir), Pred::IdEq(src_ino)],
+                    ),
+                    Cond::if_exist(
+                        Key::entry(dst_parent, &dst_name),
+                        vec![Pred::TypeIsNot(FileType::Dir)],
+                    ),
+                ],
+                UpdateSpec::new(
+                    Cond::require(Key::attr(src_parent), vec![Pred::TypeIs(FileType::Dir)]),
+                    vec![
+                        FieldAssign::Delta {
+                            field: NumField::Children,
+                            delta: 1,
+                        },
+                        FieldAssign::Set {
+                            field: LwwField::Mtime,
+                            value: ts.raw(),
+                            ts,
+                        },
+                    ],
+                )
+                .with_per_deleted(vec![(NumField::Children, -1)]),
+            );
+            match self.taf.execute(prim) {
+                Ok(res) => {
+                    self.cache_forget(src_parent, &src_name);
+                    self.cache_put(dst_parent, &dst_name, src_ino, src_type);
+                    // Delete the overwritten destination's attribute, if any.
+                    for (key, rec) in res.deleted {
+                        if key == Key::entry(dst_parent, &dst_name) {
+                            if let Some(ino) = rec.id {
+                                let _ = self.writeback_tx.send(Writeback::DeleteFile(ino));
+                            }
+                        }
+                    }
+                    Ok(())
+                }
+                Err(FsError::Conflict) => {
+                    // Stale cache: refresh and retry through the normal path.
+                    self.cache_forget(src_parent, &src_name);
+                    self.cache_forget(dst_parent, &dst_name);
+                    self.renamer.rename(&RenameRequest {
+                        src_parent,
+                        src_name,
+                        dst_parent,
+                        dst_name,
+                    })
+                }
+                Err(e) => Err(e),
+            }
+        } else {
+            let res = self.renamer.rename(&RenameRequest {
+                src_parent,
+                src_name: src_name.clone(),
+                dst_parent,
+                dst_name: dst_name.clone(),
+            });
+            self.cache_forget(src_parent, &src_name);
+            self.cache_forget(dst_parent, &dst_name);
+            res
+        }
+    }
+
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<InodeId> {
+        let (parent, name) = self.resolve_parent_of(linkpath)?;
+        let ino = self.ts.alloc_id()?;
+        let ts = self.ts.timestamp()?;
+        let now = ts.raw();
+        self.fs.put_attr(Attr::new_symlink(ino, now, target))?;
+        let mut rec = Record::id_record(ino, FileType::Symlink);
+        rec.symlink_target = Some(target.to_string());
+        let prim = Self::insert_entry_prim(parent, &name, rec, 0, now, ts);
+        self.taf.execute(prim)?;
+        self.cache_put(parent, &name, ino, FileType::Symlink);
+        Ok(ino)
+    }
+
+    fn readlink(&self, p: &str) -> FsResult<String> {
+        let (parent, name) = self.resolve_parent_of(p)?;
+        let rec = self
+            .taf
+            .get(&Key::entry(parent, &name))?
+            .ok_or(FsError::NotFound)?;
+        if rec.ftype != Some(FileType::Symlink) {
+            return Err(FsError::Invalid("not a symlink".into()));
+        }
+        rec.symlink_target
+            .ok_or(FsError::Corrupted("symlink lacks target".into()))
+    }
+
+    fn write(&self, p: &str, offset: u64, data: &[u8]) -> FsResult<()> {
+        let (parent, name) = self.resolve_parent_of(p)?;
+        let (ino, ftype) = self.resolve_entry(parent, &name)?;
+        if ftype == FileType::Dir {
+            return Err(FsError::IsDir);
+        }
+        let ts = self.ts.timestamp()?;
+        // Split the write into block-aligned chunks.
+        let mut pos = 0usize;
+        while pos < data.len() {
+            let abs = offset + pos as u64;
+            let block_idx = (abs / self.block_size) as u32;
+            let within = abs % self.block_size;
+            let take = ((self.block_size - within) as usize).min(data.len() - pos);
+            // Read-modify-write for partial blocks.
+            let block = BlockId {
+                ino,
+                index: block_idx,
+            };
+            let payload = if within == 0 && take as u64 == self.block_size {
+                data[pos..pos + take].to_vec()
+            } else {
+                let mut existing = self.fs.read_block(block)?.unwrap_or_default();
+                if existing.len() < (within as usize + take) {
+                    existing.resize(within as usize + take, 0);
+                }
+                existing[within as usize..within as usize + take]
+                    .copy_from_slice(&data[pos..pos + take]);
+                existing
+            };
+            self.fs.write_block(block, abs - within, payload, ts)?;
+            pos += take;
+        }
+        Ok(())
+    }
+
+    fn read(&self, p: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let (parent, name) = self.resolve_parent_of(p)?;
+        let (ino, ftype) = self.resolve_entry(parent, &name)?;
+        if ftype == FileType::Dir {
+            return Err(FsError::IsDir);
+        }
+        // POSIX read: getattr to learn the size, then fetch blocks.
+        let attr = self.fs.get_attr(ino)?.ok_or(FsError::NotFound)?;
+        if offset >= attr.size {
+            return Ok(Vec::new());
+        }
+        let len = len.min((attr.size - offset) as usize);
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let abs = offset + out.len() as u64;
+            let block_idx = (abs / self.block_size) as u32;
+            let within = abs as usize % self.block_size as usize;
+            let take = (self.block_size as usize - within).min(len - out.len());
+            let block = self
+                .fs
+                .read_block(BlockId {
+                    ino,
+                    index: block_idx,
+                })?
+                .unwrap_or_default();
+            let end = (within + take).min(block.len());
+            if within < block.len() {
+                out.extend_from_slice(&block[within..end]);
+            }
+            // Holes read back as zeros.
+            let copied = end.saturating_sub(within);
+            out.resize(out.len() + take - copied, 0);
+        }
+        Ok(out)
+    }
+}

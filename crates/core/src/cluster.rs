@@ -1,0 +1,267 @@
+//! Full-cluster assembly: one call boots the whole Figure 5 deployment.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cfs_filestore::{FileStoreClient, FileStoreGroup, FileStoreLayout};
+use cfs_kvstore::KvConfig;
+use cfs_raft::RaftConfig;
+use cfs_renamer::{RenamerClient, RenamerService};
+use cfs_rpc::{NetConfig, Network};
+use cfs_tafdb::router::{PartitionMap, ShardInfo};
+use cfs_tafdb::{TafBackendGroup, TafDbClient, TimeService, TsClient};
+use cfs_types::{FsResult, NodeId, Record, ShardId, Timestamp, ROOT_INODE};
+
+use crate::client::CfsClient;
+use crate::gc::GarbageCollector;
+
+/// Node-id layout of the simulated cluster.
+const TS_NODE: NodeId = NodeId(1);
+const RENAMER_NODE: NodeId = NodeId(2);
+const TAF_BASE: u32 = 100;
+const FS_BASE: u32 = 10_000;
+const CLIENT_BASE: u32 = 1_000_000;
+
+/// Deployment configuration.
+#[derive(Clone, Debug)]
+pub struct CfsConfig {
+    /// Number of TafDB shards (each a Raft group).
+    pub taf_shards: usize,
+    /// Number of logical FileStore nodes (each a Raft group).
+    pub filestore_nodes: usize,
+    /// Replication degree of every group (the paper deploys 3).
+    pub replication: usize,
+    /// Raft timing.
+    pub raft: RaftConfig,
+    /// Storage engine tuning for shards and attribute stores.
+    pub kv: KvConfig,
+    /// Network simulation parameters.
+    pub net: NetConfig,
+    /// Data block size in bytes.
+    pub block_size: u64,
+    /// Timestamp block fetched per TS RPC.
+    pub ts_block: u32,
+    /// Inode-id block fetched per TS RPC.
+    pub id_block: u32,
+}
+
+impl Default for CfsConfig {
+    fn default() -> Self {
+        CfsConfig {
+            taf_shards: 4,
+            filestore_nodes: 4,
+            replication: 3,
+            raft: RaftConfig {
+                election_timeout_min: Duration::from_millis(100),
+                election_timeout_max: Duration::from_millis(250),
+                heartbeat_interval: Duration::from_millis(25),
+                ..Default::default()
+            },
+            kv: KvConfig::default(),
+            net: NetConfig::default(),
+            block_size: 64 * 1024,
+            ts_block: 1,
+            id_block: 64,
+        }
+    }
+}
+
+impl CfsConfig {
+    /// A small, fast-booting configuration for tests.
+    pub fn test_small() -> CfsConfig {
+        CfsConfig {
+            taf_shards: 2,
+            filestore_nodes: 2,
+            replication: 3,
+            raft: RaftConfig {
+                election_timeout_min: Duration::from_millis(50),
+                election_timeout_max: Duration::from_millis(120),
+                heartbeat_interval: Duration::from_millis(15),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// A fully wired CFS deployment on a simulated network.
+pub struct CfsCluster {
+    config: CfsConfig,
+    net: Arc<Network>,
+    pmap: Arc<PartitionMap>,
+    fs_layout: Arc<FileStoreLayout>,
+    taf_groups: Vec<TafBackendGroup>,
+    fs_groups: Vec<FileStoreGroup>,
+    _time_service: Arc<TimeService>,
+    _renamer: Arc<RenamerService>,
+    next_client: AtomicU32,
+}
+
+impl CfsCluster {
+    /// Boots the whole deployment and waits for every group to elect.
+    pub fn start(config: CfsConfig) -> FsResult<CfsCluster> {
+        let net = Network::new(config.net.clone());
+
+        // Partition map over the TafDB shards.
+        let shard_infos: Vec<ShardInfo> = (0..config.taf_shards)
+            .map(|s| ShardInfo {
+                id: ShardId(s as u32),
+                replicas: (0..config.replication)
+                    .map(|r| NodeId(TAF_BASE + (s * config.replication + r) as u32))
+                    .collect(),
+            })
+            .collect();
+        let pmap = Arc::new(PartitionMap::new(shard_infos.clone()));
+
+        // TS service.
+        let time_service = TimeService::new(Arc::clone(&pmap));
+        time_service.register(&net, TS_NODE);
+
+        // TafDB backend groups.
+        let mut taf_groups = Vec::new();
+        for info in &shard_infos {
+            taf_groups.push(TafBackendGroup::spawn(
+                &net,
+                info.id,
+                &info.replicas,
+                config.raft.clone(),
+                config.kv.clone(),
+            ));
+        }
+
+        // FileStore groups.
+        let mut fs_groups = Vec::new();
+        let mut fs_nodes = Vec::new();
+        for n in 0..config.filestore_nodes {
+            let ids: Vec<NodeId> = (0..config.replication)
+                .map(|r| NodeId(FS_BASE + (n * config.replication + r) as u32))
+                .collect();
+            fs_nodes.push(ids.clone());
+            fs_groups.push(FileStoreGroup::spawn(
+                &net,
+                &ids,
+                config.raft.clone(),
+                config.kv.clone(),
+            ));
+        }
+        let fs_layout = Arc::new(FileStoreLayout::new(fs_nodes));
+
+        for g in &taf_groups {
+            g.wait_ready(Duration::from_secs(30))?;
+        }
+        for g in &fs_groups {
+            g.wait_ready(Duration::from_secs(30))?;
+        }
+
+        // Seed the root directory (parent pointer = itself).
+        let boot_taf = TafDbClient::new(Arc::clone(&net), NodeId(90), Arc::clone(&pmap));
+        let mut root = Record::dir_attr_record(0, Timestamp(0));
+        root.id = Some(ROOT_INODE);
+        boot_taf.put(cfs_types::Key::attr(ROOT_INODE), root)?;
+
+        // Renamer coordinator with its own component clients.
+        let renamer = RenamerService::new(
+            TafDbClient::new(Arc::clone(&net), NodeId(91), Arc::clone(&pmap)),
+            FileStoreClient::new(Arc::clone(&net), NodeId(92), Arc::clone(&fs_layout)),
+            TsClient::new(
+                Arc::clone(&net),
+                NodeId(93),
+                TS_NODE,
+                config.ts_block,
+                config.id_block,
+            ),
+        );
+        renamer.register(&net, RENAMER_NODE);
+
+        Ok(CfsCluster {
+            config,
+            net,
+            pmap,
+            fs_layout,
+            taf_groups,
+            fs_groups,
+            _time_service: time_service,
+            _renamer: renamer,
+            next_client: AtomicU32::new(CLIENT_BASE),
+        })
+    }
+
+    /// The simulated network (fault injection, stats).
+    pub fn network(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &CfsConfig {
+        &self.config
+    }
+
+    /// The TafDB backend groups (metrics, fault injection).
+    pub fn taf_groups(&self) -> &[TafBackendGroup] {
+        &self.taf_groups
+    }
+
+    /// The FileStore groups.
+    pub fn fs_groups(&self) -> &[FileStoreGroup] {
+        &self.fs_groups
+    }
+
+    /// Creates a new client with a unique address.
+    pub fn client(&self) -> CfsClient {
+        let me = NodeId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        CfsClient::new(
+            TafDbClient::new(Arc::clone(&self.net), me, Arc::clone(&self.pmap)),
+            FileStoreClient::new(Arc::clone(&self.net), me, Arc::clone(&self.fs_layout)),
+            TsClient::new(
+                Arc::clone(&self.net),
+                me,
+                TS_NODE,
+                self.config.ts_block,
+                self.config.id_block,
+            ),
+            RenamerClient::new(Arc::clone(&self.net), me, RENAMER_NODE),
+            self.config.block_size,
+        )
+    }
+
+    /// Builds the garbage collector wired to every component's change stream
+    /// (watching replica 0 of each group, which applies all committed
+    /// commands regardless of leadership).
+    pub fn garbage_collector(&self, grace: Duration) -> GarbageCollector {
+        let taf_watchers = self
+            .taf_groups
+            .iter()
+            .map(|g| g.raft().nodes()[0].state_machine().cdc().watch_from_start())
+            .collect();
+        let fs_watchers = self
+            .fs_groups
+            .iter()
+            .map(|g| g.raft().nodes()[0].state_machine().cdc().watch_from_start())
+            .collect();
+        let me = NodeId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        GarbageCollector::new(
+            taf_watchers,
+            fs_watchers,
+            TafDbClient::new(Arc::clone(&self.net), me, Arc::clone(&self.pmap)),
+            FileStoreClient::new(Arc::clone(&self.net), me, Arc::clone(&self.fs_layout)),
+            grace,
+        )
+    }
+
+    /// Stops every Raft group.
+    pub fn shutdown(&self) {
+        for g in &self.taf_groups {
+            g.shutdown();
+        }
+        for g in &self.fs_groups {
+            g.shutdown();
+        }
+    }
+}
+
+impl Drop for CfsCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,105 @@
+//! The POSIX-style file system trait shared by CFS and the baselines.
+
+use cfs_filestore::SetAttrPatch;
+use cfs_types::{Attr, FileType, FsResult, InodeId};
+
+/// One `readdir` entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirEntryInfo {
+    /// Entry name.
+    pub name: String,
+    /// Inode id.
+    pub ino: InodeId,
+    /// Inode type.
+    pub ftype: FileType,
+}
+
+/// The metadata + data operations the paper evaluates, path-addressed.
+///
+/// All three systems under test (CFS, HopsFS-like, InfiniFS-like) implement
+/// this trait, so the measurement harness and the POSIX-semantics test
+/// battery drive them through identical code.
+pub trait FileSystem: Send + Sync {
+    /// Creates an empty regular file. Fails with `AlreadyExists` if the name
+    /// is taken.
+    fn create(&self, path: &str) -> FsResult<InodeId>;
+
+    /// Creates a directory.
+    fn mkdir(&self, path: &str) -> FsResult<InodeId>;
+
+    /// Removes a regular file (or symlink).
+    fn unlink(&self, path: &str) -> FsResult<()>;
+
+    /// Removes an empty directory.
+    fn rmdir(&self, path: &str) -> FsResult<()>;
+
+    /// Resolves a path to its inode id.
+    fn lookup(&self, path: &str) -> FsResult<InodeId>;
+
+    /// Fetches the full attribute record.
+    fn getattr(&self, path: &str) -> FsResult<Attr>;
+
+    /// Applies a partial attribute update.
+    fn setattr(&self, path: &str, patch: SetAttrPatch) -> FsResult<()>;
+
+    /// Lists a directory.
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntryInfo>>;
+
+    /// Renames `src` to `dst` (files and directories; POSIX semantics
+    /// including destination replacement and loop prevention).
+    fn rename(&self, src: &str, dst: &str) -> FsResult<()>;
+
+    /// Creates a symbolic link at `linkpath` pointing to `target`.
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<InodeId>;
+
+    /// Reads a symlink's target.
+    fn readlink(&self, path: &str) -> FsResult<String>;
+
+    /// Writes `data` at `offset` into an existing file.
+    fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<()>;
+
+    /// Reads up to `len` bytes at `offset` from an existing file.
+    fn read(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>>;
+}
+
+impl FileSystem for Box<dyn FileSystem> {
+    fn create(&self, path: &str) -> FsResult<InodeId> {
+        (**self).create(path)
+    }
+    fn mkdir(&self, path: &str) -> FsResult<InodeId> {
+        (**self).mkdir(path)
+    }
+    fn unlink(&self, path: &str) -> FsResult<()> {
+        (**self).unlink(path)
+    }
+    fn rmdir(&self, path: &str) -> FsResult<()> {
+        (**self).rmdir(path)
+    }
+    fn lookup(&self, path: &str) -> FsResult<InodeId> {
+        (**self).lookup(path)
+    }
+    fn getattr(&self, path: &str) -> FsResult<Attr> {
+        (**self).getattr(path)
+    }
+    fn setattr(&self, path: &str, patch: SetAttrPatch) -> FsResult<()> {
+        (**self).setattr(path, patch)
+    }
+    fn readdir(&self, path: &str) -> FsResult<Vec<DirEntryInfo>> {
+        (**self).readdir(path)
+    }
+    fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        (**self).rename(src, dst)
+    }
+    fn symlink(&self, target: &str, linkpath: &str) -> FsResult<InodeId> {
+        (**self).symlink(target, linkpath)
+    }
+    fn readlink(&self, path: &str) -> FsResult<String> {
+        (**self).readlink(path)
+    }
+    fn write(&self, path: &str, offset: u64, data: &[u8]) -> FsResult<()> {
+        (**self).write(path, offset, data)
+    }
+    fn read(&self, path: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        (**self).read(path, offset, len)
+    }
+}

@@ -1,0 +1,59 @@
+//! Path parsing helpers shared by every file system implementation.
+
+use cfs_types::{key::validate_name, FsError, FsResult};
+
+/// Splits an absolute path into validated components.
+///
+/// `"/"` yields an empty component list (the root itself).
+pub fn split(path: &str) -> FsResult<Vec<&str>> {
+    if !path.starts_with('/') {
+        return Err(FsError::Invalid(format!("path must be absolute: {path:?}")));
+    }
+    let mut out = Vec::new();
+    for comp in path.split('/') {
+        if comp.is_empty() {
+            continue;
+        }
+        validate_name(comp)?;
+        out.push(comp);
+    }
+    Ok(out)
+}
+
+/// Splits a path into `(parent components, final name)`.
+///
+/// Errors on the root path, which has no parent.
+pub fn split_parent(path: &str) -> FsResult<(Vec<&str>, &str)> {
+    let mut comps = split(path)?;
+    let name = comps
+        .pop()
+        .ok_or_else(|| FsError::Invalid("root has no parent".into()))?;
+    Ok((comps, name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_absolute_paths() {
+        assert_eq!(split("/").unwrap(), Vec::<&str>::new());
+        assert_eq!(split("/a/b/c").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(split("//a//b/").unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn rejects_relative_and_invalid() {
+        assert!(split("a/b").is_err());
+        assert!(split("/a/../b").is_err());
+        assert!(split("/a/./b").is_err());
+    }
+
+    #[test]
+    fn splits_parent_and_name() {
+        let (parent, name) = split_parent("/x/y/z").unwrap();
+        assert_eq!(parent, vec!["x", "y"]);
+        assert_eq!(name, "z");
+        assert!(split_parent("/").is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! mdtest-style per-operation metadata benchmarks.
+//!
+//! Mirrors the paper's §5.1 workload configuration: each client owns a
+//! private directory; a *contention rate* parameter is "the probability for
+//! clients to touch the same directory" (Figure 4/11); the large-directory
+//! test pre-creates a shared flat directory (Figure 12).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cfs_core::FileSystem;
+use cfs_filestore::SetAttrPatch;
+use cfs_types::FsResult;
+use rand::{RngExt, SeedableRng};
+
+use crate::runner::{run_clients, BenchResult};
+
+/// The metadata operations evaluated in Figure 9.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetaOp {
+    /// File creation.
+    Create,
+    /// File deletion.
+    Unlink,
+    /// Directory creation.
+    Mkdir,
+    /// Directory removal.
+    Rmdir,
+    /// Path resolution.
+    Lookup,
+    /// Attribute fetch.
+    Getattr,
+    /// Attribute update.
+    Setattr,
+    /// Directory listing.
+    Readdir,
+    /// Rename (mixed fast/normal path per Figure §5.6 options).
+    Rename,
+}
+
+impl MetaOp {
+    /// All seven ops of Figure 9.
+    pub const FIG9: [MetaOp; 7] = [
+        MetaOp::Create,
+        MetaOp::Unlink,
+        MetaOp::Mkdir,
+        MetaOp::Rmdir,
+        MetaOp::Lookup,
+        MetaOp::Getattr,
+        MetaOp::Setattr,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaOp::Create => "create",
+            MetaOp::Unlink => "unlink",
+            MetaOp::Mkdir => "mkdir",
+            MetaOp::Rmdir => "rmdir",
+            MetaOp::Lookup => "lookup",
+            MetaOp::Getattr => "getattr",
+            MetaOp::Setattr => "setattr",
+            MetaOp::Readdir => "readdir",
+            MetaOp::Rename => "rename",
+        }
+    }
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct WorkloadOptions {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Probability in `[0,1]` of targeting the shared directory/objects.
+    pub contention: f64,
+    /// Files pre-created per client for read/update/delete ops.
+    pub files_per_client: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadOptions {
+    fn default() -> Self {
+        WorkloadOptions {
+            clients: 8,
+            duration: Duration::from_millis(1500),
+            contention: 0.0,
+            files_per_client: 200,
+            seed: 42,
+        }
+    }
+}
+
+/// Ignores `AlreadyExists` so repeated preparation on one cluster is
+/// idempotent.
+fn ensure<T>(r: FsResult<T>) -> FsResult<()> {
+    match r {
+        Ok(_) => Ok(()),
+        Err(cfs_types::FsError::AlreadyExists) => Ok(()),
+        Err(e) => Err(e),
+    }
+}
+
+/// Prepares the namespace an op benchmark needs: `/bench`, `/bench/shared`,
+/// one private directory per client, and pre-created files where the op
+/// consumes or reads them. Idempotent across ops on one cluster.
+pub fn prepare_op_workload(
+    fs: &dyn FileSystem,
+    op: MetaOp,
+    opts: &WorkloadOptions,
+) -> FsResult<()> {
+    let _ = fs.mkdir("/bench");
+    let _ = fs.mkdir("/bench/shared");
+    for c in 0..opts.clients {
+        let _ = fs.mkdir(&format!("/bench/c{c}"));
+    }
+    match op {
+        MetaOp::Unlink | MetaOp::Lookup | MetaOp::Getattr | MetaOp::Setattr | MetaOp::Rename => {
+            for c in 0..opts.clients {
+                for i in 0..opts.files_per_client {
+                    ensure(fs.create(&format!("/bench/c{c}/f{i}")))?;
+                }
+            }
+            // Shared targets for contended reads/updates.
+            for i in 0..opts.files_per_client.min(64) {
+                ensure(fs.create(&format!("/bench/shared/f{i}")))?;
+            }
+        }
+        MetaOp::Rmdir => {
+            for c in 0..opts.clients {
+                for i in 0..opts.files_per_client {
+                    ensure(fs.mkdir(&format!("/bench/c{c}/d{i}")))?;
+                }
+            }
+        }
+        MetaOp::Readdir => {
+            for c in 0..opts.clients {
+                for i in 0..32 {
+                    ensure(fs.create(&format!("/bench/c{c}/f{i}")))?;
+                }
+            }
+        }
+        MetaOp::Create | MetaOp::Mkdir => {}
+    }
+    Ok(())
+}
+
+/// Runs one op benchmark against per-client file system handles produced by
+/// `make_fs`. Call [`prepare_op_workload`] first with the same options.
+pub fn run_op_bench<FS, F>(make_fs: F, op: MetaOp, opts: &WorkloadOptions) -> BenchResult
+where
+    FS: FileSystem + 'static,
+    F: Fn(usize) -> FS + Sync,
+{
+    let opts = Arc::new(opts.clone());
+    run_clients(opts.clients, Some(opts.duration), None, |c| {
+        let fs = make_fs(c);
+        let opts = Arc::clone(&opts);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(opts.seed ^ (c as u64) << 17);
+        let mut created: u64 = 0;
+        let mut consumed: usize = 0;
+        move |i| {
+            let contended = rng.random_bool(opts.contention);
+            let dir = if contended {
+                "/bench/shared".to_string()
+            } else {
+                format!("/bench/c{c}")
+            };
+            match op {
+                MetaOp::Create => {
+                    created += 1;
+                    fs.create(&format!("{dir}/n-{}-{c}-{created}", opts.seed))
+                        .map(|_| true)
+                }
+                MetaOp::Mkdir => {
+                    created += 1;
+                    fs.mkdir(&format!("{dir}/nd-{}-{c}-{created}", opts.seed))
+                        .map(|_| true)
+                }
+                MetaOp::Unlink => {
+                    // Consume pre-created private files; replenish when dry.
+                    if consumed >= opts.files_per_client {
+                        created += 1;
+                        let p = format!("/bench/c{c}/r-{}-{created}", opts.seed);
+                        fs.create(&p)?;
+                        fs.unlink(&p).map(|_| true)
+                    } else {
+                        let p = format!("/bench/c{c}/f{consumed}");
+                        consumed += 1;
+                        fs.unlink(&p).map(|_| true)
+                    }
+                }
+                MetaOp::Rmdir => {
+                    if consumed >= opts.files_per_client {
+                        created += 1;
+                        let p = format!("/bench/c{c}/rd-{}-{created}", opts.seed);
+                        fs.mkdir(&p)?;
+                        fs.rmdir(&p).map(|_| true)
+                    } else {
+                        let p = format!("/bench/c{c}/d{consumed}");
+                        consumed += 1;
+                        fs.rmdir(&p).map(|_| true)
+                    }
+                }
+                MetaOp::Lookup => {
+                    let idx = if contended {
+                        // All clients hit the same hot entry.
+                        0
+                    } else {
+                        (i as usize) % opts.files_per_client
+                    };
+                    let p = if contended {
+                        format!("/bench/shared/f{idx}")
+                    } else {
+                        format!("/bench/c{c}/f{idx}")
+                    };
+                    fs.lookup(&p).map(|_| true)
+                }
+                MetaOp::Getattr => {
+                    let p = if contended {
+                        "/bench/shared/f0".to_string()
+                    } else {
+                        format!("/bench/c{c}/f{}", (i as usize) % opts.files_per_client)
+                    };
+                    fs.getattr(&p).map(|_| true)
+                }
+                MetaOp::Setattr => {
+                    let p = if contended {
+                        "/bench/shared/f0".to_string()
+                    } else {
+                        format!("/bench/c{c}/f{}", (i as usize) % opts.files_per_client)
+                    };
+                    fs.setattr(
+                        &p,
+                        SetAttrPatch {
+                            mtime: Some(i),
+                            ..Default::default()
+                        },
+                    )
+                    .map(|_| true)
+                }
+                MetaOp::Readdir => fs.readdir(&format!("/bench/c{c}")).map(|_| true),
+                MetaOp::Rename => {
+                    // Intra-directory file rename ping-pong.
+                    let idx = (i as usize) % opts.files_per_client;
+                    let (src, dst) = if i % 2 == 0 {
+                        (format!("/bench/c{c}/f{idx}"), format!("/bench/c{c}/g{idx}"))
+                    } else {
+                        (format!("/bench/c{c}/g{idx}"), format!("/bench/c{c}/f{idx}"))
+                    };
+                    fs.rename(&src, &dst).map(|_| true)
+                }
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_core::{CfsCluster, CfsConfig};
+
+    #[test]
+    fn create_and_getattr_benches_run_on_cfs() {
+        let cluster = Arc::new(CfsCluster::start(CfsConfig::test_small()).unwrap());
+        let opts = WorkloadOptions {
+            clients: 2,
+            duration: Duration::from_millis(200),
+            files_per_client: 10,
+            ..Default::default()
+        };
+        prepare_op_workload(&cluster.client(), MetaOp::Create, &opts).unwrap();
+        let c2 = Arc::clone(&cluster);
+        let r = run_op_bench(move |_| c2.client(), MetaOp::Create, &opts);
+        assert!(r.ops > 0, "creates completed");
+        assert_eq!(r.errors, 0);
+
+        prepare_op_workload(&cluster.client(), MetaOp::Getattr, &opts).unwrap();
+        let c3 = Arc::clone(&cluster);
+        let r = run_op_bench(move |_| c3.client(), MetaOp::Getattr, &opts);
+        assert!(r.ops > 0);
+        assert_eq!(r.errors, 0);
+    }
+
+    #[test]
+    fn contended_create_bench_runs() {
+        let cluster = Arc::new(CfsCluster::start(CfsConfig::test_small()).unwrap());
+        let opts = WorkloadOptions {
+            clients: 4,
+            duration: Duration::from_millis(200),
+            contention: 1.0,
+            files_per_client: 10,
+            ..Default::default()
+        };
+        prepare_op_workload(&cluster.client(), MetaOp::Create, &opts).unwrap();
+        let c2 = Arc::clone(&cluster);
+        let r = run_op_bench(move |_| c2.client(), MetaOp::Create, &opts);
+        assert!(r.ops > 0);
+        assert_eq!(r.errors, 0, "no lost updates under full contention");
+    }
+}

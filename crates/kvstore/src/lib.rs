@@ -1,0 +1,22 @@
+//! A from-scratch log-structured merge (LSM) key-value store.
+//!
+//! This is the reproduction's stand-in for RocksDB: the paper runs "a local
+//! RocksDB" on every FileStore node to keep file attributes (§3.2), and we
+//! also use it as the physical storage engine inside each TafDB backend
+//! shard. The feature set matches what those roles need:
+//!
+//! * ordered byte-string keys with `get`/`put`/`delete`,
+//! * atomic multi-key write batches (the shard executor commits a primitive's
+//!   mutations as one batch),
+//! * bounded range scans with correct newest-wins shadowing (`readdir`),
+//! * write-ahead logging with crash recovery,
+//! * memtable flush to immutable sorted runs and size-tiered compaction with
+//!   tombstone purging.
+//!
+//! The store is thread-safe; all operations take `&self`.
+
+pub mod memtable;
+pub mod sstable;
+pub mod store;
+
+pub use store::{KvConfig, KvStore, WriteOp};

@@ -1,0 +1,142 @@
+//! The mutable in-memory layer of the LSM store.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// A value slot: either a live value or a deletion marker that shadows older
+/// versions in lower levels until compaction purges it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Slot {
+    /// Live value.
+    Value(Vec<u8>),
+    /// Tombstone recording a deletion.
+    Tombstone,
+}
+
+impl Slot {
+    /// Returns the live value, or `None` for tombstones.
+    pub fn as_value(&self) -> Option<&[u8]> {
+        match self {
+            Slot::Value(v) => Some(v),
+            Slot::Tombstone => None,
+        }
+    }
+}
+
+/// A sorted, size-tracked write buffer.
+#[derive(Default, Debug)]
+pub struct Memtable {
+    map: BTreeMap<Vec<u8>, Slot>,
+    bytes: usize,
+}
+
+impl Memtable {
+    /// Creates an empty memtable.
+    pub fn new() -> Memtable {
+        Memtable::default()
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.bytes += key.len() + value.len();
+        if let Some(old) = self.map.insert(key, Slot::Value(value)) {
+            if let Slot::Value(v) = old {
+                self.bytes = self.bytes.saturating_sub(v.len());
+            }
+        }
+    }
+
+    /// Records a deletion of `key`.
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.bytes += key.len();
+        if let Some(Slot::Value(v)) = self.map.insert(key, Slot::Tombstone) {
+            self.bytes = self.bytes.saturating_sub(v.len());
+        }
+    }
+
+    /// Looks up `key`. `Some(Slot::Tombstone)` means "deleted here" and must
+    /// shadow lower levels; `None` means "this layer knows nothing".
+    pub fn get(&self, key: &[u8]) -> Option<&Slot> {
+        self.map.get(key)
+    }
+
+    /// Iterates entries in `[start, end)` in key order.
+    pub fn range<'a>(
+        &'a self,
+        start: &'a [u8],
+        end: &'a [u8],
+    ) -> impl Iterator<Item = (&'a Vec<u8>, &'a Slot)> + 'a {
+        self.map
+            .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
+    }
+
+    /// Approximate heap footprint used for flush triggering.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Number of slots (values + tombstones).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no slot is present.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Consumes the memtable into a sorted entry vector for SSTable flush.
+    pub fn into_sorted_entries(self) -> Vec<(Vec<u8>, Slot)> {
+        self.map.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut m = Memtable::new();
+        m.put(b"a".to_vec(), b"1".to_vec());
+        assert_eq!(m.get(b"a"), Some(&Slot::Value(b"1".to_vec())));
+        m.delete(b"a".to_vec());
+        assert_eq!(m.get(b"a"), Some(&Slot::Tombstone));
+        assert_eq!(m.get(b"b"), None);
+    }
+
+    #[test]
+    fn overwrite_updates_size_accounting() {
+        let mut m = Memtable::new();
+        m.put(b"k".to_vec(), vec![0u8; 100]);
+        let after_first = m.approx_bytes();
+        m.put(b"k".to_vec(), vec![0u8; 10]);
+        assert!(
+            m.approx_bytes() < after_first + 100,
+            "old value bytes released"
+        );
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn range_is_sorted_and_bounded() {
+        let mut m = Memtable::new();
+        for k in ["b", "d", "a", "c", "e"] {
+            m.put(k.as_bytes().to_vec(), vec![1]);
+        }
+        let keys: Vec<&[u8]> = m.range(b"b", b"e").map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"b" as &[u8], b"c", b"d"]);
+    }
+
+    #[test]
+    fn into_sorted_entries_preserves_order() {
+        let mut m = Memtable::new();
+        m.put(b"z".to_vec(), vec![1]);
+        m.put(b"a".to_vec(), vec![2]);
+        m.delete(b"m".to_vec());
+        let entries = m.into_sorted_entries();
+        let keys: Vec<&[u8]> = entries.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"m", b"z"]);
+        assert_eq!(entries[1].1, Slot::Tombstone);
+    }
+}

@@ -1,0 +1,175 @@
+//! Immutable sorted runs produced by memtable flushes and compactions.
+
+use std::sync::Arc;
+
+use crate::memtable::Slot;
+
+/// An immutable sorted string table.
+///
+/// Entries are held as a sorted vector with a sparse index being unnecessary
+/// at this scale: lookups binary-search the full run. Tables are shared
+/// (`Arc`) between the store and in-flight scans, so readers never block
+/// flushes or compactions.
+#[derive(Debug)]
+pub struct SsTable {
+    entries: Vec<(Vec<u8>, Slot)>,
+    /// Monotonic generation; higher generations shadow lower ones.
+    generation: u64,
+}
+
+impl SsTable {
+    /// Builds a table from pre-sorted entries.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the input is strictly sorted by key.
+    pub fn from_sorted(entries: Vec<(Vec<u8>, Slot)>, generation: u64) -> Arc<SsTable> {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "sstable input must be strictly sorted"
+        );
+        Arc::new(SsTable {
+            entries,
+            generation,
+        })
+    }
+
+    /// Binary-searches for `key`.
+    pub fn get(&self, key: &[u8]) -> Option<&Slot> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Returns the sub-slice of entries in `[start, end)`.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> &[(Vec<u8>, Slot)] {
+        let lo = self.entries.partition_point(|(k, _)| k.as_slice() < start);
+        let hi = self.entries.partition_point(|(k, _)| k.as_slice() < end);
+        &self.entries[lo..hi]
+    }
+
+    /// All entries, for compaction.
+    pub fn entries(&self) -> &[(Vec<u8>, Slot)] {
+        &self.entries
+    }
+
+    /// Number of entries (values + tombstones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The table's shadowing generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// K-way merges multiple tables (newest first) into one sorted run,
+/// keeping only the newest slot per key. When `purge_tombstones` is set the
+/// merged output drops deletion markers — valid only for full compactions
+/// where no older level remains.
+pub fn merge_tables(
+    newest_first: &[Arc<SsTable>],
+    generation: u64,
+    purge_tombstones: bool,
+) -> Arc<SsTable> {
+    // Simple merge strategy: collect per-table cursors and repeatedly take
+    // the smallest key, preferring the newest table on ties.
+    let mut cursors: Vec<(usize, &[(Vec<u8>, Slot)])> =
+        newest_first.iter().map(|t| (0usize, t.entries())).collect();
+    let mut out: Vec<(Vec<u8>, Slot)> = Vec::new();
+    loop {
+        // Find the minimal current key across cursors; the first (newest)
+        // table wins ties.
+        let mut best: Option<(usize, &[u8])> = None;
+        for (idx, (pos, entries)) in cursors.iter().enumerate() {
+            if let Some((k, _)) = entries.get(*pos) {
+                match best {
+                    None => best = Some((idx, k)),
+                    Some((_, bk)) if k.as_slice() < bk => best = Some((idx, k)),
+                    _ => {}
+                }
+            }
+        }
+        let Some((winner, key)) = best else { break };
+        let key = key.to_vec();
+        // Emit the winner's slot and advance every cursor holding this key.
+        let slot = cursors[winner].1[cursors[winner].0].1.clone();
+        for (pos, entries) in cursors.iter_mut() {
+            if entries.get(*pos).is_some_and(|(k, _)| *k == key) {
+                *pos += 1;
+            }
+        }
+        if purge_tombstones && slot == Slot::Tombstone {
+            continue;
+        }
+        out.push((key, slot));
+    }
+    SsTable::from_sorted(out, generation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(gen: u64, kv: &[(&str, Option<&str>)]) -> Arc<SsTable> {
+        let entries = kv
+            .iter()
+            .map(|(k, v)| {
+                let slot = match v {
+                    Some(v) => Slot::Value(v.as_bytes().to_vec()),
+                    None => Slot::Tombstone,
+                };
+                (k.as_bytes().to_vec(), slot)
+            })
+            .collect();
+        SsTable::from_sorted(entries, gen)
+    }
+
+    #[test]
+    fn get_and_range() {
+        let t = table(1, &[("a", Some("1")), ("c", Some("3")), ("e", Some("5"))]);
+        assert_eq!(t.get(b"c"), Some(&Slot::Value(b"3".to_vec())));
+        assert_eq!(t.get(b"b"), None);
+        let r = t.range(b"b", b"e");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, b"c");
+    }
+
+    #[test]
+    fn merge_newest_wins() {
+        let newer = table(2, &[("a", Some("new")), ("b", None)]);
+        let older = table(
+            1,
+            &[("a", Some("old")), ("b", Some("x")), ("c", Some("keep"))],
+        );
+        let merged = merge_tables(&[newer, older], 3, false);
+        assert_eq!(merged.get(b"a"), Some(&Slot::Value(b"new".to_vec())));
+        assert_eq!(merged.get(b"b"), Some(&Slot::Tombstone));
+        assert_eq!(merged.get(b"c"), Some(&Slot::Value(b"keep".to_vec())));
+    }
+
+    #[test]
+    fn full_merge_purges_tombstones() {
+        let newer = table(2, &[("a", None)]);
+        let older = table(1, &[("a", Some("old")), ("b", Some("live"))]);
+        let merged = merge_tables(&[newer, older], 3, true);
+        assert_eq!(merged.get(b"a"), None);
+        assert_eq!(merged.len(), 1);
+    }
+
+    #[test]
+    fn merge_of_disjoint_tables_concatenates() {
+        let t1 = table(2, &[("a", Some("1")), ("b", Some("2"))]);
+        let t2 = table(1, &[("y", Some("25")), ("z", Some("26"))]);
+        let merged = merge_tables(&[t1, t2], 3, false);
+        let keys: Vec<&[u8]> = merged.entries().iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"y", b"z"]);
+    }
+}

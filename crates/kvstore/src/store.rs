@@ -1,0 +1,476 @@
+//! The concurrent LSM store facade.
+
+use std::sync::Arc;
+
+use cfs_types::codec::{Decode, DecodeError, Encode, EncodeListItem};
+use cfs_types::FsResult;
+use cfs_wal::{Wal, WalConfig};
+use parking_lot::RwLock;
+
+use crate::memtable::{Memtable, Slot};
+use crate::sstable::{merge_tables, SsTable};
+
+/// One mutation in a write batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WriteOp {
+    /// Insert or overwrite a key.
+    Put(Vec<u8>, Vec<u8>),
+    /// Delete a key.
+    Delete(Vec<u8>),
+}
+
+impl EncodeListItem for WriteOp {}
+
+impl Encode for WriteOp {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            WriteOp::Put(k, v) => {
+                buf.push(0);
+                k.encode(buf);
+                v.encode(buf);
+            }
+            WriteOp::Delete(k) => {
+                buf.push(1);
+                k.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for WriteOp {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => Ok(WriteOp::Put(
+                Vec::<u8>::decode(input)?,
+                Vec::<u8>::decode(input)?,
+            )),
+            1 => Ok(WriteOp::Delete(Vec::<u8>::decode(input)?)),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+/// Tuning and durability knobs of a [`KvStore`].
+#[derive(Clone, Debug)]
+pub struct KvConfig {
+    /// Flush the memtable to an SSTable once it holds this many bytes.
+    pub memtable_max_bytes: usize,
+    /// Merge all SSTables once more than this many have accumulated.
+    pub max_tables: usize,
+    /// Optional WAL configuration; `None` disables logging entirely.
+    pub wal: Option<WalConfig>,
+}
+
+impl Default for KvConfig {
+    fn default() -> Self {
+        KvConfig {
+            memtable_max_bytes: 4 << 20,
+            max_tables: 8,
+            wal: None,
+        }
+    }
+}
+
+struct State {
+    mem: Memtable,
+    /// Flushed tables, newest first.
+    tables: Vec<Arc<SsTable>>,
+    next_generation: u64,
+}
+
+/// A thread-safe LSM key-value store.
+pub struct KvStore {
+    state: RwLock<State>,
+    wal: Option<Wal>,
+    config: KvConfig,
+}
+
+impl KvStore {
+    /// Creates a store with default config and no WAL.
+    pub fn new_in_memory() -> KvStore {
+        KvStore::with_config(KvConfig::default()).expect("in-memory store cannot fail")
+    }
+
+    /// Creates a store, replaying the WAL if one is configured and present.
+    pub fn with_config(config: KvConfig) -> FsResult<KvStore> {
+        let wal = match &config.wal {
+            Some(wal_cfg) => Some(Wal::with_config(wal_cfg.clone())?),
+            None => None,
+        };
+        let mut mem = Memtable::new();
+        if let Some(wal) = &wal {
+            for entry in wal.read_from(1) {
+                let batch = Vec::<WriteOp>::from_bytes(&entry.payload)?;
+                for op in batch {
+                    match op {
+                        WriteOp::Put(k, v) => mem.put(k, v),
+                        WriteOp::Delete(k) => mem.delete(k),
+                    }
+                }
+            }
+        }
+        Ok(KvStore {
+            state: RwLock::new(State {
+                mem,
+                tables: Vec::new(),
+                next_generation: 1,
+            }),
+            wal,
+            config,
+        })
+    }
+
+    /// Returns the WAL, if configured (the GC watches it).
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
+    }
+
+    /// Looks up the current value of `key`.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        let st = self.state.read();
+        if let Some(slot) = st.mem.get(key) {
+            return slot.as_value().map(<[u8]>::to_vec);
+        }
+        for table in &st.tables {
+            if let Some(slot) = table.get(key) {
+                return slot.as_value().map(<[u8]>::to_vec);
+            }
+        }
+        None
+    }
+
+    /// Looks up several keys under one consistent snapshot: the results
+    /// reflect a single point in time, so the effects of an atomic
+    /// [`KvStore::write_batch`] are observed all-or-nothing.
+    pub fn multi_get(&self, keys: &[&[u8]]) -> Vec<Option<Vec<u8>>> {
+        let st = self.state.read();
+        keys.iter()
+            .map(|key| {
+                if let Some(slot) = st.mem.get(key) {
+                    return slot.as_value().map(<[u8]>::to_vec);
+                }
+                for table in &st.tables {
+                    if let Some(slot) = table.get(key) {
+                        return slot.as_value().map(<[u8]>::to_vec);
+                    }
+                }
+                None
+            })
+            .collect()
+    }
+
+    /// Inserts or overwrites a single key.
+    pub fn put(&self, key: Vec<u8>, value: Vec<u8>) -> FsResult<()> {
+        self.write_batch(vec![WriteOp::Put(key, value)])
+    }
+
+    /// Deletes a single key (idempotent).
+    pub fn delete(&self, key: Vec<u8>) -> FsResult<()> {
+        self.write_batch(vec![WriteOp::Delete(key)])
+    }
+
+    /// Applies a batch atomically: readers see all or none of its effects,
+    /// and the batch occupies one WAL entry.
+    pub fn write_batch(&self, batch: Vec<WriteOp>) -> FsResult<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        if let Some(wal) = &self.wal {
+            wal.append(batch.to_bytes())?;
+        }
+        let mut st = self.state.write();
+        for op in batch {
+            match op {
+                WriteOp::Put(k, v) => st.mem.put(k, v),
+                WriteOp::Delete(k) => st.mem.delete(k),
+            }
+        }
+        if st.mem.approx_bytes() >= self.config.memtable_max_bytes {
+            Self::flush_locked(&mut st);
+            if st.tables.len() > self.config.max_tables {
+                Self::compact_locked(&mut st);
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns up to `limit` live entries with keys in `[start, end)`,
+    /// in ascending key order.
+    ///
+    /// Implemented as a k-way merge over the memtable and every SSTable with
+    /// newest-wins shadowing and early exit: cost is proportional to the
+    /// entries *visited*, not to the size of the range — paging through a
+    /// million-entry directory stays O(page) per call.
+    pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let st = self.state.read();
+        // Source 0 is the memtable (newest); source i+1 is tables[i].
+        let mut mem_iter = st.mem.range(start, end).peekable();
+        let mut table_slices: Vec<&[(Vec<u8>, Slot)]> =
+            st.tables.iter().map(|t| t.range(start, end)).collect();
+        let mut out = Vec::new();
+        while out.len() < limit {
+            // Find the smallest current key; the newest source wins ties.
+            let mut best: Option<(usize, &[u8])> = None;
+            if let Some((k, _)) = mem_iter.peek() {
+                best = Some((0, k.as_slice()));
+            }
+            for (i, slice) in table_slices.iter().enumerate() {
+                if let Some((k, _)) = slice.first() {
+                    match best {
+                        None => best = Some((i + 1, k.as_slice())),
+                        Some((_, bk)) if k.as_slice() < bk => best = Some((i + 1, k.as_slice())),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((winner, key)) = best else { break };
+            let key = key.to_vec();
+            // Take the winner's slot and advance every source at this key.
+            let slot = if winner == 0 {
+                mem_iter.next().expect("peeked").1.clone()
+            } else {
+                let (first, rest) = table_slices[winner - 1].split_first().expect("peeked");
+                table_slices[winner - 1] = rest;
+                first.1.clone()
+            };
+            if winner != 0 && mem_iter.peek().is_some_and(|(k, _)| *k == &key) {
+                mem_iter.next();
+            }
+            for (i, slice) in table_slices.iter_mut().enumerate() {
+                if i + 1 != winner {
+                    if let Some((first, rest)) = slice.split_first() {
+                        if first.0 == key {
+                            *slice = rest;
+                        }
+                    }
+                }
+            }
+            if let Some(v) = slot.as_value() {
+                out.push((key, v.to_vec()));
+            }
+        }
+        out
+    }
+
+    /// Forces the memtable into an SSTable.
+    pub fn flush(&self) {
+        let mut st = self.state.write();
+        Self::flush_locked(&mut st);
+    }
+
+    /// Merges all SSTables into one, purging tombstones.
+    pub fn compact(&self) {
+        let mut st = self.state.write();
+        Self::flush_locked(&mut st);
+        Self::compact_locked(&mut st);
+    }
+
+    /// Makes the configured WAL durable.
+    pub fn sync(&self) -> FsResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Number of SSTables currently on disk-equivalent storage.
+    pub fn table_count(&self) -> usize {
+        self.state.read().tables.len()
+    }
+
+    /// Approximate number of live entries (scans everything; test helper).
+    pub fn approx_live_entries(&self) -> usize {
+        self.scan(&[], &[0xFFu8; 16], usize::MAX).len()
+    }
+
+    fn flush_locked(st: &mut State) {
+        if st.mem.is_empty() {
+            return;
+        }
+        let mem = std::mem::take(&mut st.mem);
+        let generation = st.next_generation;
+        st.next_generation += 1;
+        let table = SsTable::from_sorted(mem.into_sorted_entries(), generation);
+        st.tables.insert(0, table);
+    }
+
+    fn compact_locked(st: &mut State) {
+        if st.tables.len() <= 1 {
+            return;
+        }
+        let generation = st.next_generation;
+        st.next_generation += 1;
+        let merged = merge_tables(&st.tables, generation, true);
+        st.tables.clear();
+        if !merged.is_empty() {
+            st.tables.push(merged);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn get_put_delete_round_trip() {
+        let kv = KvStore::new_in_memory();
+        kv.put(b"k1".to_vec(), b"v1".to_vec()).unwrap();
+        assert_eq!(kv.get(b"k1"), Some(b"v1".to_vec()));
+        kv.delete(b"k1".to_vec()).unwrap();
+        assert_eq!(kv.get(b"k1"), None);
+    }
+
+    #[test]
+    fn deleted_key_stays_deleted_across_flush() {
+        let kv = KvStore::new_in_memory();
+        kv.put(b"k".to_vec(), b"old".to_vec()).unwrap();
+        kv.flush();
+        kv.delete(b"k".to_vec()).unwrap();
+        kv.flush();
+        // The tombstone in the newer table must shadow the older value.
+        assert_eq!(kv.get(b"k"), None);
+        kv.compact();
+        assert_eq!(kv.get(b"k"), None);
+        assert!(kv.table_count() <= 1);
+    }
+
+    #[test]
+    fn scan_merges_levels_newest_wins() {
+        let kv = KvStore::new_in_memory();
+        kv.put(b"a".to_vec(), b"old-a".to_vec()).unwrap();
+        kv.put(b"b".to_vec(), b"b".to_vec()).unwrap();
+        kv.flush();
+        kv.put(b"a".to_vec(), b"new-a".to_vec()).unwrap();
+        kv.put(b"c".to_vec(), b"c".to_vec()).unwrap();
+        let got = kv.scan(b"a", b"z", 10);
+        assert_eq!(
+            got,
+            vec![
+                (b"a".to_vec(), b"new-a".to_vec()),
+                (b"b".to_vec(), b"b".to_vec()),
+                (b"c".to_vec(), b"c".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn scan_respects_bounds_and_limit() {
+        let kv = KvStore::new_in_memory();
+        for i in 0..10u8 {
+            kv.put(vec![i], vec![i]).unwrap();
+        }
+        let got = kv.scan(&[2], &[7], 3);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].0, vec![2]);
+        assert_eq!(got[2].0, vec![4]);
+    }
+
+    #[test]
+    fn automatic_flush_and_compaction_keep_data() {
+        let kv = KvStore::with_config(KvConfig {
+            memtable_max_bytes: 256,
+            max_tables: 2,
+            wal: None,
+        })
+        .unwrap();
+        for i in 0..200u32 {
+            kv.put(i.to_be_bytes().to_vec(), vec![0u8; 16]).unwrap();
+        }
+        for i in 0..200u32 {
+            assert!(kv.get(&i.to_be_bytes()).is_some(), "lost key {i}");
+        }
+        assert!(kv.table_count() <= 3, "compaction should bound table count");
+    }
+
+    #[test]
+    fn wal_recovery_restores_state() {
+        let dir = std::env::temp_dir().join("cfs-kv-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("recover-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cfg = KvConfig {
+            wal: Some(WalConfig {
+                path: Some(path.clone()),
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        {
+            let kv = KvStore::with_config(cfg.clone()).unwrap();
+            kv.put(b"persist".to_vec(), b"me".to_vec()).unwrap();
+            kv.delete(b"gone".to_vec()).unwrap();
+            kv.sync().unwrap();
+        }
+        let kv = KvStore::with_config(cfg).unwrap();
+        assert_eq!(kv.get(b"persist"), Some(b"me".to_vec()));
+        assert_eq!(kv.get(b"gone"), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_batch_is_atomic_to_readers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let kv = Arc::new(KvStore::new_in_memory());
+        let stop = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let kv = Arc::clone(&kv);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let got = kv.multi_get(&[b"x", b"y"]);
+                    // Both keys are always written together in one batch, so a
+                    // snapshot reader must never observe them disagreeing.
+                    assert_eq!(got[0], got[1], "batch atomicity violated");
+                }
+            })
+        };
+        for i in 0..2000u32 {
+            let v = i.to_be_bytes().to_vec();
+            kv.write_batch(vec![
+                WriteOp::Put(b"x".to_vec(), v.clone()),
+                WriteOp::Put(b"y".to_vec(), v),
+            ])
+            .unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_store_matches_btreemap_model(
+            ops in proptest::collection::vec(
+                (any::<bool>(), proptest::collection::vec(0u8..8, 1..4), any::<u8>()),
+                1..300,
+            )
+        ) {
+            let kv = KvStore::with_config(KvConfig {
+                memtable_max_bytes: 64,
+                max_tables: 3,
+                wal: None,
+            }).unwrap();
+            let mut model = std::collections::BTreeMap::new();
+            for (is_put, key, val) in ops {
+                if is_put {
+                    kv.put(key.clone(), vec![val]).unwrap();
+                    model.insert(key, vec![val]);
+                } else {
+                    kv.delete(key.clone()).unwrap();
+                    model.remove(&key);
+                }
+            }
+            // Point reads agree.
+            for (k, v) in &model {
+                prop_assert_eq!(kv.get(k), Some(v.clone()));
+            }
+            // Full scan agrees.
+            let scan = kv.scan(&[], &[255u8; 8], usize::MAX);
+            let expect: Vec<(Vec<u8>, Vec<u8>)> =
+                model.into_iter().collect();
+            prop_assert_eq!(scan, expect);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Raft consensus for replicated shard groups.
+//!
+//! The paper replicates every stateful component in groups "managed and
+//! coordinated via the Raft consensus protocol" (§3.2): TafDB backend shards,
+//! FileStore nodes, and the Renamer. This crate provides that substrate: a
+//! from-scratch Raft implementation with leader election, log replication
+//! with natural batching under load, commit/apply tracking, and proposal
+//! waiters, speaking over the [`cfs_rpc`] simulated network's one-way
+//! message mode so that elections and replication survive (and are testable
+//! under) partitions, drops, and node kills.
+//!
+//! Scope notes: membership is static per group (matching the paper's fixed
+//! three-way replication), and snapshots are replaced by the state machine's
+//! own persistence (each shard already WALs its mutations); the Raft log is
+//! prefix-truncated once applied entries are durable in the state machine.
+
+pub mod group;
+pub mod msg;
+pub mod node;
+
+pub use group::RaftGroup;
+pub use msg::{LogEntry, RaftMsg};
+pub use node::{RaftConfig, RaftNode, Role, StateMachine};

@@ -1,0 +1,226 @@
+//! Raft wire messages and log entries.
+
+use cfs_types::codec::{Decode, DecodeError, Encode, EncodeListItem};
+use cfs_types::NodeId;
+
+/// One replicated log entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogEntry {
+    /// Term in which the entry was appended at the leader.
+    pub term: u64,
+    /// Opaque state-machine command. Empty commands are leader no-ops.
+    pub cmd: Vec<u8>,
+}
+
+impl EncodeListItem for LogEntry {}
+
+impl Encode for LogEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.term.encode(buf);
+        self.cmd.encode(buf);
+    }
+}
+
+impl Decode for LogEntry {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(LogEntry {
+            term: u64::decode(input)?,
+            cmd: Vec::<u8>::decode(input)?,
+        })
+    }
+}
+
+/// The Raft RPC message set, delivered one-way in both directions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RaftMsg {
+    /// Candidate solicits a vote.
+    RequestVote {
+        /// Candidate's term.
+        term: u64,
+        /// Index of the candidate's last log entry.
+        last_log_index: u64,
+        /// Term of the candidate's last log entry.
+        last_log_term: u64,
+    },
+    /// Response to [`RaftMsg::RequestVote`].
+    VoteResp {
+        /// Voter's current term.
+        term: u64,
+        /// Whether the vote was granted.
+        granted: bool,
+    },
+    /// Leader replicates entries (empty `entries` is a heartbeat).
+    AppendEntries {
+        /// Leader's term.
+        term: u64,
+        /// Index of the entry immediately preceding `entries`.
+        prev_index: u64,
+        /// Term of the entry at `prev_index`.
+        prev_term: u64,
+        /// Entries to append.
+        entries: Vec<LogEntry>,
+        /// Leader's commit index.
+        leader_commit: u64,
+    },
+    /// Response to [`RaftMsg::AppendEntries`].
+    AppendResp {
+        /// Follower's current term.
+        term: u64,
+        /// Whether the entries were appended.
+        success: bool,
+        /// On success, the follower's new last matched index; on failure, a
+        /// hint where the leader should back up to.
+        match_index: u64,
+    },
+}
+
+impl Encode for RaftMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RaftMsg::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => {
+                buf.push(0);
+                term.encode(buf);
+                last_log_index.encode(buf);
+                last_log_term.encode(buf);
+            }
+            RaftMsg::VoteResp { term, granted } => {
+                buf.push(1);
+                term.encode(buf);
+                granted.encode(buf);
+            }
+            RaftMsg::AppendEntries {
+                term,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            } => {
+                buf.push(2);
+                term.encode(buf);
+                prev_index.encode(buf);
+                prev_term.encode(buf);
+                entries.encode(buf);
+                leader_commit.encode(buf);
+            }
+            RaftMsg::AppendResp {
+                term,
+                success,
+                match_index,
+            } => {
+                buf.push(3);
+                term.encode(buf);
+                success.encode(buf);
+                match_index.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for RaftMsg {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => RaftMsg::RequestVote {
+                term: u64::decode(input)?,
+                last_log_index: u64::decode(input)?,
+                last_log_term: u64::decode(input)?,
+            },
+            1 => RaftMsg::VoteResp {
+                term: u64::decode(input)?,
+                granted: bool::decode(input)?,
+            },
+            2 => RaftMsg::AppendEntries {
+                term: u64::decode(input)?,
+                prev_index: u64::decode(input)?,
+                prev_term: u64::decode(input)?,
+                entries: Vec::<LogEntry>::decode(input)?,
+                leader_commit: u64::decode(input)?,
+            },
+            3 => RaftMsg::AppendResp {
+                term: u64::decode(input)?,
+                success: bool::decode(input)?,
+                match_index: u64::decode(input)?,
+            },
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+/// Envelope: every raft payload on the wire carries the sender explicitly so
+/// handlers do not depend on transport-provided identity.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Envelope {
+    /// Sending node.
+    pub from: NodeId,
+    /// The message.
+    pub msg: RaftMsg,
+}
+
+impl Encode for Envelope {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.from.encode(buf);
+        self.msg.encode(buf);
+    }
+}
+
+impl Decode for Envelope {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Envelope {
+            from: NodeId::decode(input)?,
+            msg: RaftMsg::decode(input)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_types::codec::{Decode, Encode};
+
+    #[test]
+    fn all_messages_round_trip() {
+        let msgs = vec![
+            RaftMsg::RequestVote {
+                term: 5,
+                last_log_index: 10,
+                last_log_term: 4,
+            },
+            RaftMsg::VoteResp {
+                term: 5,
+                granted: true,
+            },
+            RaftMsg::AppendEntries {
+                term: 6,
+                prev_index: 9,
+                prev_term: 4,
+                entries: vec![
+                    LogEntry {
+                        term: 6,
+                        cmd: b"put".to_vec(),
+                    },
+                    LogEntry {
+                        term: 6,
+                        cmd: Vec::new(),
+                    },
+                ],
+                leader_commit: 8,
+            },
+            RaftMsg::AppendResp {
+                term: 6,
+                success: false,
+                match_index: 3,
+            },
+        ];
+        for msg in msgs {
+            let env = Envelope {
+                from: NodeId(2),
+                msg,
+            };
+            let buf = env.to_bytes();
+            assert_eq!(Envelope::from_bytes(&buf).unwrap(), env);
+        }
+    }
+}

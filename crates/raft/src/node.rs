@@ -1,0 +1,618 @@
+//! The Raft node: roles, election, replication, commit, apply.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cfs_rpc::mux::{frame, CH_RAFT};
+use cfs_rpc::{Network, Service};
+use cfs_types::codec::{Decode, Encode};
+use cfs_types::{FsError, FsResult, NodeId};
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::msg::{Envelope, LogEntry, RaftMsg};
+
+/// The state machine replicated by a Raft group.
+///
+/// `apply` is invoked exactly once per committed entry, in log order, across
+/// the node's lifetime. It takes `&self` so the owning component can serve
+/// reads against the same state concurrently; implementations synchronize
+/// internally (all our state machines sit on top of the thread-safe
+/// [`cfs_kvstore::KvStore`]-style stores).
+pub trait StateMachine: Send + Sync + 'static {
+    /// Applies one committed command and returns the response payload that
+    /// the proposing client will receive.
+    fn apply(&self, index: u64, cmd: &[u8]) -> Vec<u8>;
+}
+
+/// A node's current role.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Passive replica.
+    Follower,
+    /// Election in progress.
+    Candidate,
+    /// Serving proposals.
+    Leader,
+}
+
+/// Timing and batching knobs.
+#[derive(Clone, Debug)]
+pub struct RaftConfig {
+    /// Minimum randomized election timeout.
+    pub election_timeout_min: Duration,
+    /// Maximum randomized election timeout.
+    pub election_timeout_max: Duration,
+    /// Leader heartbeat interval.
+    pub heartbeat_interval: Duration,
+    /// Maximum entries shipped per AppendEntries.
+    pub max_batch: usize,
+    /// How long a proposer waits for commit before timing out.
+    pub propose_timeout: Duration,
+}
+
+impl Default for RaftConfig {
+    fn default() -> Self {
+        RaftConfig {
+            election_timeout_min: Duration::from_millis(150),
+            election_timeout_max: Duration::from_millis(300),
+            heartbeat_interval: Duration::from_millis(40),
+            max_batch: 512,
+            propose_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+struct NodeState {
+    role: Role,
+    term: u64,
+    voted_for: Option<NodeId>,
+    log: Vec<LogEntry>,
+    commit: u64,
+    applied: u64,
+    votes: HashSet<NodeId>,
+    next_index: HashMap<NodeId, u64>,
+    match_index: HashMap<NodeId, u64>,
+    /// Highest log index already shipped to each peer; new entries beyond
+    /// this trigger an immediate send instead of waiting for a heartbeat.
+    sent_to: HashMap<NodeId, u64>,
+    election_deadline: Instant,
+    next_heartbeat: Instant,
+    leader_hint: Option<NodeId>,
+    waiters: HashMap<u64, (u64, Sender<FsResult<Vec<u8>>>)>,
+    stopped: bool,
+}
+
+/// A single Raft participant.
+///
+/// Create with [`RaftNode::spawn`]; mount [`RaftNode::service`] at the
+/// [`CH_RAFT`] channel of the owning server's mux so peer traffic reaches it.
+pub struct RaftNode<S: StateMachine> {
+    id: NodeId,
+    peers: Vec<NodeId>,
+    net: Arc<Network>,
+    sm: Arc<S>,
+    st: Mutex<NodeState>,
+    wake: Condvar,
+    config: RaftConfig,
+}
+
+impl<S: StateMachine> RaftNode<S> {
+    /// Creates the node and starts its background pump thread.
+    ///
+    /// `peers` must not contain `id`. A node with no peers becomes leader
+    /// immediately (single-replica group).
+    pub fn spawn(
+        net: Arc<Network>,
+        id: NodeId,
+        peers: Vec<NodeId>,
+        sm: Arc<S>,
+        config: RaftConfig,
+    ) -> Arc<RaftNode<S>> {
+        assert!(!peers.contains(&id), "peer list must exclude self");
+        let single = peers.is_empty();
+        let now = Instant::now();
+        let node = Arc::new(RaftNode {
+            id,
+            peers,
+            net,
+            sm,
+            st: Mutex::new(NodeState {
+                role: if single { Role::Leader } else { Role::Follower },
+                term: u64::from(single),
+                voted_for: None,
+                log: Vec::new(),
+                commit: 0,
+                applied: 0,
+                votes: HashSet::new(),
+                next_index: HashMap::new(),
+                match_index: HashMap::new(),
+                sent_to: HashMap::new(),
+                election_deadline: now + rand_timeout(&config),
+                next_heartbeat: now,
+                leader_hint: single.then_some(id),
+                waiters: HashMap::new(),
+                stopped: false,
+            }),
+            wake: Condvar::new(),
+            config,
+        });
+        if !single {
+            let pump = Arc::clone(&node);
+            std::thread::Builder::new()
+                .name(format!("raft-{}", id.0))
+                .spawn(move || pump.run())
+                .expect("spawn raft pump");
+        }
+        node
+    }
+
+    /// This node's address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The replicated state machine.
+    pub fn state_machine(&self) -> &Arc<S> {
+        &self.sm
+    }
+
+    /// Returns the node's current role.
+    pub fn role(&self) -> Role {
+        self.st.lock().role
+    }
+
+    /// Returns the current term.
+    pub fn term(&self) -> u64 {
+        self.st.lock().term
+    }
+
+    /// Returns the last committed log index.
+    pub fn commit_index(&self) -> u64 {
+        self.st.lock().commit
+    }
+
+    /// Who this node believes is leader.
+    pub fn leader_hint(&self) -> Option<NodeId> {
+        self.st.lock().leader_hint
+    }
+
+    /// Stops the pump thread; the node no longer participates.
+    pub fn stop(&self) {
+        let mut st = self.st.lock();
+        st.stopped = true;
+        for (_, (_, tx)) in st.waiters.drain() {
+            let _ = tx.send(Err(FsError::Timeout));
+        }
+        drop(st);
+        self.wake.notify_all();
+    }
+
+    /// Proposes a command, blocking until it commits and applies, and returns
+    /// the state machine's response.
+    ///
+    /// Fails with [`FsError::NotLeader`] (carrying a redirect hint) when this
+    /// node is not the leader.
+    pub fn propose(&self, cmd: Vec<u8>) -> FsResult<Vec<u8>> {
+        let (tx, rx) = bounded(1);
+        {
+            let mut st = self.st.lock();
+            if st.stopped {
+                return Err(FsError::Timeout);
+            }
+            if st.role != Role::Leader {
+                return Err(FsError::NotLeader(st.leader_hint.map(|n| n.0)));
+            }
+            let term = st.term;
+            st.log.push(LogEntry { term, cmd });
+            let index = st.log.len() as u64;
+            st.waiters.insert(index, (term, tx));
+            self.advance_commit(&mut st);
+            self.apply_committed(&mut st);
+        }
+        self.wake.notify_all();
+        rx.recv_timeout(self.config.propose_timeout)
+            .map_err(|_| FsError::Timeout)?
+    }
+
+    /// Runs a read closure against the state machine iff this node currently
+    /// believes it is leader.
+    ///
+    /// This is lease-free leader-local reading: a deposed leader may serve a
+    /// stale read during the failover window, matching the consistency level
+    /// the paper's metadata read path provides (reads are not ordered through
+    /// the WAL).
+    pub fn read<R>(&self, f: impl FnOnce(&S) -> R) -> FsResult<R> {
+        {
+            let st = self.st.lock();
+            if st.role != Role::Leader {
+                return Err(FsError::NotLeader(st.leader_hint.map(|n| n.0)));
+            }
+        }
+        Ok(f(&self.sm))
+    }
+
+    /// Adapter mountable at [`CH_RAFT`] in a [`cfs_rpc::MuxService`].
+    pub fn service(self: &Arc<Self>) -> Arc<dyn Service> {
+        Arc::new(RaftService {
+            node: Arc::clone(self),
+        })
+    }
+
+    fn run(self: Arc<Self>) {
+        loop {
+            let mut st = self.st.lock();
+            if st.stopped {
+                return;
+            }
+            let now = Instant::now();
+            match st.role {
+                Role::Leader => {
+                    let heartbeat_due = now >= st.next_heartbeat;
+                    if heartbeat_due {
+                        st.next_heartbeat = now + self.config.heartbeat_interval;
+                    }
+                    let log_len = st.log.len() as u64;
+                    for peer in self.peers.clone() {
+                        let next = *st.next_index.get(&peer).unwrap_or(&1);
+                        let sent = *st.sent_to.get(&peer).unwrap_or(&0);
+                        // Ship new entries immediately; heartbeats double as
+                        // the retransmission safety net for lost messages.
+                        let have_new = log_len >= next && sent < log_len;
+                        if heartbeat_due || have_new {
+                            self.send_append(&mut st, peer, now);
+                        }
+                    }
+                }
+                Role::Follower | Role::Candidate => {
+                    if now >= st.election_deadline {
+                        self.start_election(&mut st, now);
+                    }
+                }
+            }
+            let deadline = match st.role {
+                Role::Leader => st.next_heartbeat,
+                _ => st.election_deadline,
+            };
+            self.wake.wait_until(&mut st, deadline);
+        }
+    }
+
+    fn start_election(&self, st: &mut NodeState, now: Instant) {
+        st.role = Role::Candidate;
+        st.term += 1;
+        st.voted_for = Some(self.id);
+        st.votes.clear();
+        st.votes.insert(self.id);
+        st.election_deadline = now + rand_timeout(&self.config);
+        st.leader_hint = None;
+        let (lli, llt) = last_log(st);
+        let msg = RaftMsg::RequestVote {
+            term: st.term,
+            last_log_index: lli,
+            last_log_term: llt,
+        };
+        self.broadcast(st, msg);
+        // A one-node "majority" can already win (defensive; spawn handles the
+        // single-node case directly).
+        self.maybe_win(st, now);
+    }
+
+    fn maybe_win(&self, st: &mut NodeState, now: Instant) {
+        let cluster = self.peers.len() + 1;
+        if st.role == Role::Candidate && st.votes.len() * 2 > cluster {
+            st.role = Role::Leader;
+            st.leader_hint = Some(self.id);
+            let next = st.log.len() as u64 + 1;
+            for &p in &self.peers {
+                st.next_index.insert(p, next);
+                st.match_index.insert(p, 0);
+            }
+            st.sent_to.clear();
+            // Commit a no-op from the new term to learn the commit index.
+            let term = st.term;
+            st.log.push(LogEntry {
+                term,
+                cmd: Vec::new(),
+            });
+            st.next_heartbeat = now;
+        }
+    }
+
+    fn broadcast(&self, _st: &NodeState, msg: RaftMsg) {
+        let env = Envelope { from: self.id, msg };
+        let payload = frame(CH_RAFT, &env.to_bytes());
+        for &peer in &self.peers {
+            self.net.send(self.id, peer, payload.clone());
+        }
+    }
+
+    fn send_one(&self, to: NodeId, msg: RaftMsg) {
+        let env = Envelope { from: self.id, msg };
+        self.net.send(self.id, to, frame(CH_RAFT, &env.to_bytes()));
+    }
+
+    fn send_append(&self, st: &mut NodeState, peer: NodeId, now: Instant) {
+        let _ = now;
+        let next = *st.next_index.get(&peer).unwrap_or(&1);
+        let prev_index = next - 1;
+        let prev_term = term_at(st, prev_index);
+        let from = (next - 1) as usize;
+        let to = st.log.len().min(from + self.config.max_batch);
+        let entries = st.log[from..to].to_vec();
+        st.sent_to.insert(peer, to as u64);
+        self.send_one(
+            peer,
+            RaftMsg::AppendEntries {
+                term: st.term,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit: st.commit,
+            },
+        );
+    }
+
+    fn become_follower(&self, st: &mut NodeState, term: u64, leader: Option<NodeId>) {
+        let was_leader = st.role == Role::Leader;
+        st.role = Role::Follower;
+        if term > st.term {
+            st.term = term;
+            st.voted_for = None;
+        }
+        if leader.is_some() {
+            st.leader_hint = leader;
+        }
+        st.votes.clear();
+        st.election_deadline = Instant::now() + rand_timeout(&self.config);
+        if was_leader {
+            // Proposals in flight will never get a commit notification from
+            // this node; fail them so clients retry against the new leader.
+            for (_, (_, tx)) in st.waiters.drain() {
+                let _ = tx.send(Err(FsError::NotLeader(st.leader_hint.map(|n| n.0))));
+            }
+        }
+    }
+
+    fn handle(&self, from: NodeId, msg: RaftMsg) {
+        let mut st = self.st.lock();
+        if st.stopped {
+            return;
+        }
+        let now = Instant::now();
+        match msg {
+            RaftMsg::RequestVote {
+                term,
+                last_log_index,
+                last_log_term,
+            } => {
+                if term > st.term {
+                    self.become_follower(&mut st, term, None);
+                }
+                let (lli, llt) = last_log(&st);
+                let up_to_date =
+                    last_log_term > llt || (last_log_term == llt && last_log_index >= lli);
+                let granted = term == st.term
+                    && up_to_date
+                    && (st.voted_for.is_none() || st.voted_for == Some(from))
+                    && st.role != Role::Leader;
+                if granted {
+                    st.voted_for = Some(from);
+                    st.election_deadline = now + rand_timeout(&self.config);
+                }
+                self.send_one(
+                    from,
+                    RaftMsg::VoteResp {
+                        term: st.term,
+                        granted,
+                    },
+                );
+            }
+            RaftMsg::VoteResp { term, granted } => {
+                if term > st.term {
+                    self.become_follower(&mut st, term, None);
+                } else if st.role == Role::Candidate && term == st.term && granted {
+                    st.votes.insert(from);
+                    self.maybe_win(&mut st, now);
+                    if st.role == Role::Leader {
+                        drop(st);
+                        self.wake.notify_all();
+                        return;
+                    }
+                }
+            }
+            RaftMsg::AppendEntries {
+                term,
+                prev_index,
+                prev_term,
+                entries,
+                leader_commit,
+            } => {
+                if term < st.term {
+                    self.send_one(
+                        from,
+                        RaftMsg::AppendResp {
+                            term: st.term,
+                            success: false,
+                            match_index: 0,
+                        },
+                    );
+                    return;
+                }
+                self.become_follower(&mut st, term, Some(from));
+                let last = st.log.len() as u64;
+                if prev_index > last {
+                    self.send_one(
+                        from,
+                        RaftMsg::AppendResp {
+                            term: st.term,
+                            success: false,
+                            match_index: last,
+                        },
+                    );
+                    return;
+                }
+                if prev_index > 0 && term_at(&st, prev_index) != prev_term {
+                    // Conflicting history: ask the leader to back up.
+                    self.send_one(
+                        from,
+                        RaftMsg::AppendResp {
+                            term: st.term,
+                            success: false,
+                            match_index: prev_index - 1,
+                        },
+                    );
+                    return;
+                }
+                let mut idx = prev_index;
+                for entry in entries {
+                    idx += 1;
+                    let pos = (idx - 1) as usize;
+                    if pos < st.log.len() {
+                        if st.log[pos].term != entry.term {
+                            st.log.truncate(pos);
+                            st.log.push(entry);
+                        }
+                        // Same term at same index: identical entry, skip.
+                    } else {
+                        st.log.push(entry);
+                    }
+                }
+                let match_index = idx;
+                if leader_commit > st.commit {
+                    st.commit = leader_commit.min(st.log.len() as u64);
+                    self.apply_committed(&mut st);
+                }
+                self.send_one(
+                    from,
+                    RaftMsg::AppendResp {
+                        term: st.term,
+                        success: true,
+                        match_index,
+                    },
+                );
+            }
+            RaftMsg::AppendResp {
+                term,
+                success,
+                match_index,
+            } => {
+                if term > st.term {
+                    self.become_follower(&mut st, term, None);
+                    return;
+                }
+                if st.role != Role::Leader || term != st.term {
+                    return;
+                }
+                if success {
+                    let m = st.match_index.entry(from).or_insert(0);
+                    *m = (*m).max(match_index);
+                    st.next_index.insert(from, match_index + 1);
+                    self.advance_commit(&mut st);
+                    self.apply_committed(&mut st);
+                    if match_index < st.log.len() as u64 {
+                        // Peer still lagging: ship the next batch promptly.
+                        st.sent_to.insert(from, match_index);
+                        drop(st);
+                        self.wake.notify_all();
+                        return;
+                    }
+                } else {
+                    let next = st.next_index.entry(from).or_insert(1);
+                    *next = (match_index + 1).max(1).min((*next).max(2) - 1).max(1);
+                    let new_next = *next;
+                    st.sent_to.insert(from, new_next.saturating_sub(1));
+                    drop(st);
+                    self.wake.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn advance_commit(&self, st: &mut NodeState) {
+        if st.role != Role::Leader {
+            return;
+        }
+        let cluster = self.peers.len() + 1;
+        let last = st.log.len() as u64;
+        let mut n = last;
+        while n > st.commit {
+            if term_at(st, n) == st.term {
+                let replicas = 1 + self
+                    .peers
+                    .iter()
+                    .filter(|p| st.match_index.get(p).copied().unwrap_or(0) >= n)
+                    .count();
+                if replicas * 2 > cluster {
+                    st.commit = n;
+                    break;
+                }
+            }
+            n -= 1;
+        }
+    }
+
+    fn apply_committed(&self, st: &mut NodeState) {
+        while st.applied < st.commit {
+            st.applied += 1;
+            let index = st.applied;
+            let entry = st.log[(index - 1) as usize].clone();
+            let resp = if entry.cmd.is_empty() {
+                Vec::new()
+            } else {
+                self.sm.apply(index, &entry.cmd)
+            };
+            if let Some((term, tx)) = st.waiters.remove(&index) {
+                let result = if term == entry.term {
+                    Ok(resp)
+                } else {
+                    Err(FsError::NotLeader(st.leader_hint.map(|n| n.0)))
+                };
+                let _ = tx.send(result);
+            }
+        }
+    }
+}
+
+struct RaftService<S: StateMachine> {
+    node: Arc<RaftNode<S>>,
+}
+
+impl<S: StateMachine> Service for RaftService<S> {
+    fn handle(&self, from: NodeId, payload: &[u8]) -> Vec<u8> {
+        if let Ok(env) = Envelope::from_bytes(payload) {
+            // Trust the envelope's `from`, which equals the transport sender
+            // in all legitimate traffic; `from` parameter kept for symmetry.
+            let _ = from;
+            self.node.handle(env.from, env.msg);
+        }
+        Vec::new()
+    }
+}
+
+fn last_log(st: &NodeState) -> (u64, u64) {
+    let lli = st.log.len() as u64;
+    (lli, term_at(st, lli))
+}
+
+fn term_at(st: &NodeState, index: u64) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        st.log[(index - 1) as usize].term
+    }
+}
+
+fn rand_timeout(config: &RaftConfig) -> Duration {
+    use rand::RngExt;
+    let min = config.election_timeout_min;
+    let max = config.election_timeout_max;
+    if max <= min {
+        return min;
+    }
+    let span = (max - min).as_micros() as u64;
+    let off = rand::rng().random_range(0..=span);
+    min + Duration::from_micros(off)
+}

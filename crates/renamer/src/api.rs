@@ -1,0 +1,88 @@
+//! Wire protocol of the Renamer service.
+
+use cfs_types::codec::{Decode, DecodeError, Encode};
+use cfs_types::{FsError, InodeId};
+
+/// A normal-path rename request, with the path components already resolved to
+/// parent inode ids by the client library.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RenameRequest {
+    /// Source parent directory.
+    pub src_parent: InodeId,
+    /// Source entry name.
+    pub src_name: String,
+    /// Destination parent directory.
+    pub dst_parent: InodeId,
+    /// Destination entry name.
+    pub dst_name: String,
+}
+
+impl Encode for RenameRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.src_parent.encode(buf);
+        self.src_name.encode(buf);
+        self.dst_parent.encode(buf);
+        self.dst_name.encode(buf);
+    }
+}
+
+impl Decode for RenameRequest {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(RenameRequest {
+            src_parent: InodeId::decode(input)?,
+            src_name: String::decode(input)?,
+            dst_parent: InodeId::decode(input)?,
+            dst_name: String::decode(input)?,
+        })
+    }
+}
+
+/// Response of the Renamer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RenameResponse {
+    /// The rename committed.
+    Ok,
+    /// The rename failed.
+    Err(FsError),
+}
+
+impl Encode for RenameResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            RenameResponse::Ok => buf.push(0),
+            RenameResponse::Err(e) => {
+                buf.push(1);
+                e.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for RenameResponse {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => RenameResponse::Ok,
+            1 => RenameResponse::Err(FsError::decode(input)?),
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rename_messages_round_trip() {
+        let req = RenameRequest {
+            src_parent: InodeId(4),
+            src_name: "old".into(),
+            dst_parent: InodeId(9),
+            dst_name: "new".into(),
+        };
+        assert_eq!(RenameRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+        for resp in [RenameResponse::Ok, RenameResponse::Err(FsError::Loop)] {
+            assert_eq!(RenameResponse::from_bytes(&resp.to_bytes()).unwrap(), resp);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Renamer — the dedicated coordinator for normal-path renames (paper §4.3).
+//!
+//! The intra-directory *file* rename fast path never reaches this service: it
+//! is a single `insert_and_delete_with_update` primitive issued directly by
+//! the client library. Everything else — cross-directory renames and any
+//! rename involving a directory — needs the strongest consistency and comes
+//! here, where the coordinator:
+//!
+//! 1. serializes conflicting renames via its own inode-level lock table (and
+//!    a global directory-topology lock for directory moves),
+//! 2. acquires TafDB row locks on every touched row so that concurrent
+//!    single-shard primitives stay isolated from the distributed transaction,
+//! 3. verifies the rename is **orphaned-loop-free** by walking the
+//!    destination's ancestor chain (a directory may never become its own
+//!    ancestor),
+//! 4. executes the per-shard shares of the rename as staged primitives under
+//!    two-phase commit across the involved TafDB shards,
+//! 5. finally deletes the overwritten destination's FileStore attribute
+//!    (TafDB-before-FileStore deletion order, Figure 7).
+//!
+//! The paper deploys the Renamer as a small Raft-protected group with one
+//! coordinator; this reproduction runs a single coordinator service — its
+//! state (locks, in-flight transactions) is reconstructible, and crash
+//! recovery of in-flight 2PC is the garbage collector's pairing analysis, as
+//! in the paper. (See DESIGN.md substitutions.)
+
+pub mod api;
+pub mod service;
+
+pub use api::{RenameRequest, RenameResponse};
+pub use service::{RenamerClient, RenamerService};

@@ -1,0 +1,134 @@
+//! Simulated latency injection.
+
+use std::time::{Duration, Instant};
+
+/// A latency model applied per network hop (and reusable for simulated disk
+/// sync costs elsewhere).
+///
+/// Sub-millisecond waits are implemented by spinning on a monotonic clock —
+/// `thread::sleep` has far too coarse a granularity on general-purpose kernels
+/// to model microsecond datacenter RTTs — while longer waits use a real sleep
+/// so fault-injection tests with large delays do not burn CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimLatency {
+    /// Fixed base latency applied to every hop.
+    pub base: Duration,
+    /// Uniform random jitter in `[0, jitter]` added on top.
+    pub jitter: Duration,
+}
+
+impl SimLatency {
+    /// Zero-cost latency model (the default for throughput-oriented benches).
+    pub const ZERO: SimLatency = SimLatency {
+        base: Duration::ZERO,
+        jitter: Duration::ZERO,
+    };
+
+    /// Creates a model with the given base latency and no jitter.
+    pub fn fixed(base: Duration) -> SimLatency {
+        SimLatency {
+            base,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    /// Creates a model with base latency and jitter.
+    pub fn with_jitter(base: Duration, jitter: Duration) -> SimLatency {
+        SimLatency { base, jitter }
+    }
+
+    /// Returns true when no wait would ever be applied.
+    pub fn is_zero(&self) -> bool {
+        self.base.is_zero() && self.jitter.is_zero()
+    }
+
+    /// Samples one hop delay. `entropy` should vary between calls (e.g. a
+    /// cheap thread-local counter); it seeds the jitter fraction.
+    pub fn sample(&self, entropy: u64) -> Duration {
+        if self.jitter.is_zero() {
+            return self.base;
+        }
+        // SplitMix64 step over the entropy for a uniform fraction.
+        let mut z = entropy.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let frac = (z % 1_000_000) as f64 / 1_000_000.0;
+        self.base + self.jitter.mul_f64(frac)
+    }
+
+    /// Blocks the current thread for one sampled hop delay.
+    pub fn wait(&self, entropy: u64) {
+        let d = self.sample(entropy);
+        busy_wait(d);
+    }
+}
+
+impl Default for SimLatency {
+    fn default() -> Self {
+        SimLatency::ZERO
+    }
+}
+
+/// Threshold below which waits yield-loop instead of sleeping.
+const YIELD_THRESHOLD: Duration = Duration::from_micros(500);
+
+/// Blocks for `d`.
+///
+/// Sub-threshold waits loop on `thread::yield_now` rather than spinning or
+/// sleeping: `sleep` has far coarser granularity than datacenter RTTs, and a
+/// hot spin would starve the other simulated nodes on small machines — a
+/// "waiting on the network" thread must donate its CPU to the rest of the
+/// cluster, exactly as a blocked client does on real hardware.
+pub fn busy_wait(d: Duration) {
+    if d.is_zero() {
+        return;
+    }
+    if d >= YIELD_THRESHOLD {
+        std::thread::sleep(d);
+        return;
+    }
+    let deadline = Instant::now() + d;
+    while Instant::now() < deadline {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_never_waits() {
+        let start = Instant::now();
+        for i in 0..1000 {
+            SimLatency::ZERO.wait(i);
+        }
+        assert!(start.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn fixed_latency_waits_at_least_base() {
+        let lat = SimLatency::fixed(Duration::from_micros(200));
+        let start = Instant::now();
+        lat.wait(1);
+        assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds() {
+        let lat = SimLatency::with_jitter(Duration::from_micros(100), Duration::from_micros(50));
+        for i in 0..200 {
+            let d = lat.sample(i);
+            assert!(d >= Duration::from_micros(100));
+            assert!(d <= Duration::from_micros(150));
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        let lat = SimLatency::with_jitter(Duration::ZERO, Duration::from_micros(100));
+        let samples: std::collections::HashSet<Duration> = (0..64).map(|i| lat.sample(i)).collect();
+        assert!(samples.len() > 8, "expected varied jitter, got {samples:?}");
+    }
+}

@@ -1,0 +1,33 @@
+//! In-process simulated cluster network.
+//!
+//! Every arrow in the paper's Figure 5 — client→TafDB, client→FileStore,
+//! client→Renamer, proxy→shard, Raft peer traffic — travels through this
+//! layer, so RPC hop counts and network costs are measurable and injectable.
+//!
+//! Two delivery modes are provided:
+//!
+//! * [`Network::call`] — synchronous request/response. The handler runs on the
+//!   *caller's* thread after the simulated request latency, exactly as if the
+//!   caller's request had been picked up by one of the server's worker
+//!   threads. Server-side contention is therefore physically real (handlers
+//!   lock the server's shared state), and the simulated server is
+//!   multi-threaded like a production one — there is no artificial
+//!   single-dispatcher bottleneck that would distort the scalability curves
+//!   this reproduction exists to measure.
+//! * [`Network::send`] — one-way asynchronous messages, delivered by a small
+//!   background pool after the simulated latency. Raft election and
+//!   replication traffic uses this mode, which also allows reordering and
+//!   dropping messages for fault-injection tests.
+//!
+//! Fault injection: nodes can be killed/revived, links partitioned, and a
+//! probabilistic drop rate applied to one-way traffic.
+
+pub mod latency;
+pub mod mux;
+pub mod network;
+pub mod stats;
+
+pub use latency::SimLatency;
+pub use mux::MuxService;
+pub use network::{NetConfig, Network, Service};
+pub use stats::NetStats;

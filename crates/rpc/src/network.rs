@@ -1,0 +1,444 @@
+//! The simulated network core: registry, delivery, fault injection.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use cfs_types::{FsError, FsResult, NodeId};
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::latency::SimLatency;
+use crate::stats::NetStats;
+
+/// A registered endpoint: any server-side component that accepts messages.
+pub trait Service: Send + Sync {
+    /// Handles a synchronous request and produces a response payload.
+    fn handle(&self, from: NodeId, payload: &[u8]) -> Vec<u8>;
+
+    /// Handles a one-way message (default: same path, response discarded).
+    fn handle_oneway(&self, from: NodeId, payload: &[u8]) {
+        let _ = self.handle(from, payload);
+    }
+}
+
+/// Static configuration of a [`Network`].
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Latency applied per hop (a call costs two hops: request + response).
+    pub hop_latency: SimLatency,
+    /// Probability in `[0,1]` of silently dropping a one-way message.
+    pub drop_rate: f64,
+    /// Number of background delivery workers for one-way traffic.
+    pub oneway_workers: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            hop_latency: SimLatency::ZERO,
+            drop_rate: 0.0,
+            oneway_workers: 2,
+        }
+    }
+}
+
+struct OnewayMsg {
+    from: NodeId,
+    to: NodeId,
+    payload: Vec<u8>,
+    deliver_at: Instant,
+    /// Tie-breaker preserving send order for equal delivery times.
+    seq: u64,
+}
+
+impl PartialEq for OnewayMsg {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for OnewayMsg {}
+
+impl PartialOrd for OnewayMsg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OnewayMsg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .deliver_at
+            .cmp(&self.deliver_at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Inner {
+    services: RwLock<HashMap<NodeId, Arc<dyn Service>>>,
+    dead: RwLock<HashSet<NodeId>>,
+    /// Partition groups: nodes in different groups cannot communicate. An
+    /// empty vector means no partition is active.
+    partitions: RwLock<Vec<HashSet<NodeId>>>,
+    drop_rate_millionths: AtomicU64,
+    hop_latency: RwLock<SimLatency>,
+    stats: NetStats,
+    entropy: AtomicU64,
+    /// Pending one-way messages ordered by delivery time. Workers pop
+    /// messages whose time has come; waits for different messages overlap
+    /// (a network keeps all in-flight messages moving concurrently).
+    queue: Mutex<std::collections::BinaryHeap<OnewayMsg>>,
+    queue_cv: parking_lot::Condvar,
+    oneway_seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// The simulated cluster network. Cheap to clone via `Arc`.
+pub struct Network {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Network {
+    /// Builds a network and starts its one-way delivery workers.
+    pub fn new(config: NetConfig) -> Arc<Network> {
+        let inner = Arc::new(Inner {
+            services: RwLock::new(HashMap::new()),
+            dead: RwLock::new(HashSet::new()),
+            partitions: RwLock::new(Vec::new()),
+            drop_rate_millionths: AtomicU64::new((config.drop_rate * 1e6) as u64),
+            hop_latency: RwLock::new(config.hop_latency),
+            stats: NetStats::default(),
+            entropy: AtomicU64::new(1),
+            queue: Mutex::new(std::collections::BinaryHeap::new()),
+            queue_cv: parking_lot::Condvar::new(),
+            oneway_seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let mut workers = Vec::new();
+        for _ in 0..config.oneway_workers.max(1) {
+            let inner = Arc::clone(&inner);
+            workers.push(std::thread::spawn(move || {
+                oneway_worker(inner);
+            }));
+        }
+        Arc::new(Network { inner, workers })
+    }
+
+    /// Registers (or replaces) the service listening at `node`.
+    pub fn register(&self, node: NodeId, svc: Arc<dyn Service>) {
+        self.inner.services.write().insert(node, svc);
+        self.inner.dead.write().remove(&node);
+    }
+
+    /// Removes the service at `node` entirely.
+    pub fn unregister(&self, node: NodeId) {
+        self.inner.services.write().remove(&node);
+    }
+
+    /// Marks `node` as crashed: all traffic to it fails until [`Self::revive`].
+    pub fn kill(&self, node: NodeId) {
+        self.inner.dead.write().insert(node);
+    }
+
+    /// Brings a previously killed node back.
+    pub fn revive(&self, node: NodeId) {
+        self.inner.dead.write().remove(&node);
+    }
+
+    /// Returns true if the node is currently marked dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.inner.dead.read().contains(&node)
+    }
+
+    /// Installs a network partition: nodes in different groups cannot reach
+    /// each other. Nodes absent from every group can reach everyone.
+    pub fn partition(&self, groups: Vec<Vec<NodeId>>) {
+        *self.inner.partitions.write() = groups
+            .into_iter()
+            .map(|g| g.into_iter().collect())
+            .collect();
+    }
+
+    /// Removes any active partition.
+    pub fn heal(&self) {
+        self.inner.partitions.write().clear();
+    }
+
+    /// Updates the probabilistic one-way drop rate.
+    pub fn set_drop_rate(&self, rate: f64) {
+        self.inner
+            .drop_rate_millionths
+            .store((rate.clamp(0.0, 1.0) * 1e6) as u64, Ordering::Relaxed);
+    }
+
+    /// Updates the per-hop latency model.
+    pub fn set_hop_latency(&self, lat: SimLatency) {
+        *self.inner.hop_latency.write() = lat;
+    }
+
+    /// Returns the traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        {
+            let dead = self.inner.dead.read();
+            // A killed node can neither receive nor send.
+            if dead.contains(&to) || dead.contains(&from) {
+                return false;
+            }
+        }
+        let parts = self.inner.partitions.read();
+        if parts.is_empty() {
+            return true;
+        }
+        let ga = parts.iter().position(|g| g.contains(&from));
+        let gb = parts.iter().position(|g| g.contains(&to));
+        match (ga, gb) {
+            (Some(a), Some(b)) => a == b,
+            // A node outside every group is unrestricted.
+            _ => true,
+        }
+    }
+
+    fn next_entropy(&self) -> u64 {
+        self.inner.entropy.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Synchronous request/response between two nodes.
+    ///
+    /// Applies one hop of latency for the request, runs the destination's
+    /// handler on the calling thread, applies one hop for the response.
+    pub fn call(&self, from: NodeId, to: NodeId, payload: &[u8]) -> FsResult<Vec<u8>> {
+        if !self.reachable(from, to) {
+            self.inner.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+            return Err(FsError::Timeout);
+        }
+        let svc = {
+            let services = self.inner.services.read();
+            services.get(&to).cloned()
+        };
+        let Some(svc) = svc else {
+            self.inner.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+            return Err(FsError::Timeout);
+        };
+        let lat = *self.inner.hop_latency.read();
+        lat.wait(self.next_entropy());
+        let resp = svc.handle(from, payload);
+        // The destination may have been killed while the handler ran; in that
+        // case the response is lost.
+        if !self.reachable(from, to) {
+            self.inner.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+            return Err(FsError::Timeout);
+        }
+        lat.wait(self.next_entropy());
+        self.inner.stats.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes
+            .fetch_add((payload.len() + resp.len()) as u64, Ordering::Relaxed);
+        Ok(resp)
+    }
+
+    /// One-way asynchronous message (fire and forget).
+    pub fn send(&self, from: NodeId, to: NodeId, payload: Vec<u8>) {
+        let drop_rate = self.inner.drop_rate_millionths.load(Ordering::Relaxed);
+        if drop_rate > 0 {
+            let e = self.next_entropy();
+            // SplitMix64 hash of the entropy for an unbiased-enough coin.
+            let mut z = e.wrapping_add(0x9e3779b97f4a7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            if z % 1_000_000 < drop_rate {
+                self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        if !self.reachable(from, to) {
+            self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let lat = *self.inner.hop_latency.read();
+        let delay = lat.sample(self.next_entropy());
+        self.inner.stats.oneways.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let seq = self.inner.oneway_seq.fetch_add(1, Ordering::Relaxed);
+        self.inner.queue.lock().push(OnewayMsg {
+            from,
+            to,
+            payload,
+            deliver_at: Instant::now() + delay,
+            seq,
+        });
+        self.inner.queue_cv.notify_one();
+    }
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn oneway_worker(inner: Arc<Inner>) {
+    loop {
+        let msg = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let now = Instant::now();
+                match queue.peek() {
+                    Some(head) if head.deliver_at <= now => break queue.pop().expect("peeked"),
+                    Some(head) => {
+                        let wait = head.deliver_at - now;
+                        inner.queue_cv.wait_for(&mut queue, wait);
+                    }
+                    None => {
+                        inner.queue_cv.wait(&mut queue);
+                    }
+                }
+            }
+        };
+        // Re-check reachability at delivery time: a partition installed while
+        // the message was in flight cuts it off.
+        let dead = inner.dead.read().contains(&msg.to);
+        if dead {
+            inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let svc = {
+            let services = inner.services.read();
+            services.get(&msg.to).cloned()
+        };
+        if let Some(svc) = svc {
+            svc.handle_oneway(msg.from, &msg.payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    struct Echo;
+
+    impl Service for Echo {
+        fn handle(&self, _from: NodeId, payload: &[u8]) -> Vec<u8> {
+            payload.to_vec()
+        }
+    }
+
+    struct Counter(AtomicUsize);
+
+    impl Service for Counter {
+        fn handle(&self, _from: NodeId, _payload: &[u8]) -> Vec<u8> {
+            self.0.fetch_add(1, Ordering::SeqCst);
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn call_round_trips_payload() {
+        let net = Network::new(NetConfig::default());
+        net.register(NodeId(1), Arc::new(Echo));
+        let resp = net.call(NodeId(0), NodeId(1), b"hello").unwrap();
+        assert_eq!(resp, b"hello");
+        assert_eq!(net.stats().snapshot().calls, 1);
+    }
+
+    #[test]
+    fn call_to_unknown_node_times_out() {
+        let net = Network::new(NetConfig::default());
+        assert_eq!(net.call(NodeId(0), NodeId(9), b"x"), Err(FsError::Timeout));
+        assert_eq!(net.stats().snapshot().unreachable, 1);
+    }
+
+    #[test]
+    fn killed_node_unreachable_until_revived() {
+        let net = Network::new(NetConfig::default());
+        net.register(NodeId(1), Arc::new(Echo));
+        net.kill(NodeId(1));
+        assert_eq!(net.call(NodeId(0), NodeId(1), b"x"), Err(FsError::Timeout));
+        net.revive(NodeId(1));
+        assert!(net.call(NodeId(0), NodeId(1), b"x").is_ok());
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic() {
+        let net = Network::new(NetConfig::default());
+        net.register(NodeId(1), Arc::new(Echo));
+        net.register(NodeId(2), Arc::new(Echo));
+        net.partition(vec![vec![NodeId(0), NodeId(1)], vec![NodeId(2)]]);
+        assert!(net.call(NodeId(0), NodeId(1), b"x").is_ok());
+        assert_eq!(net.call(NodeId(0), NodeId(2), b"x"), Err(FsError::Timeout));
+        net.heal();
+        assert!(net.call(NodeId(0), NodeId(2), b"x").is_ok());
+    }
+
+    #[test]
+    fn oneway_messages_are_delivered() {
+        let net = Network::new(NetConfig::default());
+        let counter = Arc::new(Counter(AtomicUsize::new(0)));
+        net.register(NodeId(5), counter.clone());
+        for _ in 0..10 {
+            net.send(NodeId(0), NodeId(5), vec![1]);
+        }
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while counter.0.load(Ordering::SeqCst) < 10 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.0.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn full_drop_rate_drops_everything() {
+        let net = Network::new(NetConfig {
+            drop_rate: 1.0,
+            ..NetConfig::default()
+        });
+        let counter = Arc::new(Counter(AtomicUsize::new(0)));
+        net.register(NodeId(5), counter.clone());
+        for _ in 0..20 {
+            net.send(NodeId(0), NodeId(5), vec![1]);
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(counter.0.load(Ordering::SeqCst), 0);
+        assert_eq!(net.stats().snapshot().dropped, 20);
+    }
+
+    #[test]
+    fn concurrent_calls_all_complete() {
+        let net = Network::new(NetConfig::default());
+        net.register(NodeId(1), Arc::new(Echo));
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let net = Arc::clone(&net);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u32 {
+                    let payload = (t * 1000 + i).to_le_bytes();
+                    let resp = net.call(NodeId(100 + t), NodeId(1), &payload).unwrap();
+                    assert_eq!(resp, payload);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(net.stats().snapshot().calls, 8 * 500);
+    }
+}

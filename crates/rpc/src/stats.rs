@@ -1,0 +1,86 @@
+//! Network traffic counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters describing all traffic that crossed a [`Network`].
+///
+/// The harness snapshots these before and after a measurement window to
+/// report per-operation hop counts (e.g. demonstrating that removing the
+/// metadata proxy layer saves one round trip per request, paper §5.7).
+///
+/// [`Network`]: crate::network::Network
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Completed synchronous calls.
+    pub calls: AtomicU64,
+    /// One-way messages accepted for delivery.
+    pub oneways: AtomicU64,
+    /// One-way messages dropped by fault injection.
+    pub dropped: AtomicU64,
+    /// Calls that failed because the destination was dead or partitioned.
+    pub unreachable: AtomicU64,
+    /// Total payload bytes moved (requests + responses + one-ways).
+    pub bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`NetStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetSnapshot {
+    /// Completed synchronous calls.
+    pub calls: u64,
+    /// One-way messages accepted for delivery.
+    pub oneways: u64,
+    /// One-way messages dropped by fault injection.
+    pub dropped: u64,
+    /// Unreachable-destination failures.
+    pub unreachable: u64,
+    /// Total payload bytes moved.
+    pub bytes: u64,
+}
+
+impl NetStats {
+    /// Takes a consistent-enough snapshot for reporting (individual loads are
+    /// relaxed; exactness across counters is not required).
+    pub fn snapshot(&self) -> NetSnapshot {
+        NetSnapshot {
+            calls: self.calls.load(Ordering::Relaxed),
+            oneways: self.oneways.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            unreachable: self.unreachable.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl NetSnapshot {
+    /// Counter-wise difference `self - earlier`, for measurement windows.
+    pub fn delta(&self, earlier: &NetSnapshot) -> NetSnapshot {
+        NetSnapshot {
+            calls: self.calls - earlier.calls,
+            oneways: self.oneways - earlier.oneways,
+            dropped: self.dropped - earlier.dropped,
+            unreachable: self.unreachable - earlier.unreachable,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let stats = NetStats::default();
+        stats.calls.store(10, Ordering::Relaxed);
+        stats.bytes.store(100, Ordering::Relaxed);
+        let a = stats.snapshot();
+        stats.calls.store(15, Ordering::Relaxed);
+        stats.bytes.store(180, Ordering::Relaxed);
+        let b = stats.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.calls, 5);
+        assert_eq!(d.bytes, 80);
+        assert_eq!(d.oneways, 0);
+    }
+}

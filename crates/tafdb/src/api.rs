@@ -1,0 +1,542 @@
+//! Wire protocol of a TafDB shard: client requests, raft commands,
+//! transaction-engine requests, and responses.
+
+use cfs_types::codec::{Decode, DecodeError, Encode, EncodeListItem};
+use cfs_types::{FsError, InodeId, Key, Record};
+
+use crate::primitive::{PrimResult, Primitive};
+use crate::shard::ShardMetricsSnapshot;
+
+/// Client-facing requests served on the `CH_APP` channel of a shard replica.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TafRequest {
+    /// Point read of one record (leader-local).
+    Get(Key),
+    /// Ordered scan of a directory's children id records, starting strictly
+    /// after `after` (pagination), up to `limit` entries.
+    Scan {
+        /// Directory whose children to list.
+        dir: InodeId,
+        /// Resume point (exclusive), `None` for the beginning.
+        after: Option<String>,
+        /// Maximum entries returned.
+        limit: u32,
+    },
+    /// Execute a single-shard atomic primitive (replicated through Raft).
+    Execute(Primitive),
+    /// Upsert one record (replicated). Used to create a new directory's
+    /// `/_ATTR` record on its home shard, and by GC repair.
+    Put(Key, Record),
+    /// Delete one record (replicated). Used by GC cleanup.
+    Delete(Key),
+    /// Fetch the shard's instrumentation counters.
+    Metrics,
+}
+
+impl Encode for TafRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            TafRequest::Get(k) => {
+                buf.push(0);
+                k.encode(buf);
+            }
+            TafRequest::Scan { dir, after, limit } => {
+                buf.push(1);
+                dir.encode(buf);
+                after.encode(buf);
+                limit.encode(buf);
+            }
+            TafRequest::Execute(p) => {
+                buf.push(2);
+                p.encode(buf);
+            }
+            TafRequest::Put(k, r) => {
+                buf.push(3);
+                k.encode(buf);
+                r.encode(buf);
+            }
+            TafRequest::Delete(k) => {
+                buf.push(4);
+                k.encode(buf);
+            }
+            TafRequest::Metrics => buf.push(5),
+        }
+    }
+}
+
+impl Decode for TafRequest {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => TafRequest::Get(Key::decode(input)?),
+            1 => TafRequest::Scan {
+                dir: InodeId::decode(input)?,
+                after: Option::<String>::decode(input)?,
+                limit: u32::decode(input)?,
+            },
+            2 => TafRequest::Execute(Primitive::decode(input)?),
+            3 => TafRequest::Put(Key::decode(input)?, Record::decode(input)?),
+            4 => TafRequest::Delete(Key::decode(input)?),
+            5 => TafRequest::Metrics,
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+/// One scan result entry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DirEntry {
+    /// Entry name.
+    pub name: String,
+    /// The id record.
+    pub record: Record,
+}
+
+impl EncodeListItem for DirEntry {}
+
+impl Encode for DirEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode(buf);
+        self.record.encode(buf);
+    }
+}
+
+impl Decode for DirEntry {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(DirEntry {
+            name: String::decode(input)?,
+            record: Record::decode(input)?,
+        })
+    }
+}
+
+/// Responses to [`TafRequest`]s.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TafResponse {
+    /// Result of a `Get`.
+    Record(Option<Record>),
+    /// Result of a `Scan`.
+    Entries(Vec<DirEntry>),
+    /// Result of an `Execute`.
+    Executed(PrimResult),
+    /// Generic success (Put/Delete).
+    Ok,
+    /// Instrumentation snapshot.
+    Metrics(ShardMetricsSnapshot),
+    /// The request failed.
+    Err(FsError),
+}
+
+impl Encode for TafResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            TafResponse::Record(r) => {
+                buf.push(0);
+                r.encode(buf);
+            }
+            TafResponse::Entries(es) => {
+                buf.push(1);
+                es.encode(buf);
+            }
+            TafResponse::Executed(r) => {
+                buf.push(2);
+                r.encode(buf);
+            }
+            TafResponse::Ok => buf.push(3),
+            TafResponse::Metrics(m) => {
+                buf.push(4);
+                m.encode(buf);
+            }
+            TafResponse::Err(e) => {
+                buf.push(5);
+                e.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for TafResponse {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => TafResponse::Record(Option::<Record>::decode(input)?),
+            1 => TafResponse::Entries(Vec::<DirEntry>::decode(input)?),
+            2 => TafResponse::Executed(PrimResult::decode(input)?),
+            3 => TafResponse::Ok,
+            4 => TafResponse::Metrics(ShardMetricsSnapshot::decode(input)?),
+            5 => TafResponse::Err(FsError::decode(input)?),
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+/// Raft-replicated shard commands (the shard state machine's input).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ShardCmd {
+    /// Execute a primitive atomically.
+    Execute(Primitive),
+    /// Upsert a record.
+    Put(Key, Record),
+    /// Delete a record.
+    Delete(Key),
+    /// Stage the writes of a prepared (2PC) transaction.
+    Prepare {
+        /// Transaction id.
+        txn: u64,
+        /// Staged writes: `Some` = put, `None` = delete.
+        writes: Vec<(Key, Option<Record>)>,
+    },
+    /// Stage a primitive as a 2PC participant (used by the Renamer so that
+    /// each shard's share of a cross-shard rename still applies with merge
+    /// semantics instead of absolute overwrites).
+    PreparePrim {
+        /// Transaction id.
+        txn: u64,
+        /// The staged primitive, executed at commit.
+        prim: Primitive,
+    },
+    /// Apply a previously prepared transaction.
+    CommitPrepared {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Discard a previously prepared transaction.
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Apply a single-shard locking transaction's writes directly.
+    CommitWrites {
+        /// Writes to apply.
+        writes: Vec<(Key, Option<Record>)>,
+    },
+}
+
+fn encode_writes(writes: &[(Key, Option<Record>)], buf: &mut Vec<u8>) {
+    (writes.len() as u64).encode(buf);
+    for (k, r) in writes {
+        k.encode(buf);
+        r.encode(buf);
+    }
+}
+
+fn decode_writes(input: &mut &[u8]) -> Result<Vec<(Key, Option<Record>)>, DecodeError> {
+    let n = u64::decode(input)?;
+    let mut out = Vec::new();
+    for _ in 0..n {
+        out.push((Key::decode(input)?, Option::<Record>::decode(input)?));
+    }
+    Ok(out)
+}
+
+impl Encode for ShardCmd {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ShardCmd::Execute(p) => {
+                buf.push(0);
+                p.encode(buf);
+            }
+            ShardCmd::Put(k, r) => {
+                buf.push(1);
+                k.encode(buf);
+                r.encode(buf);
+            }
+            ShardCmd::Delete(k) => {
+                buf.push(2);
+                k.encode(buf);
+            }
+            ShardCmd::Prepare { txn, writes } => {
+                buf.push(3);
+                txn.encode(buf);
+                encode_writes(writes, buf);
+            }
+            ShardCmd::PreparePrim { txn, prim } => {
+                buf.push(7);
+                txn.encode(buf);
+                prim.encode(buf);
+            }
+            ShardCmd::CommitPrepared { txn } => {
+                buf.push(4);
+                txn.encode(buf);
+            }
+            ShardCmd::Abort { txn } => {
+                buf.push(5);
+                txn.encode(buf);
+            }
+            ShardCmd::CommitWrites { writes } => {
+                buf.push(6);
+                encode_writes(writes, buf);
+            }
+        }
+    }
+}
+
+impl Decode for ShardCmd {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => ShardCmd::Execute(Primitive::decode(input)?),
+            1 => ShardCmd::Put(Key::decode(input)?, Record::decode(input)?),
+            2 => ShardCmd::Delete(Key::decode(input)?),
+            3 => ShardCmd::Prepare {
+                txn: u64::decode(input)?,
+                writes: decode_writes(input)?,
+            },
+            4 => ShardCmd::CommitPrepared {
+                txn: u64::decode(input)?,
+            },
+            5 => ShardCmd::Abort {
+                txn: u64::decode(input)?,
+            },
+            6 => ShardCmd::CommitWrites {
+                writes: decode_writes(input)?,
+            },
+            7 => ShardCmd::PreparePrim {
+                txn: u64::decode(input)?,
+                prim: Primitive::decode(input)?,
+            },
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+/// Interactive transaction requests served on `CH_TXN` (baseline engines).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TxnRequest {
+    /// Acquire an exclusive row lock and read the record (SELECT ... FOR
+    /// UPDATE, paper Figure 3 step ②).
+    LockAndRead {
+        /// Transaction id (globally unique, allocated by the coordinator).
+        txn: u64,
+        /// Row to lock and read.
+        key: Key,
+    },
+    /// Acquire an exclusive row lock without reading.
+    Lock {
+        /// Transaction id.
+        txn: u64,
+        /// Row to lock.
+        key: Key,
+    },
+    /// Stage writes for two-phase commit (phase 1).
+    Prepare {
+        /// Transaction id.
+        txn: u64,
+        /// Staged writes.
+        writes: Vec<(Key, Option<Record>)>,
+    },
+    /// Stage a primitive for two-phase commit (Renamer's per-shard share).
+    PreparePrim {
+        /// Transaction id.
+        txn: u64,
+        /// Primitive to execute at commit.
+        prim: crate::primitive::Primitive,
+    },
+    /// Apply staged writes (phase 2) and release the transaction's locks.
+    CommitPrepared {
+        /// Transaction id.
+        txn: u64,
+    },
+    /// Single-shard commit: apply writes and release locks in one step.
+    Commit {
+        /// Transaction id.
+        txn: u64,
+        /// Writes to apply.
+        writes: Vec<(Key, Option<Record>)>,
+    },
+    /// Abort: discard staged writes and release locks.
+    Abort {
+        /// Transaction id.
+        txn: u64,
+    },
+}
+
+impl Encode for TxnRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            TxnRequest::LockAndRead { txn, key } => {
+                buf.push(0);
+                txn.encode(buf);
+                key.encode(buf);
+            }
+            TxnRequest::Lock { txn, key } => {
+                buf.push(1);
+                txn.encode(buf);
+                key.encode(buf);
+            }
+            TxnRequest::Prepare { txn, writes } => {
+                buf.push(2);
+                txn.encode(buf);
+                encode_writes(writes, buf);
+            }
+            TxnRequest::PreparePrim { txn, prim } => {
+                buf.push(6);
+                txn.encode(buf);
+                prim.encode(buf);
+            }
+            TxnRequest::CommitPrepared { txn } => {
+                buf.push(3);
+                txn.encode(buf);
+            }
+            TxnRequest::Commit { txn, writes } => {
+                buf.push(4);
+                txn.encode(buf);
+                encode_writes(writes, buf);
+            }
+            TxnRequest::Abort { txn } => {
+                buf.push(5);
+                txn.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for TxnRequest {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => TxnRequest::LockAndRead {
+                txn: u64::decode(input)?,
+                key: Key::decode(input)?,
+            },
+            1 => TxnRequest::Lock {
+                txn: u64::decode(input)?,
+                key: Key::decode(input)?,
+            },
+            2 => TxnRequest::Prepare {
+                txn: u64::decode(input)?,
+                writes: decode_writes(input)?,
+            },
+            3 => TxnRequest::CommitPrepared {
+                txn: u64::decode(input)?,
+            },
+            4 => TxnRequest::Commit {
+                txn: u64::decode(input)?,
+                writes: decode_writes(input)?,
+            },
+            5 => TxnRequest::Abort {
+                txn: u64::decode(input)?,
+            },
+            6 => TxnRequest::PreparePrim {
+                txn: u64::decode(input)?,
+                prim: crate::primitive::Primitive::decode(input)?,
+            },
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+/// Responses to [`TxnRequest`]s.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TxnResponse {
+    /// Lock acquired; carries the read record for `LockAndRead`.
+    Locked(Option<Record>),
+    /// Operation succeeded.
+    Ok,
+    /// Operation failed.
+    Err(FsError),
+}
+
+impl Encode for TxnResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            TxnResponse::Locked(r) => {
+                buf.push(0);
+                r.encode(buf);
+            }
+            TxnResponse::Ok => buf.push(1),
+            TxnResponse::Err(e) => {
+                buf.push(2);
+                e.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for TxnResponse {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => TxnResponse::Locked(Option::<Record>::decode(input)?),
+            1 => TxnResponse::Ok,
+            2 => TxnResponse::Err(FsError::decode(input)?),
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfs_types::{FileType, Timestamp};
+
+    #[test]
+    fn taf_request_round_trip() {
+        let reqs = vec![
+            TafRequest::Get(Key::attr(InodeId(3))),
+            TafRequest::Scan {
+                dir: InodeId(3),
+                after: Some("m".into()),
+                limit: 100,
+            },
+            TafRequest::Put(
+                Key::attr(InodeId(4)),
+                Record::dir_attr_record(9, Timestamp(2)),
+            ),
+            TafRequest::Delete(Key::entry(InodeId(4), "x")),
+            TafRequest::Metrics,
+        ];
+        for r in reqs {
+            assert_eq!(TafRequest::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn shard_cmd_round_trip() {
+        let cmds = vec![
+            ShardCmd::Put(
+                Key::attr(InodeId(1)),
+                Record::dir_attr_record(1, Timestamp(1)),
+            ),
+            ShardCmd::Delete(Key::entry(InodeId(1), "f")),
+            ShardCmd::Prepare {
+                txn: 77,
+                writes: vec![
+                    (
+                        Key::entry(InodeId(1), "a"),
+                        Some(Record::id_record(InodeId(2), FileType::File)),
+                    ),
+                    (Key::entry(InodeId(1), "b"), None),
+                ],
+            },
+            ShardCmd::CommitPrepared { txn: 77 },
+            ShardCmd::Abort { txn: 78 },
+            ShardCmd::CommitWrites { writes: vec![] },
+        ];
+        for c in cmds {
+            assert_eq!(ShardCmd::from_bytes(&c.to_bytes()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn txn_messages_round_trip() {
+        let reqs = vec![
+            TxnRequest::LockAndRead {
+                txn: 1,
+                key: Key::attr(InodeId(9)),
+            },
+            TxnRequest::Lock {
+                txn: 1,
+                key: Key::entry(InodeId(9), "n"),
+            },
+            TxnRequest::CommitPrepared { txn: 1 },
+            TxnRequest::Abort { txn: 1 },
+        ];
+        for r in reqs {
+            assert_eq!(TxnRequest::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+        let resps = vec![
+            TxnResponse::Locked(Some(Record::id_record(InodeId(5), FileType::Dir))),
+            TxnResponse::Ok,
+            TxnResponse::Err(FsError::Busy),
+        ];
+        for r in resps {
+            assert_eq!(TxnResponse::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+}

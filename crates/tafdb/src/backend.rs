@@ -1,0 +1,168 @@
+//! A backend (BE) group: one shard's Raft replicas with their RPC services.
+
+use std::sync::Arc;
+
+use cfs_kvstore::KvConfig;
+use cfs_raft::{RaftConfig, RaftGroup, RaftNode};
+use cfs_rpc::mux::{CH_APP, CH_TXN};
+use cfs_rpc::{Network, Service};
+use cfs_types::codec::{Decode, Encode};
+use cfs_types::{FsError, NodeId, ShardId};
+
+use crate::api::{ShardCmd, TafRequest, TafResponse};
+use crate::locking::{LockManager, TxnService};
+use crate::shard::TafShard;
+
+/// One shard's replicated deployment: a Raft group of [`TafShard`] state
+/// machines with the client (`CH_APP`) and transaction (`CH_TXN`) services
+/// mounted on every replica's mux.
+pub struct TafBackendGroup {
+    shard_id: ShardId,
+    group: RaftGroup<TafShard>,
+    locks: Vec<Arc<LockManager>>,
+}
+
+impl TafBackendGroup {
+    /// Spawns the group on `node_ids` (one replica per id).
+    pub fn spawn(
+        net: &Arc<Network>,
+        shard_id: ShardId,
+        node_ids: &[NodeId],
+        raft_config: RaftConfig,
+        kv_config: KvConfig,
+    ) -> TafBackendGroup {
+        let group = RaftGroup::spawn(net, node_ids, raft_config, |_| {
+            Arc::new(TafShard::new(kv_config.clone()).expect("shard init"))
+        });
+        let mut locks = Vec::new();
+        for (i, node) in group.nodes().iter().enumerate() {
+            let lm = Arc::new(LockManager::new(Arc::clone(node.state_machine().metrics())));
+            let app = Arc::new(AppService {
+                node: Arc::clone(node),
+                locks: Arc::clone(&lm),
+            });
+            let txn = Arc::new(TxnService::new(Arc::clone(node), Arc::clone(&lm)));
+            group.mux(i).mount(CH_APP, app as Arc<dyn Service>);
+            group.mux(i).mount(CH_TXN, txn as Arc<dyn Service>);
+            locks.push(lm);
+        }
+        TafBackendGroup {
+            shard_id,
+            group,
+            locks,
+        }
+    }
+
+    /// The shard this group serves.
+    pub fn shard_id(&self) -> ShardId {
+        self.shard_id
+    }
+
+    /// The underlying Raft group.
+    pub fn raft(&self) -> &RaftGroup<TafShard> {
+        &self.group
+    }
+
+    /// Lock manager of replica `i` (tests and fault injection).
+    pub fn lock_manager(&self, i: usize) -> &Arc<LockManager> {
+        &self.locks[i]
+    }
+
+    /// Blocks until the group has a leader.
+    pub fn wait_ready(&self, timeout: std::time::Duration) -> cfs_types::FsResult<()> {
+        self.group.wait_for_leader(timeout).map(|_| ())
+    }
+
+    /// Aggregated metrics across replicas (each replica executes the same
+    /// applied commands; lock metrics accrue on leaders only).
+    pub fn metrics_snapshot(&self) -> crate::shard::ShardMetricsSnapshot {
+        let mut total = crate::shard::ShardMetricsSnapshot::default();
+        for node in self.group.nodes() {
+            let m = node.state_machine().metrics().snapshot();
+            total.lock_wait_ns += m.lock_wait_ns;
+            total.lock_hold_ns += m.lock_hold_ns;
+            total.lock_acquisitions += m.lock_acquisitions;
+            total.lock_contentions += m.lock_contentions;
+            total.primitives = total.primitives.max(m.primitives);
+            total.primitive_failures = total.primitive_failures.max(m.primitive_failures);
+            total.txn_commits = total.txn_commits.max(m.txn_commits);
+            total.txn_aborts = total.txn_aborts.max(m.txn_aborts);
+        }
+        total
+    }
+
+    /// Stops the group's Raft nodes.
+    pub fn shutdown(&self) {
+        self.group.shutdown();
+    }
+}
+
+/// The `CH_APP` handler of one replica: reads are served leader-locally,
+/// mutations are proposed through Raft.
+struct AppService {
+    node: Arc<RaftNode<TafShard>>,
+    locks: Arc<LockManager>,
+}
+
+impl AppService {
+    fn process(&self, req: TafRequest) -> TafResponse {
+        match req {
+            TafRequest::Get(key) => match self.node.read(|sm| sm.get(&key)) {
+                Ok(rec) => TafResponse::Record(rec),
+                Err(e) => TafResponse::Err(e),
+            },
+            TafRequest::Scan { dir, after, limit } => {
+                match self
+                    .node
+                    .read(|sm| sm.scan(dir, after.as_deref(), limit as usize))
+                {
+                    Ok(entries) => TafResponse::Entries(entries),
+                    Err(e) => TafResponse::Err(e),
+                }
+            }
+            TafRequest::Execute(prim) => {
+                // Isolation between primitives and in-flight distributed
+                // transactions (§4.3): wait for row locks on touched keys.
+                let mut keys: Vec<cfs_types::Key> = prim
+                    .checks
+                    .iter()
+                    .map(|c| c.key.clone())
+                    .chain(prim.inserts.iter().map(|(k, _)| k.clone()))
+                    .chain(prim.deletes.iter().map(|c| c.key.clone()))
+                    .chain(prim.update.iter().map(|u| u.cond.key.clone()))
+                    .collect();
+                keys.sort();
+                keys.dedup();
+                if let Err(e) = self.locks.wait_until_free(&keys) {
+                    return TafResponse::Err(e);
+                }
+                self.propose(ShardCmd::Execute(prim))
+            }
+            TafRequest::Put(key, rec) => self.propose(ShardCmd::Put(key, rec)),
+            TafRequest::Delete(key) => self.propose(ShardCmd::Delete(key)),
+            TafRequest::Metrics => {
+                TafResponse::Metrics(self.node.state_machine().metrics().snapshot())
+            }
+        }
+    }
+
+    fn propose(&self, cmd: ShardCmd) -> TafResponse {
+        match self.node.propose(cmd.to_bytes()) {
+            Ok(resp_bytes) => match TafResponse::from_bytes(&resp_bytes) {
+                Ok(resp) => resp,
+                Err(e) => TafResponse::Err(FsError::from(e)),
+            },
+            Err(e) => TafResponse::Err(e),
+        }
+    }
+}
+
+impl Service for AppService {
+    fn handle(&self, _from: NodeId, payload: &[u8]) -> Vec<u8> {
+        let resp = match TafRequest::from_bytes(payload) {
+            Ok(req) => self.process(req),
+            Err(e) => TafResponse::Err(FsError::from(e)),
+        };
+        resp.to_bytes()
+    }
+}

@@ -1,0 +1,389 @@
+//! Client-side access to TafDB: routing, leader discovery, retries.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cfs_rpc::mux::{frame, CH_APP, CH_TXN};
+use cfs_rpc::Network;
+use cfs_types::codec::{Decode, Encode};
+use cfs_types::{FsError, FsResult, InodeId, Key, NodeId, Record, ShardId};
+
+use crate::api::{DirEntry, TafRequest, TafResponse, TxnRequest, TxnResponse};
+use crate::primitive::{PrimResult, Primitive};
+use crate::router::PartitionMap;
+use crate::shard::ShardMetricsSnapshot;
+
+/// A TafDB client handle: routes requests to the owning shard's leader using
+/// the cached partition map (part of *client-side metadata resolving*,
+/// paper §3.1 — no proxy hop).
+pub struct TafDbClient {
+    net: Arc<Network>,
+    me: NodeId,
+    pmap: Arc<PartitionMap>,
+    /// Per-request retry budget for leader discovery.
+    retry_timeout: Duration,
+}
+
+impl TafDbClient {
+    /// Creates a client identified as `me` on the network.
+    pub fn new(net: Arc<Network>, me: NodeId, pmap: Arc<PartitionMap>) -> TafDbClient {
+        TafDbClient {
+            net,
+            me,
+            pmap,
+            retry_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// The partition map (shared with other client components).
+    pub fn partition_map(&self) -> &Arc<PartitionMap> {
+        &self.pmap
+    }
+
+    /// Issues `req` to the leader of `shard`, following `NotLeader` redirects
+    /// and rotating over replicas on timeouts.
+    pub fn request(&self, shard: ShardId, req: &TafRequest) -> FsResult<TafResponse> {
+        let payload = frame(CH_APP, &req.to_bytes());
+        let deadline = Instant::now() + self.retry_timeout;
+        loop {
+            let target = self.pmap.leader_hint(shard);
+            // Back off only without fresh routing information; redirects
+            // carrying a leader hint retry immediately.
+            let mut backoff = true;
+            match self.net.call(self.me, target, &payload) {
+                Ok(bytes) => match TafResponse::from_bytes(&bytes)? {
+                    TafResponse::Err(FsError::NotLeader(hint)) => match hint {
+                        Some(h) => {
+                            self.pmap.note_leader(shard, NodeId(h));
+                            backoff = false;
+                        }
+                        None => self.pmap.rotate_hint(shard),
+                    },
+                    TafResponse::Err(e) if e.is_retryable() => {
+                        self.pmap.rotate_hint(shard);
+                    }
+                    resp => {
+                        self.pmap.note_leader(shard, target);
+                        return Ok(resp);
+                    }
+                },
+                Err(FsError::Timeout) => self.pmap.rotate_hint(shard),
+                Err(e) => return Err(e),
+            }
+            if Instant::now() >= deadline {
+                return Err(FsError::Timeout);
+            }
+            if backoff {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+
+    /// Issues an interactive-transaction request to the leader of `shard`.
+    pub fn txn_request(&self, shard: ShardId, req: &TxnRequest) -> FsResult<TxnResponse> {
+        let payload = frame(CH_TXN, &req.to_bytes());
+        let deadline = Instant::now() + self.retry_timeout;
+        loop {
+            let target = self.pmap.leader_hint(shard);
+            let mut backoff = true;
+            match self.net.call(self.me, target, &payload) {
+                Ok(bytes) => match TxnResponse::from_bytes(&bytes)? {
+                    TxnResponse::Err(FsError::NotLeader(hint)) => match hint {
+                        Some(h) => {
+                            self.pmap.note_leader(shard, NodeId(h));
+                            backoff = false;
+                        }
+                        None => self.pmap.rotate_hint(shard),
+                    },
+                    resp => {
+                        self.pmap.note_leader(shard, target);
+                        return Ok(resp);
+                    }
+                },
+                Err(FsError::Timeout) => self.pmap.rotate_hint(shard),
+                Err(e) => return Err(e),
+            }
+            if Instant::now() >= deadline {
+                return Err(FsError::Timeout);
+            }
+            if backoff {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+
+    /// Point read of one record.
+    pub fn get(&self, key: &Key) -> FsResult<Option<Record>> {
+        let shard = self.pmap.shard_for(key.kid);
+        match self.request(shard, &TafRequest::Get(key.clone()))? {
+            TafResponse::Record(rec) => Ok(rec),
+            TafResponse::Err(e) => Err(e),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Ordered listing of a directory's children.
+    pub fn scan(&self, dir: InodeId, after: Option<String>, limit: u32) -> FsResult<Vec<DirEntry>> {
+        let shard = self.pmap.shard_for(dir);
+        match self.request(shard, &TafRequest::Scan { dir, after, limit })? {
+            TafResponse::Entries(es) => Ok(es),
+            TafResponse::Err(e) => Err(e),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Executes a single-shard atomic primitive.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the primitive touches exactly one shard — by
+    /// construction of the metadata organization this always holds (§4.1).
+    pub fn execute(&self, prim: Primitive) -> FsResult<PrimResult> {
+        let kids = prim.touched_kids();
+        debug_assert!(!kids.is_empty(), "primitive touches no record");
+        let shard = self.pmap.shard_for(kids[0]);
+        debug_assert!(
+            kids.iter().all(|&k| self.pmap.shard_for(k) == shard),
+            "single-shard primitive spans shards: {kids:?}"
+        );
+        match self.request(shard, &TafRequest::Execute(prim))? {
+            TafResponse::Executed(res) => Ok(res),
+            TafResponse::Err(e) => Err(e),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Upserts one record (directory `/_ATTR` creation, GC repair).
+    pub fn put(&self, key: Key, rec: Record) -> FsResult<()> {
+        let shard = self.pmap.shard_for(key.kid);
+        match self.request(shard, &TafRequest::Put(key, rec))? {
+            TafResponse::Ok => Ok(()),
+            TafResponse::Err(e) => Err(e),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Deletes one record (GC cleanup).
+    pub fn delete(&self, key: Key) -> FsResult<()> {
+        let shard = self.pmap.shard_for(key.kid);
+        match self.request(shard, &TafRequest::Delete(key))? {
+            TafResponse::Ok => Ok(()),
+            TafResponse::Err(e) => Err(e),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Fetches one shard's metrics snapshot.
+    pub fn metrics(&self, shard: ShardId) -> FsResult<ShardMetricsSnapshot> {
+        match self.request(shard, &TafRequest::Metrics)? {
+            TafResponse::Metrics(m) => Ok(m),
+            TafResponse::Err(e) => Err(e),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+fn unexpected(resp: TafResponse) -> FsError {
+    FsError::Corrupted(format!("unexpected response variant: {resp:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::TafBackendGroup;
+    use crate::primitive::UpdateSpec;
+    use crate::router::ShardInfo;
+    use cfs_kvstore::KvConfig;
+    use cfs_raft::RaftConfig;
+    use cfs_rpc::NetConfig;
+    use cfs_types::{Cond, FieldAssign, FileType, NumField, Pred, Timestamp, ROOT_INODE};
+
+    fn fast_raft() -> RaftConfig {
+        RaftConfig {
+            election_timeout_min: Duration::from_millis(50),
+            election_timeout_max: Duration::from_millis(120),
+            heartbeat_interval: Duration::from_millis(15),
+            ..Default::default()
+        }
+    }
+
+    /// Boots a 2-shard TafDB, each shard a 3-replica Raft group.
+    fn boot() -> (Arc<Network>, Vec<TafBackendGroup>, TafDbClient) {
+        let net = Network::new(NetConfig::default());
+        let mut shards = Vec::new();
+        let mut groups = Vec::new();
+        for s in 0..2u32 {
+            let ids: Vec<NodeId> = (0..3).map(|i| NodeId(s * 10 + i)).collect();
+            shards.push(ShardInfo {
+                id: ShardId(s),
+                replicas: ids.clone(),
+            });
+            groups.push(TafBackendGroup::spawn(
+                &net,
+                ShardId(s),
+                &ids,
+                fast_raft(),
+                KvConfig::default(),
+            ));
+        }
+        for g in &groups {
+            g.wait_ready(Duration::from_secs(5)).unwrap();
+        }
+        let pmap = Arc::new(PartitionMap::new(shards));
+        let client = TafDbClient::new(Arc::clone(&net), NodeId(999), pmap);
+        // Seed the root directory attribute record.
+        client
+            .put(
+                Key::attr(ROOT_INODE),
+                Record::dir_attr_record(0, Timestamp(1)),
+            )
+            .unwrap();
+        (net, groups, client)
+    }
+
+    fn create_prim(parent: InodeId, name: &str, ino: u64) -> Primitive {
+        Primitive::insert_with_update(
+            Key::entry(parent, name),
+            Record::id_record(InodeId(ino), FileType::File),
+            UpdateSpec {
+                cond: Cond::require(Key::attr(parent), vec![Pred::TypeIs(FileType::Dir)]),
+                assigns: vec![FieldAssign::Delta {
+                    field: NumField::Children,
+                    delta: 1,
+                }],
+                per_deleted: Vec::new(),
+                set_id: None,
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_execute_and_read() {
+        let (_net, groups, client) = boot();
+        client
+            .execute(create_prim(ROOT_INODE, "hello", 500))
+            .unwrap();
+        let rec = client
+            .get(&Key::entry(ROOT_INODE, "hello"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(rec.id, Some(InodeId(500)));
+        let attr = client.get(&Key::attr(ROOT_INODE)).unwrap().unwrap();
+        assert_eq!(attr.children, Some(1));
+        let entries = client.scan(ROOT_INODE, None, 10).unwrap();
+        assert_eq!(entries.len(), 1);
+        for g in &groups {
+            g.shutdown();
+        }
+    }
+
+    #[test]
+    fn duplicate_create_surfaces_already_exists() {
+        let (_net, groups, client) = boot();
+        client.execute(create_prim(ROOT_INODE, "x", 1)).unwrap();
+        assert_eq!(
+            client.execute(create_prim(ROOT_INODE, "x", 2)).unwrap_err(),
+            FsError::AlreadyExists
+        );
+        for g in &groups {
+            g.shutdown();
+        }
+    }
+
+    #[test]
+    fn client_survives_shard_leader_failover() {
+        let (net, groups, client) = boot();
+        client
+            .execute(create_prim(ROOT_INODE, "before", 1))
+            .unwrap();
+        // Kill shard 0's current leader.
+        let leader = groups[0].raft().leader().expect("has leader");
+        net.kill(leader.id());
+        // The client retries until the new leader answers.
+        client.execute(create_prim(ROOT_INODE, "after", 2)).unwrap();
+        let rec = client.get(&Key::entry(ROOT_INODE, "after")).unwrap();
+        assert!(rec.is_some());
+        for g in &groups {
+            g.shutdown();
+        }
+    }
+
+    #[test]
+    fn interactive_txn_with_locks_commits() {
+        let (_net, groups, client) = boot();
+        let shard = client.partition_map().shard_for(ROOT_INODE);
+        let txn = 42u64;
+        // Lock-and-read the root attr (Figure 3 step 2).
+        let resp = client
+            .txn_request(
+                shard,
+                &TxnRequest::LockAndRead {
+                    txn,
+                    key: Key::attr(ROOT_INODE),
+                },
+            )
+            .unwrap();
+        let mut attr = match resp {
+            TxnResponse::Locked(Some(rec)) => rec,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Mutate and commit with the new child insert.
+        attr.apply(&FieldAssign::Delta {
+            field: NumField::Children,
+            delta: 1,
+        });
+        let writes = vec![
+            (Key::attr(ROOT_INODE), Some(attr)),
+            (
+                Key::entry(ROOT_INODE, "via-txn"),
+                Some(Record::id_record(InodeId(77), FileType::File)),
+            ),
+        ];
+        let resp = client
+            .txn_request(shard, &TxnRequest::Commit { txn, writes })
+            .unwrap();
+        assert_eq!(resp, TxnResponse::Ok);
+        let rec = client.get(&Key::entry(ROOT_INODE, "via-txn")).unwrap();
+        assert!(rec.is_some());
+        // Locks are released: a second txn can lock the same row.
+        let resp = client
+            .txn_request(
+                shard,
+                &TxnRequest::LockAndRead {
+                    txn: 43,
+                    key: Key::attr(ROOT_INODE),
+                },
+            )
+            .unwrap();
+        assert!(matches!(resp, TxnResponse::Locked(Some(_))));
+        client
+            .txn_request(shard, &TxnRequest::Abort { txn: 43 })
+            .unwrap();
+        for g in &groups {
+            g.shutdown();
+        }
+    }
+
+    #[test]
+    fn metrics_report_lock_activity() {
+        let (_net, groups, client) = boot();
+        let shard = client.partition_map().shard_for(ROOT_INODE);
+        client
+            .txn_request(
+                shard,
+                &TxnRequest::LockAndRead {
+                    txn: 1,
+                    key: Key::attr(ROOT_INODE),
+                },
+            )
+            .unwrap();
+        client
+            .txn_request(shard, &TxnRequest::Abort { txn: 1 })
+            .unwrap();
+        let m = client.metrics(shard).unwrap();
+        assert!(m.lock_acquisitions >= 1);
+        for g in &groups {
+            g.shutdown();
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Range partitioning of the `inode_table` across shards.
+//!
+//! Paper §4.1: "we break inode_table into a set of shards ... by a range
+//! partitioning scheme on the kID values". The inode id space is divided into
+//! `num_shards` equal contiguous ranges; every record of one directory (its
+//! `/_ATTR` record and all children id records share the directory's id as
+//! `kID`) therefore lands on exactly one shard.
+//!
+//! Balance comes from the id allocator (see [`crate::tserver`]): new
+//! directory ids are handed out round-robin across ranges, so directories
+//! spread evenly while each directory's records stay together.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use cfs_types::{InodeId, NodeId, ShardId};
+
+/// Static description of one shard.
+#[derive(Clone, Debug)]
+pub struct ShardInfo {
+    /// Shard id (also its index).
+    pub id: ShardId,
+    /// Raft replica addresses, in group order.
+    pub replicas: Vec<NodeId>,
+}
+
+/// The cluster's partition map, cached inside every client
+/// (client-side metadata resolving, paper §3.1).
+pub struct PartitionMap {
+    shards: Vec<ShardInfo>,
+    range_size: u64,
+    /// Cached leader index per shard, updated from redirect hints.
+    leader_hints: Vec<AtomicU32>,
+}
+
+impl PartitionMap {
+    /// Builds a map over `shards` equal ranges of the id space.
+    pub fn new(shards: Vec<ShardInfo>) -> PartitionMap {
+        assert!(!shards.is_empty());
+        let n = shards.len() as u64;
+        let leader_hints = shards.iter().map(|_| AtomicU32::new(0)).collect();
+        PartitionMap {
+            shards,
+            range_size: u64::MAX / n,
+            leader_hints,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning all records with the given `kID`.
+    pub fn shard_for(&self, kid: InodeId) -> ShardId {
+        let idx = (kid.raw() / self.range_size).min(self.shards.len() as u64 - 1);
+        ShardId(idx as u32)
+    }
+
+    /// The id range `[start, end)` owned by `shard`.
+    pub fn range_of(&self, shard: ShardId) -> (u64, u64) {
+        let s = u64::from(shard.0);
+        let start = s * self.range_size;
+        let end = if shard.0 as usize + 1 == self.shards.len() {
+            u64::MAX
+        } else {
+            (s + 1) * self.range_size
+        };
+        (start, end)
+    }
+
+    /// Replica addresses of `shard`.
+    pub fn replicas(&self, shard: ShardId) -> &[NodeId] {
+        &self.shards[shard.0 as usize].replicas
+    }
+
+    /// The cached most-likely leader of `shard`.
+    pub fn leader_hint(&self, shard: ShardId) -> NodeId {
+        let replicas = self.replicas(shard);
+        let idx = self.leader_hints[shard.0 as usize].load(Ordering::Relaxed) as usize;
+        replicas[idx % replicas.len()]
+    }
+
+    /// Records that `node` answered as leader (or was hinted at).
+    pub fn note_leader(&self, shard: ShardId, node: NodeId) {
+        if let Some(idx) = self.replicas(shard).iter().position(|&r| r == node) {
+            self.leader_hints[shard.0 as usize].store(idx as u32, Ordering::Relaxed);
+        }
+    }
+
+    /// Rotates the hint to the next replica (used when the hinted leader does
+    /// not answer).
+    pub fn rotate_hint(&self, shard: ShardId) {
+        self.leader_hints[shard.0 as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// All shards.
+    pub fn shards(&self) -> &[ShardInfo] {
+        &self.shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(n: u32) -> PartitionMap {
+        let shards = (0..n)
+            .map(|i| ShardInfo {
+                id: ShardId(i),
+                replicas: vec![NodeId(i * 10), NodeId(i * 10 + 1), NodeId(i * 10 + 2)],
+            })
+            .collect();
+        PartitionMap::new(shards)
+    }
+
+    #[test]
+    fn root_lives_on_shard_zero() {
+        let m = map(4);
+        assert_eq!(m.shard_for(cfs_types::ROOT_INODE), ShardId(0));
+    }
+
+    #[test]
+    fn ranges_partition_the_space() {
+        let m = map(4);
+        for s in 0..4u32 {
+            let (start, end) = m.range_of(ShardId(s));
+            assert!(start < end);
+            assert_eq!(m.shard_for(InodeId(start)), ShardId(s));
+            assert_eq!(m.shard_for(InodeId(end - 1)), ShardId(s));
+        }
+        // Ranges tile without gaps.
+        for s in 0..3u32 {
+            assert_eq!(m.range_of(ShardId(s)).1, m.range_of(ShardId(s + 1)).0);
+        }
+        assert_eq!(m.shard_for(InodeId(u64::MAX)), ShardId(3));
+    }
+
+    #[test]
+    fn leader_hint_follows_notes() {
+        let m = map(2);
+        assert_eq!(m.leader_hint(ShardId(1)), NodeId(10));
+        m.note_leader(ShardId(1), NodeId(12));
+        assert_eq!(m.leader_hint(ShardId(1)), NodeId(12));
+        m.rotate_hint(ShardId(1));
+        assert_eq!(m.leader_hint(ShardId(1)), NodeId(10));
+    }
+}

@@ -1,0 +1,524 @@
+//! The shard state machine: one range of the `inode_table` over an LSM store.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cfs_kvstore::{KvConfig, KvStore, WriteOp};
+use cfs_raft::StateMachine;
+use cfs_types::codec::{Decode, DecodeError, Encode};
+use cfs_types::{FsError, FsResult, InodeId, Key, Record};
+use parking_lot::Mutex;
+
+use crate::api::{DirEntry, ShardCmd, TafResponse};
+use crate::primitive::{self, PrimResult, Primitive, RecordStore};
+
+/// Instrumentation counters of one shard (paper Figure 4's breakdown needs
+/// lock wait/hold times; §5 reports executed-primitive counts).
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Nanoseconds spent waiting for row locks (baseline engines).
+    pub lock_wait_ns: AtomicU64,
+    /// Nanoseconds locks were held (baseline engines).
+    pub lock_hold_ns: AtomicU64,
+    /// Row lock acquisitions.
+    pub lock_acquisitions: AtomicU64,
+    /// Lock acquisitions that had to wait.
+    pub lock_contentions: AtomicU64,
+    /// Primitives executed.
+    pub primitives: AtomicU64,
+    /// Primitives whose checks failed.
+    pub primitive_failures: AtomicU64,
+    /// Interactive transactions committed.
+    pub txn_commits: AtomicU64,
+    /// Interactive transactions aborted.
+    pub txn_aborts: AtomicU64,
+}
+
+/// A point-in-time copy of [`ShardMetrics`], wire-encodable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardMetricsSnapshot {
+    /// Nanoseconds spent waiting for row locks.
+    pub lock_wait_ns: u64,
+    /// Nanoseconds locks were held.
+    pub lock_hold_ns: u64,
+    /// Row lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Lock acquisitions that had to wait.
+    pub lock_contentions: u64,
+    /// Primitives executed.
+    pub primitives: u64,
+    /// Primitives whose checks failed.
+    pub primitive_failures: u64,
+    /// Interactive transactions committed.
+    pub txn_commits: u64,
+    /// Interactive transactions aborted.
+    pub txn_aborts: u64,
+}
+
+impl ShardMetrics {
+    /// Takes a snapshot (relaxed loads).
+    pub fn snapshot(&self) -> ShardMetricsSnapshot {
+        ShardMetricsSnapshot {
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            lock_hold_ns: self.lock_hold_ns.load(Ordering::Relaxed),
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            lock_contentions: self.lock_contentions.load(Ordering::Relaxed),
+            primitives: self.primitives.load(Ordering::Relaxed),
+            primitive_failures: self.primitive_failures.load(Ordering::Relaxed),
+            txn_commits: self.txn_commits.load(Ordering::Relaxed),
+            txn_aborts: self.txn_aborts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Encode for ShardMetricsSnapshot {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.lock_wait_ns.encode(buf);
+        self.lock_hold_ns.encode(buf);
+        self.lock_acquisitions.encode(buf);
+        self.lock_contentions.encode(buf);
+        self.primitives.encode(buf);
+        self.primitive_failures.encode(buf);
+        self.txn_commits.encode(buf);
+        self.txn_aborts.encode(buf);
+    }
+}
+
+impl Decode for ShardMetricsSnapshot {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ShardMetricsSnapshot {
+            lock_wait_ns: u64::decode(input)?,
+            lock_hold_ns: u64::decode(input)?,
+            lock_acquisitions: u64::decode(input)?,
+            lock_contentions: u64::decode(input)?,
+            primitives: u64::decode(input)?,
+            primitive_failures: u64::decode(input)?,
+            txn_commits: u64::decode(input)?,
+            txn_aborts: u64::decode(input)?,
+        })
+    }
+}
+
+/// A transaction staged by 2PC prepare, awaiting commit or abort.
+enum Staged {
+    /// Raw writes (baseline locking engine).
+    Writes(Vec<(Key, Option<Record>)>),
+    /// A primitive executed with merge semantics at commit (Renamer).
+    Prim(Primitive),
+}
+
+/// One shard of the `inode_table`: the Raft-replicated state machine.
+pub struct TafShard {
+    kv: KvStore,
+    /// Items staged by prepared 2PC transactions, applied in order on
+    /// commit. One transaction may stage several shares on the same shard
+    /// (e.g. a directory rename whose source parent and moved directory both
+    /// live here).
+    prepared: Mutex<HashMap<u64, Vec<Staged>>>,
+    metrics: Arc<ShardMetrics>,
+    /// Logical change stream consumed by the garbage collector (§4.4).
+    cdc: cfs_wal::Wal,
+}
+
+impl TafShard {
+    /// Creates a shard over an LSM store with the given config.
+    pub fn new(kv_config: KvConfig) -> FsResult<TafShard> {
+        Ok(TafShard {
+            kv: KvStore::with_config(kv_config)?,
+            prepared: Mutex::new(HashMap::new()),
+            metrics: Arc::new(ShardMetrics::default()),
+            cdc: cfs_wal::Wal::new_in_memory(),
+        })
+    }
+
+    /// The logical change stream (CDC) of this shard.
+    pub fn cdc(&self) -> &cfs_wal::Wal {
+        &self.cdc
+    }
+
+    fn emit(&self, event: cfs_types::CdcEvent) {
+        let _ = self.cdc.append(event.to_bytes());
+    }
+
+    /// The shard's metrics handle (shared with the lock manager).
+    pub fn metrics(&self) -> &Arc<ShardMetrics> {
+        &self.metrics
+    }
+
+    /// The shard's WAL, when configured (watched by the GC).
+    pub fn wal(&self) -> Option<&cfs_wal::Wal> {
+        self.kv.wal()
+    }
+
+    /// Leader-local point read.
+    pub fn get(&self, key: &Key) -> Option<Record> {
+        self.kv
+            .get(&key.to_sortable_bytes())
+            .and_then(|v| Record::from_bytes(&v).ok())
+    }
+
+    /// Leader-local ordered scan of a directory's children (excluding the
+    /// `/_ATTR` record), resuming strictly after `after`.
+    pub fn scan(&self, dir: InodeId, after: Option<&str>, limit: usize) -> Vec<DirEntry> {
+        let start = match after {
+            // 0x01-prefixed name keys sort after the attr record; appending a
+            // zero byte makes the bound exclusive of `after` itself.
+            Some(name) => {
+                let mut k = Key::entry(dir, name).to_sortable_bytes();
+                k.push(0);
+                k
+            }
+            None => Key::dir_range_start(dir),
+        };
+        let end = Key::dir_range_end(dir);
+        self.kv
+            .scan(&start, &end, limit + 1)
+            .into_iter()
+            .filter_map(|(kb, vb)| {
+                let key = Key::from_sortable_bytes(&kb).ok()?;
+                let name = key.kstr.name()?.to_string();
+                let record = Record::from_bytes(&vb).ok()?;
+                Some(DirEntry { name, record })
+            })
+            .take(limit)
+            .collect()
+    }
+
+    /// Applies one replicated command, returning the response to encode.
+    pub fn apply_cmd(&self, cmd: ShardCmd) -> TafResponse {
+        match cmd {
+            ShardCmd::Execute(prim) => match self.execute_primitive(&prim) {
+                Ok(res) => {
+                    self.metrics.primitives.fetch_add(1, Ordering::Relaxed);
+                    TafResponse::Executed(res)
+                }
+                Err(e) => {
+                    self.metrics
+                        .primitive_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    TafResponse::Err(e)
+                }
+            },
+            ShardCmd::Put(key, rec) => {
+                self.emit_for_write(&key, Some(&rec));
+                let op = WriteOp::Put(key.to_sortable_bytes(), rec.to_bytes());
+                match self.kv.write_batch(vec![op]) {
+                    Ok(()) => TafResponse::Ok,
+                    Err(e) => TafResponse::Err(e),
+                }
+            }
+            ShardCmd::Delete(key) => {
+                self.emit_for_write(&key, None);
+                match self
+                    .kv
+                    .write_batch(vec![WriteOp::Delete(key.to_sortable_bytes())])
+                {
+                    Ok(()) => TafResponse::Ok,
+                    Err(e) => TafResponse::Err(e),
+                }
+            }
+            ShardCmd::Prepare { txn, writes } => {
+                self.prepared
+                    .lock()
+                    .entry(txn)
+                    .or_default()
+                    .push(Staged::Writes(writes));
+                TafResponse::Ok
+            }
+            ShardCmd::PreparePrim { txn, prim } => {
+                self.prepared
+                    .lock()
+                    .entry(txn)
+                    .or_default()
+                    .push(Staged::Prim(prim));
+                TafResponse::Ok
+            }
+            ShardCmd::CommitPrepared { txn } => {
+                let staged = self.prepared.lock().remove(&txn);
+                match staged {
+                    Some(items) => {
+                        self.metrics.txn_commits.fetch_add(1, Ordering::Relaxed);
+                        let mut result = PrimResult::default();
+                        for item in items {
+                            let res = match item {
+                                Staged::Writes(writes) => self.apply_writes(writes),
+                                Staged::Prim(prim) => match self.execute_primitive(&prim) {
+                                    Ok(r) => {
+                                        result.deleted.extend(r.deleted);
+                                        Ok(())
+                                    }
+                                    Err(e) => Err(e),
+                                },
+                            };
+                            if let Err(e) = res {
+                                return TafResponse::Err(e);
+                            }
+                        }
+                        TafResponse::Executed(result)
+                    }
+                    None => TafResponse::Err(FsError::Invalid(format!(
+                        "commit of unprepared txn {txn}"
+                    ))),
+                }
+            }
+            ShardCmd::Abort { txn } => {
+                self.prepared.lock().remove(&txn);
+                self.metrics.txn_aborts.fetch_add(1, Ordering::Relaxed);
+                TafResponse::Ok
+            }
+            ShardCmd::CommitWrites { writes } => {
+                self.metrics.txn_commits.fetch_add(1, Ordering::Relaxed);
+                match self.apply_writes(writes) {
+                    Ok(()) => TafResponse::Ok,
+                    Err(e) => TafResponse::Err(e),
+                }
+            }
+        }
+    }
+
+    /// Publishes the CDC event corresponding to one write. For deletions the
+    /// prior record is loaded to learn which inode the row pointed at.
+    fn emit_for_write(&self, key: &Key, new: Option<&Record>) {
+        use cfs_types::CdcEvent;
+        match new {
+            Some(rec) => {
+                if key.is_attr() {
+                    self.emit(CdcEvent::TafPutDirAttr { ino: key.kid });
+                } else if let Some(ino) = rec.id {
+                    self.emit(CdcEvent::TafInsertedId { ino });
+                }
+            }
+            None => {
+                if key.is_attr() {
+                    self.emit(CdcEvent::TafDeletedDirAttr { ino: key.kid });
+                } else if let Some(prior) = self.get(key) {
+                    if let Some(ino) = prior.id {
+                        self.emit(CdcEvent::TafDeletedId { ino });
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_writes(&self, writes: Vec<(Key, Option<Record>)>) -> FsResult<()> {
+        for (k, r) in &writes {
+            // Only emit CDC for structural changes (id records and attr
+            // lifecycle), not for attr-record field updates.
+            match r {
+                Some(rec) if !k.is_attr() => self.emit_for_write(k, Some(rec)),
+                None => self.emit_for_write(k, None),
+                _ => {}
+            }
+        }
+        let ops = writes
+            .into_iter()
+            .map(|(k, r)| match r {
+                Some(rec) => WriteOp::Put(k.to_sortable_bytes(), rec.to_bytes()),
+                None => WriteOp::Delete(k.to_sortable_bytes()),
+            })
+            .collect();
+        self.kv.write_batch(ops)
+    }
+
+    fn execute_primitive(&self, prim: &Primitive) -> FsResult<PrimResult> {
+        let mut staging = StagingStore {
+            kv: &self.kv,
+            staged: Vec::new(),
+        };
+        let result = primitive::execute(&mut staging, prim)?;
+        self.kv.write_batch(staging.staged)?;
+        // Publish the logical change stream for the GC's pairing analysis.
+        use cfs_types::CdcEvent;
+        for (key, rec) in &result.deleted {
+            if key.is_attr() {
+                self.emit(CdcEvent::TafDeletedDirAttr { ino: key.kid });
+            } else if let Some(ino) = rec.id {
+                self.emit(CdcEvent::TafDeletedId { ino });
+            }
+        }
+        for (key, rec) in &prim.inserts {
+            if key.is_attr() {
+                self.emit(CdcEvent::TafPutDirAttr { ino: key.kid });
+            } else if let Some(ino) = rec.id {
+                self.emit(CdcEvent::TafInsertedId { ino });
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// Adapter: primitive execution stages into a kvstore batch.
+struct StagingStore<'a> {
+    kv: &'a KvStore,
+    staged: Vec<WriteOp>,
+}
+
+impl RecordStore for StagingStore<'_> {
+    fn load(&self, key: &Key) -> Option<Record> {
+        self.kv
+            .get(&key.to_sortable_bytes())
+            .and_then(|v| Record::from_bytes(&v).ok())
+    }
+
+    fn stage_put(&mut self, key: Key, rec: Record) {
+        self.staged
+            .push(WriteOp::Put(key.to_sortable_bytes(), rec.to_bytes()));
+    }
+
+    fn stage_delete(&mut self, key: Key) {
+        self.staged.push(WriteOp::Delete(key.to_sortable_bytes()));
+    }
+}
+
+impl StateMachine for TafShard {
+    fn apply(&self, _index: u64, cmd: &[u8]) -> Vec<u8> {
+        let resp = match ShardCmd::from_bytes(cmd) {
+            Ok(cmd) => self.apply_cmd(cmd),
+            Err(e) => TafResponse::Err(FsError::from(e)),
+        };
+        resp.to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::UpdateSpec;
+    use cfs_types::{Cond, FieldAssign, FileType, NumField, Pred, Timestamp};
+
+    fn shard_with_root() -> TafShard {
+        let shard = TafShard::new(KvConfig::default()).unwrap();
+        let resp = shard.apply_cmd(ShardCmd::Put(
+            Key::attr(cfs_types::ROOT_INODE),
+            Record::dir_attr_record(0, Timestamp(1)),
+        ));
+        assert_eq!(resp, TafResponse::Ok);
+        shard
+    }
+
+    fn create(shard: &TafShard, parent: InodeId, name: &str, ino: u64) -> TafResponse {
+        shard.apply_cmd(ShardCmd::Execute(Primitive::insert_with_update(
+            Key::entry(parent, name),
+            Record::id_record(InodeId(ino), FileType::File),
+            UpdateSpec {
+                cond: Cond::require(Key::attr(parent), vec![Pred::TypeIs(FileType::Dir)]),
+                assigns: vec![FieldAssign::Delta {
+                    field: NumField::Children,
+                    delta: 1,
+                }],
+                per_deleted: Vec::new(),
+                set_id: None,
+            },
+        )))
+    }
+
+    #[test]
+    fn execute_then_read_back() {
+        let shard = shard_with_root();
+        assert!(matches!(
+            create(&shard, cfs_types::ROOT_INODE, "f1", 100),
+            TafResponse::Executed(_)
+        ));
+        let rec = shard.get(&Key::entry(cfs_types::ROOT_INODE, "f1")).unwrap();
+        assert_eq!(rec.id, Some(InodeId(100)));
+        let attr = shard.get(&Key::attr(cfs_types::ROOT_INODE)).unwrap();
+        assert_eq!(attr.children, Some(1));
+    }
+
+    #[test]
+    fn scan_lists_children_in_name_order_excluding_attr() {
+        let shard = shard_with_root();
+        for (i, name) in ["zeta", "alpha", "mid"].iter().enumerate() {
+            create(&shard, cfs_types::ROOT_INODE, name, 100 + i as u64);
+        }
+        let entries = shard.scan(cfs_types::ROOT_INODE, None, 10);
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "mid", "zeta"]);
+    }
+
+    #[test]
+    fn scan_pagination_resumes_after_cursor() {
+        let shard = shard_with_root();
+        for i in 0..10 {
+            create(&shard, cfs_types::ROOT_INODE, &format!("f{i:02}"), 100 + i);
+        }
+        let page1 = shard.scan(cfs_types::ROOT_INODE, None, 4);
+        assert_eq!(page1.len(), 4);
+        let page2 = shard.scan(cfs_types::ROOT_INODE, Some(&page1[3].name), 4);
+        assert_eq!(page2.len(), 4);
+        assert_eq!(page2[0].name, "f04");
+        let page3 = shard.scan(cfs_types::ROOT_INODE, Some(&page2[3].name), 4);
+        assert_eq!(page3.len(), 2);
+    }
+
+    #[test]
+    fn prepare_commit_applies_staged_writes() {
+        let shard = shard_with_root();
+        let writes = vec![(
+            Key::entry(cfs_types::ROOT_INODE, "staged"),
+            Some(Record::id_record(InodeId(5), FileType::File)),
+        )];
+        shard.apply_cmd(ShardCmd::Prepare { txn: 1, writes });
+        // Not visible before commit.
+        assert!(shard
+            .get(&Key::entry(cfs_types::ROOT_INODE, "staged"))
+            .is_none());
+        assert!(matches!(
+            shard.apply_cmd(ShardCmd::CommitPrepared { txn: 1 }),
+            TafResponse::Executed(_)
+        ));
+        assert!(shard
+            .get(&Key::entry(cfs_types::ROOT_INODE, "staged"))
+            .is_some());
+    }
+
+    #[test]
+    fn abort_discards_staged_writes() {
+        let shard = shard_with_root();
+        let writes = vec![(
+            Key::entry(cfs_types::ROOT_INODE, "doomed"),
+            Some(Record::id_record(InodeId(5), FileType::File)),
+        )];
+        shard.apply_cmd(ShardCmd::Prepare { txn: 2, writes });
+        shard.apply_cmd(ShardCmd::Abort { txn: 2 });
+        assert!(matches!(
+            shard.apply_cmd(ShardCmd::CommitPrepared { txn: 2 }),
+            TafResponse::Err(_)
+        ));
+        assert!(shard
+            .get(&Key::entry(cfs_types::ROOT_INODE, "doomed"))
+            .is_none());
+    }
+
+    #[test]
+    fn failed_primitive_counts_in_metrics() {
+        let shard = shard_with_root();
+        create(&shard, cfs_types::ROOT_INODE, "dup", 1);
+        let resp = create(&shard, cfs_types::ROOT_INODE, "dup", 2);
+        assert_eq!(resp, TafResponse::Err(FsError::AlreadyExists));
+        let m = shard.metrics().snapshot();
+        assert_eq!(m.primitives, 1);
+        assert_eq!(m.primitive_failures, 1);
+    }
+
+    #[test]
+    fn state_machine_trait_round_trips_bytes() {
+        let shard = shard_with_root();
+        let cmd = ShardCmd::Put(
+            Key::attr(InodeId(9)),
+            Record::dir_attr_record(5, Timestamp(3)),
+        );
+        let resp_bytes = shard.apply(1, &cmd.to_bytes());
+        assert_eq!(
+            TafResponse::from_bytes(&resp_bytes).unwrap(),
+            TafResponse::Ok
+        );
+        // Garbage input produces an error response, not a panic.
+        let resp_bytes = shard.apply(2, &[0xFF, 0x00, 0x13]);
+        assert!(matches!(
+            TafResponse::from_bytes(&resp_bytes).unwrap(),
+            TafResponse::Err(FsError::Corrupted(_))
+        ));
+    }
+}

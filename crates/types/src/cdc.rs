@@ -1,0 +1,112 @@
+//! Logical change-data-capture events derived from component WALs.
+//!
+//! Paper §4.4: the garbage collector "watches the write ahead logs of TafDB
+//! and FileStore to learn recent metadata mutations, similar to the widely
+//! used change data capture service, and performs a pairing analysis of the
+//! relevant metadata mutations between TafDB and FileStore to find
+//! unmatched/orphaned records". Components publish these logical events into
+//! a watchable [`cfs-wal`] log alongside their physical WAL.
+
+use crate::codec::{Decode, DecodeError, Encode};
+use crate::id::InodeId;
+
+/// One logical metadata mutation observable by the garbage collector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CdcEvent {
+    /// TafDB inserted an id record pointing at `ino` (create/mkdir/rename).
+    TafInsertedId {
+        /// The linked inode.
+        ino: InodeId,
+    },
+    /// TafDB deleted an id record that pointed at `ino` (unlink/rmdir/rename).
+    TafDeletedId {
+        /// The unlinked inode.
+        ino: InodeId,
+    },
+    /// TafDB created a directory attribute record for `ino`.
+    TafPutDirAttr {
+        /// The directory.
+        ino: InodeId,
+    },
+    /// TafDB deleted the directory attribute record of `ino`.
+    TafDeletedDirAttr {
+        /// The directory.
+        ino: InodeId,
+    },
+    /// FileStore wrote the attribute record of `ino`.
+    AttrPut {
+        /// The file.
+        ino: InodeId,
+    },
+    /// FileStore deleted the attribute record of `ino`.
+    AttrDeleted {
+        /// The file.
+        ino: InodeId,
+    },
+}
+
+impl CdcEvent {
+    /// The inode the event concerns.
+    pub fn ino(&self) -> InodeId {
+        match self {
+            CdcEvent::TafInsertedId { ino }
+            | CdcEvent::TafDeletedId { ino }
+            | CdcEvent::TafPutDirAttr { ino }
+            | CdcEvent::TafDeletedDirAttr { ino }
+            | CdcEvent::AttrPut { ino }
+            | CdcEvent::AttrDeleted { ino } => *ino,
+        }
+    }
+}
+
+impl Encode for CdcEvent {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let (tag, ino) = match self {
+            CdcEvent::TafInsertedId { ino } => (0u8, ino),
+            CdcEvent::TafDeletedId { ino } => (1, ino),
+            CdcEvent::TafPutDirAttr { ino } => (2, ino),
+            CdcEvent::TafDeletedDirAttr { ino } => (3, ino),
+            CdcEvent::AttrPut { ino } => (4, ino),
+            CdcEvent::AttrDeleted { ino } => (5, ino),
+        };
+        buf.push(tag);
+        ino.encode(buf);
+    }
+}
+
+impl Decode for CdcEvent {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let tag = u8::decode(input)?;
+        let ino = InodeId::decode(input)?;
+        Ok(match tag {
+            0 => CdcEvent::TafInsertedId { ino },
+            1 => CdcEvent::TafDeletedId { ino },
+            2 => CdcEvent::TafPutDirAttr { ino },
+            3 => CdcEvent::TafDeletedDirAttr { ino },
+            4 => CdcEvent::AttrPut { ino },
+            5 => CdcEvent::AttrDeleted { ino },
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdc_event_round_trip() {
+        let events = [
+            CdcEvent::TafInsertedId { ino: InodeId(1) },
+            CdcEvent::TafDeletedId { ino: InodeId(2) },
+            CdcEvent::TafPutDirAttr { ino: InodeId(3) },
+            CdcEvent::TafDeletedDirAttr { ino: InodeId(4) },
+            CdcEvent::AttrPut { ino: InodeId(5) },
+            CdcEvent::AttrDeleted { ino: InodeId(6) },
+        ];
+        for e in events {
+            assert_eq!(CdcEvent::from_bytes(&e.to_bytes()).unwrap(), e);
+            assert_eq!(e.ino().raw(), e.ino().raw());
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Errno-style error type shared across the file system.
+
+use std::fmt;
+
+use crate::codec::{Decode, DecodeError, Encode};
+
+/// Result alias used throughout the CFS crates.
+pub type FsResult<T> = Result<T, FsError>;
+
+/// File system error, modelled after the POSIX errno values the paper's
+/// metadata operations can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// ENOENT: path component or inode does not exist.
+    NotFound,
+    /// EEXIST: target name already exists.
+    AlreadyExists,
+    /// ENOTDIR: a non-directory appeared where a directory was required.
+    NotDir,
+    /// EISDIR: a directory appeared where a file was required.
+    IsDir,
+    /// ENOTEMPTY: directory removal attempted on a non-empty directory.
+    NotEmpty,
+    /// EINVAL: malformed argument (empty name, `.`/`..`, embedded `/`, ...).
+    Invalid(String),
+    /// ELOOP-style violation: the rename would create an orphaned loop.
+    Loop,
+    /// EBUSY: resource locked by a conflicting operation (baselines only
+    /// surface this on lock timeouts).
+    Busy,
+    /// A transaction was aborted due to a conflicting concurrent transaction.
+    Conflict,
+    /// The request timed out (network partition, dead node).
+    Timeout,
+    /// ENOSPC-style failure from the storage layer.
+    NoSpace,
+    /// EIO: underlying storage failure with detail.
+    Io(String),
+    /// Internal invariant violation detected (corruption); carries detail.
+    Corrupted(String),
+    /// The contacted node is not the leader / not responsible for the shard;
+    /// carries an optional redirect hint (raw node id).
+    NotLeader(Option<u32>),
+    /// The operation is not supported by this system variant.
+    Unsupported(String),
+}
+
+impl FsError {
+    /// Returns true when retrying the same request against the same service
+    /// may succeed (leadership changes, timeouts, transient conflicts).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FsError::Timeout | FsError::NotLeader(_) | FsError::Conflict | FsError::Busy
+        )
+    }
+
+    /// Numeric code used on the wire.
+    fn tag(&self) -> u8 {
+        match self {
+            FsError::NotFound => 0,
+            FsError::AlreadyExists => 1,
+            FsError::NotDir => 2,
+            FsError::IsDir => 3,
+            FsError::NotEmpty => 4,
+            FsError::Invalid(_) => 5,
+            FsError::Loop => 6,
+            FsError::Busy => 7,
+            FsError::Conflict => 8,
+            FsError::Timeout => 9,
+            FsError::NoSpace => 10,
+            FsError::Io(_) => 11,
+            FsError::Corrupted(_) => 12,
+            FsError::NotLeader(_) => 13,
+            FsError::Unsupported(_) => 14,
+        }
+    }
+}
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound => write!(f, "no such file or directory"),
+            FsError::AlreadyExists => write!(f, "file exists"),
+            FsError::NotDir => write!(f, "not a directory"),
+            FsError::IsDir => write!(f, "is a directory"),
+            FsError::NotEmpty => write!(f, "directory not empty"),
+            FsError::Invalid(d) => write!(f, "invalid argument: {d}"),
+            FsError::Loop => write!(f, "rename would create an orphaned loop"),
+            FsError::Busy => write!(f, "resource busy"),
+            FsError::Conflict => write!(f, "transaction conflict"),
+            FsError::Timeout => write!(f, "request timed out"),
+            FsError::NoSpace => write!(f, "no space left on device"),
+            FsError::Io(d) => write!(f, "i/o error: {d}"),
+            FsError::Corrupted(d) => write!(f, "metadata corruption detected: {d}"),
+            FsError::NotLeader(hint) => match hint {
+                Some(n) => write!(f, "not leader; try node {n}"),
+                None => write!(f, "not leader"),
+            },
+            FsError::Unsupported(d) => write!(f, "operation not supported: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+impl From<DecodeError> for FsError {
+    fn from(e: DecodeError) -> Self {
+        FsError::Corrupted(format!("decode failure: {e}"))
+    }
+}
+
+impl From<std::io::Error> for FsError {
+    fn from(e: std::io::Error) -> Self {
+        FsError::Io(e.to_string())
+    }
+}
+
+impl Encode for FsError {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(self.tag());
+        match self {
+            FsError::Invalid(d)
+            | FsError::Io(d)
+            | FsError::Corrupted(d)
+            | FsError::Unsupported(d) => d.clone().encode(buf),
+            FsError::NotLeader(hint) => hint.encode(buf),
+            _ => {}
+        }
+    }
+}
+
+impl Decode for FsError {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        let tag = u8::decode(input)?;
+        Ok(match tag {
+            0 => FsError::NotFound,
+            1 => FsError::AlreadyExists,
+            2 => FsError::NotDir,
+            3 => FsError::IsDir,
+            4 => FsError::NotEmpty,
+            5 => FsError::Invalid(String::decode(input)?),
+            6 => FsError::Loop,
+            7 => FsError::Busy,
+            8 => FsError::Conflict,
+            9 => FsError::Timeout,
+            10 => FsError::NoSpace,
+            11 => FsError::Io(String::decode(input)?),
+            12 => FsError::Corrupted(String::decode(input)?),
+            13 => FsError::NotLeader(Option::<u32>::decode(input)?),
+            14 => FsError::Unsupported(String::decode(input)?),
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Decode;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(FsError::Timeout.is_retryable());
+        assert!(FsError::NotLeader(Some(3)).is_retryable());
+        assert!(FsError::Conflict.is_retryable());
+        assert!(!FsError::NotFound.is_retryable());
+        assert!(!FsError::AlreadyExists.is_retryable());
+    }
+
+    #[test]
+    fn error_codec_round_trip() {
+        let cases = vec![
+            FsError::NotFound,
+            FsError::AlreadyExists,
+            FsError::Invalid("bad name".into()),
+            FsError::NotLeader(Some(9)),
+            FsError::NotLeader(None),
+            FsError::Corrupted("wal seq gap".into()),
+            FsError::Loop,
+        ];
+        for e in cases {
+            let buf = e.to_bytes();
+            assert_eq!(FsError::from_bytes(&buf).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(FsError::NotFound.to_string(), "no such file or directory");
+        assert!(FsError::NotLeader(Some(2)).to_string().contains("node 2"));
+    }
+}

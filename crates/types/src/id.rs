@@ -1,0 +1,177 @@
+//! Identifier newtypes used across the system.
+
+use std::fmt;
+
+use crate::codec::{Decode, DecodeError, Encode};
+
+/// Identifier of a file or directory inode.
+///
+/// Inode ids are allocated by the metadata service and are unique for the
+/// lifetime of a file system instance. The root directory always has
+/// [`ROOT_INODE`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InodeId(pub u64);
+
+/// The fixed inode id of the file system root directory.
+pub const ROOT_INODE: InodeId = InodeId(1);
+
+impl InodeId {
+    /// Returns the raw id value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns true for the reserved "no inode" sentinel (id 0).
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ino#{}", self.0)
+    }
+}
+
+impl fmt::Display for InodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a node (server process) in the simulated cluster.
+///
+/// Every addressable endpoint in the [`cfs-rpc`] network — TafDB backends,
+/// FileStore nodes, Renamer replicas, time servers, metadata proxies — gets a
+/// distinct `NodeId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifier of a metadata shard within TafDB (a contiguous `kID` range).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl fmt::Debug for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard#{}", self.0)
+    }
+}
+
+/// Identifier of a file data block stored in FileStore.
+///
+/// A block id is the pair of the owning file's inode id and the block index
+/// within the file.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId {
+    /// The file this block belongs to.
+    pub ino: InodeId,
+    /// Zero-based index of the block within the file.
+    pub index: u32,
+}
+
+impl Encode for InodeId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for InodeId {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(InodeId(u64::decode(input)?))
+    }
+}
+
+impl Encode for NodeId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for NodeId {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(NodeId(u32::decode(input)?))
+    }
+}
+
+impl Encode for ShardId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+}
+
+impl Decode for ShardId {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ShardId(u32::decode(input)?))
+    }
+}
+
+impl Encode for BlockId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.ino.encode(buf);
+        self.index.encode(buf);
+    }
+}
+
+impl Decode for BlockId {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(BlockId {
+            ino: InodeId::decode(input)?,
+            index: u32::decode(input)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_inode_is_one() {
+        assert_eq!(ROOT_INODE.raw(), 1);
+        assert!(!ROOT_INODE.is_null());
+        assert!(InodeId(0).is_null());
+    }
+
+    #[test]
+    fn inode_id_orders_numerically() {
+        assert!(InodeId(2) < InodeId(10));
+        assert!(InodeId(10) > ROOT_INODE);
+    }
+
+    #[test]
+    fn id_codec_round_trip() {
+        let mut buf = Vec::new();
+        InodeId(42).encode(&mut buf);
+        NodeId(7).encode(&mut buf);
+        ShardId(3).encode(&mut buf);
+        BlockId {
+            ino: InodeId(9),
+            index: 4,
+        }
+        .encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(InodeId::decode(&mut input).unwrap(), InodeId(42));
+        assert_eq!(NodeId::decode(&mut input).unwrap(), NodeId(7));
+        assert_eq!(ShardId::decode(&mut input).unwrap(), ShardId(3));
+        assert_eq!(
+            BlockId::decode(&mut input).unwrap(),
+            BlockId {
+                ino: InodeId(9),
+                index: 4
+            }
+        );
+        assert!(input.is_empty());
+    }
+}

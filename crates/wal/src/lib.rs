@@ -1,0 +1,17 @@
+//! Write-ahead log with change-data-capture watch cursors.
+//!
+//! Both TafDB backends and FileStore nodes persist every metadata mutation to
+//! a WAL before applying it (paper §3.2), and the garbage collector of §4.4
+//! "watches the write ahead logs of TafDB and FileStore to learn recent
+//! metadata mutations, similar to the widely used change data capture
+//! service". [`Wal::watch`] provides exactly that: a cursor that observes
+//! every appended entry in order, without blocking writers.
+//!
+//! Entries are CRC-protected; recovery of a file-backed log stops at the
+//! first torn or corrupt entry, discarding the unsynced tail like production
+//! logs do.
+
+pub mod crc32;
+pub mod log;
+
+pub use log::{Wal, WalConfig, WalEntry, WalWatcher};

@@ -1,0 +1,27 @@
+//! Top-level facade for the CFS reproduction.
+//!
+//! Re-exports the public API of every workspace crate so that examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! ```
+//! use cfs::prelude::*;
+//! ```
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use cfs_baselines as baselines;
+pub use cfs_core as core;
+pub use cfs_filestore as filestore;
+pub use cfs_harness as harness;
+pub use cfs_kvstore as kvstore;
+pub use cfs_raft as raft;
+pub use cfs_renamer as renamer;
+pub use cfs_rpc as rpc;
+pub use cfs_tafdb as tafdb;
+pub use cfs_types as types;
+pub use cfs_wal as wal;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use cfs_types::{Attr, FileType, FsError, FsResult, InodeId, Key, Timestamp, ROOT_INODE};
+}

@@ -1,0 +1,105 @@
+//! Cross-system equivalence: the same operation script applied to CFS,
+//! HopsFS-like, and InfiniFS-like must leave behavior-identical namespaces.
+//! This guarantees the benchmark comparisons measure performance, not
+//! semantic divergence.
+
+use cfs::baselines::{BaselineCluster, Variant};
+use cfs::core::{CfsCluster, CfsConfig, FileSystem};
+use cfs::types::FsError;
+use rand::{RngExt, SeedableRng};
+
+/// One randomized-but-deterministic op applied to a system; returns a
+/// canonical outcome string for comparison.
+fn apply_op(fs: &dyn FileSystem, op: usize, rng_val: u64) -> String {
+    let d = rng_val % 4;
+    let f = rng_val % 7;
+    let result: Result<String, FsError> = match op % 7 {
+        0 => fs.mkdir(&format!("/d{d}")).map(|_| "mkdir".into()),
+        1 => fs.create(&format!("/d{d}/f{f}")).map(|_| "create".into()),
+        2 => fs.unlink(&format!("/d{d}/f{f}")).map(|_| "unlink".into()),
+        3 => fs
+            .rename(&format!("/d{d}/f{f}"), &format!("/d{d}/g{f}"))
+            .map(|_| "rename".into()),
+        4 => fs
+            .getattr(&format!("/d{d}/f{f}"))
+            .map(|a| format!("getattr:{}", a.links)),
+        5 => fs.rmdir(&format!("/d{d}")).map(|_| "rmdir".into()),
+        _ => fs
+            .readdir(&format!("/d{d}"))
+            .map(|es| format!("readdir:{}", es.len())),
+    };
+    match result {
+        Ok(s) => s,
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// Dumps a canonical recursive listing: path, type, children count.
+fn dump(fs: &dyn FileSystem, path: &str, out: &mut Vec<String>) {
+    let Ok(entries) = fs.readdir(path) else {
+        return;
+    };
+    for e in entries {
+        let child = if path == "/" {
+            format!("/{}", e.name)
+        } else {
+            format!("{path}/{}", e.name)
+        };
+        let attr = fs.getattr(&child).expect("attr of listed entry");
+        out.push(format!(
+            "{child} {:?} children={} links={}",
+            e.ftype, attr.children, attr.links
+        ));
+        if e.ftype == cfs::types::FileType::Dir {
+            dump(fs, &child, out);
+        }
+    }
+}
+
+#[test]
+fn random_script_produces_identical_namespaces() {
+    let cfs_cluster = CfsCluster::start(CfsConfig::test_small()).expect("cfs");
+    let hops = BaselineCluster::start(Variant::HopsFs, CfsConfig::test_small(), 2).expect("hops");
+    let inf = BaselineCluster::start(Variant::InfiniFs, CfsConfig::test_small(), 2).expect("inf");
+
+    let systems: Vec<(&str, Box<dyn FileSystem>)> = vec![
+        ("cfs", Box::new(cfs_cluster.client())),
+        ("hopsfs", Box::new(hops.client())),
+        ("infinifs", Box::new(inf.client())),
+    ];
+
+    // One deterministic script; replay on each system and compare outcomes.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(20230508);
+    let script: Vec<(usize, u64)> = (0..300)
+        .map(|_| (rng.random_range(0..7usize), rng.random()))
+        .collect();
+
+    let mut outcome_logs: Vec<Vec<String>> = Vec::new();
+    for (_, fs) in &systems {
+        let log: Vec<String> = script
+            .iter()
+            .map(|&(op, v)| apply_op(fs.as_ref(), op, v))
+            .collect();
+        outcome_logs.push(log);
+    }
+    for i in 1..systems.len() {
+        for (step, (a, b)) in outcome_logs[0].iter().zip(&outcome_logs[i]).enumerate() {
+            assert_eq!(
+                a, b,
+                "step {step}: {} disagrees with {} on {:?}",
+                systems[i].0, systems[0].0, script[step]
+            );
+        }
+    }
+
+    // Final namespaces must be identical too.
+    let mut dumps: Vec<Vec<String>> = Vec::new();
+    for (_, fs) in &systems {
+        let mut d = Vec::new();
+        dump(fs.as_ref(), "/", &mut d);
+        dumps.push(d);
+    }
+    assert_eq!(dumps[0], dumps[1], "cfs vs hopsfs namespace");
+    assert_eq!(dumps[0], dumps[2], "cfs vs infinifs namespace");
+    assert!(!dumps[0].is_empty(), "script must have created something");
+}

@@ -1,0 +1,202 @@
+//! Model-based property test: random operation sequences applied both to a
+//! live CFS cluster and to a trivial in-memory reference model must agree on
+//! every outcome and on the final namespace.
+
+use std::collections::BTreeMap;
+
+use cfs::core::{CfsCluster, CfsConfig, FileSystem};
+use cfs::types::{FileType, FsError};
+use proptest::prelude::*;
+
+/// The reference model: a map from absolute paths to node types.
+#[derive(Default, Debug)]
+struct Model {
+    /// path → is_dir
+    nodes: BTreeMap<String, bool>,
+}
+
+impl Model {
+    fn new() -> Model {
+        let mut m = Model::default();
+        m.nodes.insert("/".into(), true);
+        m
+    }
+
+    fn parent_of(path: &str) -> String {
+        match path.rfind('/') {
+            Some(0) => "/".into(),
+            Some(i) => path[..i].to_string(),
+            None => "/".into(),
+        }
+    }
+
+    fn children(&self, dir: &str) -> Vec<String> {
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            format!("{dir}/")
+        };
+        self.nodes
+            .keys()
+            .filter(|p| {
+                p.starts_with(&prefix) && p.len() > prefix.len() && !p[prefix.len()..].contains('/')
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn create(&mut self, path: &str) -> Result<(), FsError> {
+        let parent = Self::parent_of(path);
+        match self.nodes.get(&parent) {
+            Some(true) => {}
+            Some(false) => return Err(FsError::NotDir),
+            None => return Err(FsError::NotFound),
+        }
+        if self.nodes.contains_key(path) {
+            return Err(FsError::AlreadyExists);
+        }
+        self.nodes.insert(path.to_string(), false);
+        Ok(())
+    }
+
+    fn mkdir(&mut self, path: &str) -> Result<(), FsError> {
+        let parent = Self::parent_of(path);
+        match self.nodes.get(&parent) {
+            Some(true) => {}
+            Some(false) => return Err(FsError::NotDir),
+            None => return Err(FsError::NotFound),
+        }
+        if self.nodes.contains_key(path) {
+            return Err(FsError::AlreadyExists);
+        }
+        self.nodes.insert(path.to_string(), true);
+        Ok(())
+    }
+
+    fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        match self.nodes.get(path) {
+            None => Err(FsError::NotFound),
+            Some(true) => Err(FsError::IsDir),
+            Some(false) => {
+                self.nodes.remove(path);
+                Ok(())
+            }
+        }
+    }
+
+    fn rmdir(&mut self, path: &str) -> Result<(), FsError> {
+        match self.nodes.get(path) {
+            None => Err(FsError::NotFound),
+            Some(false) => Err(FsError::NotDir),
+            Some(true) => {
+                if !self.children(path).is_empty() {
+                    return Err(FsError::NotEmpty);
+                }
+                self.nodes.remove(path);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// One step of the random script.
+#[derive(Clone, Debug)]
+enum Step {
+    Create(usize, usize),
+    Mkdir(usize, usize),
+    Unlink(usize, usize),
+    Rmdir(usize, usize),
+    Lookup(usize, usize),
+}
+
+const DIR_NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+const FILE_NAMES: [&str; 4] = ["a", "b", "c", "d"];
+
+fn path_of(d: usize, f: usize) -> (String, String) {
+    let dir = format!("/{}", DIR_NAMES[d % DIR_NAMES.len()]);
+    let file = format!("{dir}/{}", FILE_NAMES[f % FILE_NAMES.len()]);
+    (dir, file)
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (0..5usize, 0..3usize, 0..4usize).prop_map(|(op, d, f)| match op {
+        0 => Step::Create(d, f),
+        1 => Step::Mkdir(d, f),
+        2 => Step::Unlink(d, f),
+        3 => Step::Rmdir(d, f),
+        _ => Step::Lookup(d, f),
+    })
+}
+
+proptest! {
+    // Cluster boot is expensive; keep cases low but scripts long.
+    #![proptest_config(ProptestConfig { cases: 4, .. ProptestConfig::default() })]
+    #[test]
+    fn cfs_agrees_with_reference_model(script in proptest::collection::vec(arb_step(), 30..80)) {
+        let cluster = CfsCluster::start(CfsConfig::test_small()).expect("boot");
+        let fs = cluster.client();
+        let mut model = Model::new();
+        for step in &script {
+            let (real, modeled): (Result<(), FsError>, Result<(), FsError>) = match step {
+                Step::Create(d, f) => {
+                    let (_, file) = path_of(*d, *f);
+                    (fs.create(&file).map(|_| ()), model.create(&file))
+                }
+                Step::Mkdir(d, _) => {
+                    let (dir, _) = path_of(*d, 0);
+                    (fs.mkdir(&dir).map(|_| ()), model.mkdir(&dir))
+                }
+                Step::Unlink(d, f) => {
+                    let (_, file) = path_of(*d, *f);
+                    (fs.unlink(&file), model.unlink(&file))
+                }
+                Step::Rmdir(d, _) => {
+                    let (dir, _) = path_of(*d, 0);
+                    (fs.rmdir(&dir), model.rmdir(&dir))
+                }
+                Step::Lookup(d, f) => {
+                    let (_, file) = path_of(*d, *f);
+                    let real = fs.lookup(&file).map(|_| ());
+                    let modeled = if model.nodes.contains_key(&file) {
+                        Ok(())
+                    } else {
+                        Err(FsError::NotFound)
+                    };
+                    (real, modeled)
+                }
+            };
+            prop_assert_eq!(
+                real.is_ok(), modeled.is_ok(),
+                "divergence on {:?}: real={:?} model={:?}", step, real, modeled
+            );
+            if let (Err(re), Err(me)) = (&real, &modeled) {
+                prop_assert_eq!(re, me, "error kind divergence on {:?}", step);
+            }
+        }
+        // Final namespace equivalence: walk the real fs, compare to model.
+        for d in 0..DIR_NAMES.len() {
+            let (dir, _) = path_of(d, 0);
+            let model_has = model.nodes.contains_key(&dir);
+            prop_assert_eq!(fs.lookup(&dir).is_ok(), model_has, "dir {} presence", dir);
+            if model_has {
+                let mut model_children: Vec<String> = model
+                    .children(&dir)
+                    .into_iter()
+                    .map(|p| p.rsplit('/').next().unwrap().to_string())
+                    .collect();
+                model_children.sort();
+                let real_children: Vec<String> = fs
+                    .readdir(&dir)
+                    .unwrap()
+                    .into_iter()
+                    .map(|e| e.name)
+                    .collect();
+                prop_assert_eq!(&real_children, &model_children, "children of {}", dir);
+                // The paper's counters: children count must match exactly.
+                let attr = fs.getattr(&dir).unwrap();
+                prop_assert_eq!(attr.children as usize, model_children.len());
+                prop_assert_eq!(attr.ftype, FileType::Dir);
+            }
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! POSIX semantics battery (pjdfstest substitute, see DESIGN.md §2).
+//!
+//! The paper validates CFS against pjdfstest (8832 cases, all passing, §3.2).
+//! pjdfstest needs a kernel VFS mount; this battery checks the same semantic
+//! families at the library API level — and runs them against **all three**
+//! systems (CFS, HopsFS-like, InfiniFS-like) so the benchmark comparisons
+//! are between semantically equivalent implementations.
+
+use cfs::baselines::{BaselineCluster, Variant};
+use cfs::core::{CfsCluster, CfsConfig, FileSystem};
+use cfs::filestore::SetAttrPatch;
+use cfs::types::{FileType, FsError};
+
+/// Every implementation under test.
+fn all_systems() -> Vec<(&'static str, Box<dyn FileSystem>)> {
+    let cfs = CfsCluster::start(CfsConfig::test_small()).expect("boot cfs");
+    let hops = BaselineCluster::start(Variant::HopsFs, CfsConfig::test_small(), 2).expect("hops");
+    let inf = BaselineCluster::start(Variant::InfiniFs, CfsConfig::test_small(), 2).expect("inf");
+    // The clusters must outlive the clients; leak them for test simplicity.
+    let cfs_client = cfs.client();
+    let hops_client = hops.client();
+    let inf_client = inf.client();
+    std::mem::forget(cfs);
+    std::mem::forget(hops);
+    std::mem::forget(inf);
+    vec![
+        ("cfs", Box::new(cfs_client) as Box<dyn FileSystem>),
+        ("hopsfs", Box::new(hops_client)),
+        ("infinifs", Box::new(inf_client)),
+    ]
+}
+
+#[test]
+fn name_validation_family() {
+    for (name, fs) in all_systems() {
+        assert!(fs.create("/.").is_err(), "{name}: '.' must be rejected");
+        assert!(fs.create("/..").is_err(), "{name}: '..' must be rejected");
+        assert!(fs.mkdir("/").is_err(), "{name}: root cannot be re-created");
+        assert!(
+            fs.create("relative").is_err(),
+            "{name}: relative paths rejected"
+        );
+        let long = format!("/{}", "x".repeat(256));
+        assert!(fs.create(&long).is_err(), "{name}: NAME_MAX enforced");
+        let ok = format!("/{}", "x".repeat(255));
+        assert!(fs.create(&ok).is_ok(), "{name}: 255-byte names allowed");
+    }
+}
+
+#[test]
+fn enoent_family() {
+    for (name, fs) in all_systems() {
+        assert_eq!(
+            fs.getattr("/missing").unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
+        assert_eq!(
+            fs.unlink("/missing").unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
+        assert_eq!(
+            fs.rmdir("/missing").unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
+        assert_eq!(
+            fs.create("/missing/child").unwrap_err(),
+            FsError::NotFound,
+            "{name}: missing intermediate dir"
+        );
+        assert_eq!(
+            fs.rename("/missing", "/other").unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn eexist_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/e").unwrap();
+        fs.create("/e/f").unwrap();
+        assert_eq!(
+            fs.create("/e/f").unwrap_err(),
+            FsError::AlreadyExists,
+            "{name}"
+        );
+        assert_eq!(
+            fs.mkdir("/e/f").unwrap_err(),
+            FsError::AlreadyExists,
+            "{name}"
+        );
+        assert_eq!(
+            fs.mkdir("/e").unwrap_err(),
+            FsError::AlreadyExists,
+            "{name}"
+        );
+        assert_eq!(
+            fs.symlink("/t", "/e/f").unwrap_err(),
+            FsError::AlreadyExists,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn enotdir_eisdir_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/t").unwrap();
+        fs.create("/t/file").unwrap();
+        fs.mkdir("/t/dir").unwrap();
+        assert_eq!(
+            fs.create("/t/file/x").unwrap_err(),
+            FsError::NotDir,
+            "{name}"
+        );
+        assert_eq!(fs.rmdir("/t/file").unwrap_err(), FsError::NotDir, "{name}");
+        assert_eq!(fs.unlink("/t/dir").unwrap_err(), FsError::IsDir, "{name}");
+        // rename file onto dir / dir onto file.
+        assert_eq!(
+            fs.rename("/t/file", "/t/dir").unwrap_err(),
+            FsError::IsDir,
+            "{name}"
+        );
+        assert_eq!(
+            fs.rename("/t/dir", "/t/file").unwrap_err(),
+            FsError::NotDir,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn rmdir_enotempty_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/ne").unwrap();
+        fs.create("/ne/occupant").unwrap();
+        assert_eq!(fs.rmdir("/ne").unwrap_err(), FsError::NotEmpty, "{name}");
+        fs.unlink("/ne/occupant").unwrap();
+        fs.rmdir("/ne").unwrap();
+        assert_eq!(fs.getattr("/ne").unwrap_err(), FsError::NotFound, "{name}");
+    }
+}
+
+#[test]
+fn link_count_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/lc").unwrap();
+        let base = fs.getattr("/lc").unwrap();
+        assert_eq!(base.links, 2, "{name}: fresh dir has 2 links");
+        fs.mkdir("/lc/sub").unwrap();
+        assert_eq!(
+            fs.getattr("/lc").unwrap().links,
+            3,
+            "{name}: child dir adds a link"
+        );
+        fs.create("/lc/file").unwrap();
+        assert_eq!(
+            fs.getattr("/lc").unwrap().links,
+            3,
+            "{name}: files do not add links"
+        );
+        fs.rmdir("/lc/sub").unwrap();
+        assert_eq!(
+            fs.getattr("/lc").unwrap().links,
+            2,
+            "{name}: rmdir removes the link"
+        );
+        assert_eq!(
+            fs.getattr("/lc/file").unwrap().links,
+            1,
+            "{name}: file link count"
+        );
+    }
+}
+
+#[test]
+fn rename_corner_cases_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/rc").unwrap();
+        fs.create("/rc/a").unwrap();
+        // Rename to self succeeds and changes nothing.
+        fs.rename("/rc/a", "/rc/a").unwrap();
+        assert!(fs.lookup("/rc/a").is_ok(), "{name}");
+        // Rename with replacement removes the old target.
+        let a = fs.lookup("/rc/a").unwrap();
+        fs.create("/rc/b").unwrap();
+        fs.rename("/rc/a", "/rc/b").unwrap();
+        assert_eq!(fs.lookup("/rc/b").unwrap(), a, "{name}");
+        assert_eq!(fs.lookup("/rc/a").unwrap_err(), FsError::NotFound, "{name}");
+        assert_eq!(
+            fs.getattr("/rc").unwrap().children,
+            1,
+            "{name}: children after replace"
+        );
+        // Directory onto empty directory succeeds; onto non-empty fails.
+        fs.mkdir("/rc/d1").unwrap();
+        fs.mkdir("/rc/d2").unwrap();
+        fs.create("/rc/d2/x").unwrap();
+        assert_eq!(
+            fs.rename("/rc/d1", "/rc/d2").unwrap_err(),
+            FsError::NotEmpty,
+            "{name}"
+        );
+        fs.unlink("/rc/d2/x").unwrap();
+        fs.rename("/rc/d1", "/rc/d2").unwrap();
+        assert!(fs.lookup("/rc/d2").is_ok(), "{name}");
+        assert_eq!(
+            fs.lookup("/rc/d1").unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn rename_loop_prevention_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/lp").unwrap();
+        fs.mkdir("/lp/a").unwrap();
+        fs.mkdir("/lp/a/b").unwrap();
+        fs.mkdir("/lp/a/b/c").unwrap();
+        // A directory cannot move under its own descendant at any depth.
+        assert_eq!(
+            fs.rename("/lp/a", "/lp/a/b/na").unwrap_err(),
+            FsError::Loop,
+            "{name}"
+        );
+        assert_eq!(
+            fs.rename("/lp/a", "/lp/a/b/c/na").unwrap_err(),
+            FsError::Loop,
+            "{name}"
+        );
+        assert_eq!(
+            fs.rename("/lp/a/b", "/lp/a/b/c/nb").unwrap_err(),
+            FsError::Loop,
+            "{name}"
+        );
+        // Sibling and upward moves remain legal.
+        fs.rename("/lp/a/b/c", "/lp/c").unwrap();
+        assert!(fs.lookup("/lp/c").is_ok(), "{name}");
+        fs.rename("/lp/c", "/lp/a/c2").unwrap();
+        assert!(fs.lookup("/lp/a/c2").is_ok(), "{name}");
+    }
+}
+
+#[test]
+fn attribute_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/at").unwrap();
+        fs.create("/at/f").unwrap();
+        let a = fs.getattr("/at/f").unwrap();
+        assert_eq!(a.ftype, FileType::File, "{name}");
+        assert_eq!(a.size, 0, "{name}: fresh file is empty");
+        assert_eq!(a.mode, 0o644, "{name}: default file mode");
+        assert_eq!(
+            fs.getattr("/at").unwrap().mode,
+            0o755,
+            "{name}: default dir mode"
+        );
+        fs.setattr(
+            "/at/f",
+            SetAttrPatch {
+                mode: Some(0o400),
+                uid: Some(1000),
+                gid: Some(100),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let a = fs.getattr("/at/f").unwrap();
+        assert_eq!((a.mode, a.uid, a.gid), (0o400, 1000, 100), "{name}");
+        // Writes grow size; truncation via setattr shrinks it.
+        fs.write("/at/f", 0, &[1u8; 1000]).unwrap();
+        assert_eq!(fs.getattr("/at/f").unwrap().size, 1000, "{name}");
+        fs.setattr(
+            "/at/f",
+            SetAttrPatch {
+                size: Some(10),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(fs.getattr("/at/f").unwrap().size, 10, "{name}");
+    }
+}
+
+#[test]
+fn symlink_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/sl").unwrap();
+        fs.create("/sl/target").unwrap();
+        fs.symlink("/sl/target", "/sl/link").unwrap();
+        assert_eq!(fs.readlink("/sl/link").unwrap(), "/sl/target", "{name}");
+        assert_eq!(
+            fs.getattr("/sl/link").unwrap().ftype,
+            FileType::Symlink,
+            "{name}"
+        );
+        // readlink of a non-symlink fails.
+        assert!(fs.readlink("/sl/target").is_err(), "{name}");
+        // unlink removes the link, not the target.
+        fs.unlink("/sl/link").unwrap();
+        assert!(fs.lookup("/sl/target").is_ok(), "{name}");
+        assert_eq!(
+            fs.lookup("/sl/link").unwrap_err(),
+            FsError::NotFound,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn readdir_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/rd").unwrap();
+        assert!(
+            fs.readdir("/rd").unwrap().is_empty(),
+            "{name}: empty dir lists empty"
+        );
+        let mut expect = Vec::new();
+        for i in 0..40 {
+            let n = format!("entry-{i:02}");
+            fs.create(&format!("/rd/{n}")).unwrap();
+            expect.push(n);
+        }
+        fs.mkdir("/rd/zdir").unwrap();
+        expect.push("zdir".into());
+        let got: Vec<String> = fs
+            .readdir("/rd")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(got, expect, "{name}: sorted, complete listing");
+        // readdir on a file fails.
+        assert!(fs.readdir("/rd/entry-00").is_err(), "{name}");
+    }
+}
+
+#[test]
+fn data_io_family() {
+    for (name, fs) in all_systems() {
+        fs.mkdir("/io").unwrap();
+        fs.create("/io/f").unwrap();
+        // Sparse write: a hole reads back as zeros.
+        fs.write("/io/f", 100_000, b"tail").unwrap();
+        assert_eq!(fs.getattr("/io/f").unwrap().size, 100_004, "{name}");
+        let hole = fs.read("/io/f", 50_000, 8).unwrap();
+        assert_eq!(hole, vec![0u8; 8], "{name}: holes read as zeros");
+        let tail = fs.read("/io/f", 100_000, 10).unwrap();
+        assert_eq!(&tail, b"tail", "{name}");
+        // Read past EOF returns empty.
+        assert!(fs.read("/io/f", 200_000, 10).unwrap().is_empty(), "{name}");
+        // Reads/writes on directories fail.
+        assert_eq!(fs.read("/io", 0, 1).unwrap_err(), FsError::IsDir, "{name}");
+        assert_eq!(
+            fs.write("/io", 0, &[1]).unwrap_err(),
+            FsError::IsDir,
+            "{name}"
+        );
+    }
+}
