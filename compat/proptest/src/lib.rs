@@ -1,0 +1,232 @@
+//! A small property-testing framework exposing the subset of the `proptest`
+//! API this workspace uses (the build environment has no crates.io access).
+//!
+//! Supported surface: the `proptest!` macro (typed params and `name in
+//! strategy` params, optional `#![proptest_config(..)]`), `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assert_ne!`, `any::<T>()`, integer range
+//! strategies, string strategies from a small regex subset (`.*` and
+//! `[class]{m,n}`), tuple strategies, `prop_map`, `collection::vec`,
+//! `option::of`, and `Just`.
+//!
+//! Differences from real proptest: failing inputs are reported (with the
+//! case's seed) but not shrunk, and regex support covers only the patterns
+//! the workspace uses. Set `PROPTEST_CASES` to override case counts and
+//! `PROPTEST_SEED` to replay a failing run.
+
+use std::fmt;
+
+mod macros;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, Just, Map, Strategy};
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+    pub use crate::strategy::vec;
+}
+
+pub mod option {
+    //! `Option` strategies (`of`).
+    pub use crate::strategy::of;
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Deterministic generator driving the strategies: SplitMix64 over a `u64`
+/// state, so every case is reproducible from its reported seed.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the generator from a seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            // Avoid the all-zero fixed point without losing seed identity.
+            state: seed ^ 0x5851_f42d_4c95_7f2d,
+        }
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty size range");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+}
+
+/// Error type carried by `prop_assert*` failures.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runner configuration, mirroring the fields the workspace sets.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Config with the given case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Executes `cases` generated inputs of `strat` through `body`, panicking
+/// with the input, case index, and seed on the first failure. Called by the
+/// expansion of [`proptest!`]; not intended for direct use.
+pub fn run_cases<S: Strategy>(
+    test_name: &str,
+    cfg: ProptestConfig,
+    strat: S,
+    body: impl Fn(S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: fmt::Debug,
+{
+    let cases = env_u64("PROPTEST_CASES")
+        .map(|c| c as u32)
+        .unwrap_or(cfg.cases)
+        .max(1);
+    // Per-test base seed: distinct tests explore distinct streams, while a
+    // fixed name keeps runs reproducible. PROPTEST_SEED replays one case.
+    let name_hash = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
+    let forced_seed = env_u64("PROPTEST_SEED");
+    for case in 0..cases {
+        let seed = forced_seed.unwrap_or_else(|| name_hash.wrapping_add(case as u64));
+        let mut rng = TestRng::from_seed(seed);
+        let value = strat.generate(&mut rng);
+        let desc = format!("{value:?}");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        let fail_msg = match result {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e.0),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "panic".into());
+                Some(format!("panicked: {msg}"))
+            }
+        };
+        if let Some(msg) = fail_msg {
+            panic!(
+                "proptest '{test_name}' failed at case {case}/{cases} \
+                 (rerun with PROPTEST_SEED={seed}):\n  {msg}\n  input: {desc}"
+            );
+        }
+        if forced_seed.is_some() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_params_round_trip(v: u64) {
+            let bytes = v.to_le_bytes();
+            prop_assert_eq!(u64::from_le_bytes(bytes), v);
+        }
+
+        #[test]
+        fn ranges_and_strategies(x in 3..10usize, s in "[^/\0]{1,8}") {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(!s.is_empty() && s.len() <= 8 * 4);
+            prop_assert!(!s.contains('/') && !s.contains('\0'));
+        }
+
+        #[test]
+        fn vec_and_tuple(v in crate::collection::vec((0u64..100, 1u64..5), 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for (a, b) in v {
+                prop_assert!(a < 100 && (1..5).contains(&b));
+            }
+        }
+
+        #[test]
+        fn option_of_and_map(m in crate::option::of((0u64..4).prop_map(|v| v * 2))) {
+            if let Some(v) = m {
+                prop_assert!(v % 2 == 0 && v < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = crate::TestRng::from_seed(5);
+        let mut b = crate::TestRng::from_seed(5);
+        assert_eq!(
+            (0..32).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..32).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "PROPTEST_SEED=")]
+    fn failing_case_reports_seed() {
+        crate::run_cases(
+            "always_fails",
+            crate::ProptestConfig::with_cases(3),
+            0u64..10,
+            |_| Err(crate::TestCaseError::fail("nope")),
+        );
+    }
+}

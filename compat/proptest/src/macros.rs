@@ -1,0 +1,127 @@
+//! The `proptest!` macro family.
+
+/// Declares property tests. Supports the forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]   // optional
+///     #[test]
+///     fn typed(v: u64) { ... }                              // any::<u64>()
+///     #[test]
+///     fn strategies(s in ".*", n in 0..10usize) { ... }     // explicit
+///     #[test]
+///     fn mixed(kid: u64, name in "[^/\0]{1,40}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse! { (stringify!($name), $cfg) [] [] ($($params)*) $body }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse {
+    // `ident: Type` — use the type's canonical strategy.
+    ($hdr:tt [$($pats:pat_param),*] [$($strats:expr),*]
+        ($name:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_parse! { $hdr
+            [$($pats,)* $name] [$($strats,)* $crate::any::<$ty>()] ($($rest)*) $body }
+    };
+    ($hdr:tt [$($pats:pat_param),*] [$($strats:expr),*]
+        ($name:ident : $ty:ty) $body:block) => {
+        $crate::__proptest_parse! { $hdr
+            [$($pats,)* $name] [$($strats,)* $crate::any::<$ty>()] () $body }
+    };
+    // `ident in strategy` — use the strategy expression.
+    ($hdr:tt [$($pats:pat_param),*] [$($strats:expr),*]
+        ($name:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::__proptest_parse! { $hdr
+            [$($pats,)* $name] [$($strats,)* $strat] ($($rest)*) $body }
+    };
+    ($hdr:tt [$($pats:pat_param),*] [$($strats:expr),*]
+        ($name:ident in $strat:expr) $body:block) => {
+        $crate::__proptest_parse! { $hdr
+            [$($pats,)* $name] [$($strats,)* $strat] () $body }
+    };
+    // All params consumed: run the cases.
+    (($name:expr, $cfg:expr) [$($pats:pat_param),*] [$($strats:expr),*] () $body:block) => {
+        $crate::run_cases($name, $cfg, ($($strats,)*), move |($($pats,)*)| {
+            $body
+            ::core::result::Result::Ok(())
+        })
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with the
+/// generated input reported) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), a, b
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "{}\n  both: {:?}", format!($($fmt)*), a);
+    }};
+}

@@ -1,0 +1,398 @@
+//! Strategies: composable generators of random values.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::TestRng;
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                // Bias toward boundary values: codecs and comparators break
+                // at the edges far more often than in the bulk.
+                match rng.below(8) {
+                    0 => 0,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => rng.below(256) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.usize_in(0, 64);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(T::arbitrary(rng))
+        }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let len = rng.usize_in(0, 32);
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let v = (rng.next_u64() as u128 % span) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $s:ident),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Strategy for `Vec`s of `inner` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    inner: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.usize_in(self.size.start, self.size.end);
+        (0..len).map(|_| self.inner.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec`: vectors of `inner` with `size` elements.
+pub fn vec<S: Strategy>(inner: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { inner, size }
+}
+
+/// Strategy for `Option`s of `inner` (`None` one time in four).
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.generate(rng))
+        }
+    }
+}
+
+/// `proptest::option::of`: optional values of `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+/// A printable-biased random char, with occasional multibyte code points so
+/// UTF-8 length != char count is exercised.
+fn random_char(rng: &mut TestRng) -> char {
+    match rng.below(10) {
+        0 => char::from_u32(0x00A1 + rng.below(0x200) as u32).unwrap_or('¡'),
+        1 => char::from_u32(0x4E00 + rng.below(0x1000) as u32).unwrap_or('一'),
+        2 => ['\0', '\n', '\t', '/', '\\', '"', '\u{7f}'][rng.below(7) as usize],
+        _ => (0x20 + rng.below(0x5f) as u8) as char,
+    }
+}
+
+/// String strategies from a literal pattern: supports the full-freedom `.*`
+/// and one character class with a repetition count, `[class]{m,n}` (class may
+/// be negated; `\0`, `\n`, `\t`, `\\` escapes and `a-z` ranges understood).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pat =
+            Pattern::parse(self).unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        pat.generate(rng)
+    }
+}
+
+enum Pattern {
+    /// `.*` — anything goes, including the empty string.
+    AnyString,
+    /// `[class]{min,max}` — `max` inclusive, per regex repetition syntax.
+    Class {
+        negated: bool,
+        chars: Vec<char>,
+        ranges: Vec<(char, char)>,
+        min: usize,
+        max: usize,
+    },
+}
+
+impl Pattern {
+    fn parse(pat: &str) -> Option<Pattern> {
+        if pat == ".*" {
+            return Some(Pattern::AnyString);
+        }
+        let rest = pat.strip_prefix('[')?;
+        let (negated, rest) = match rest.strip_prefix('^') {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let close = rest.find(']')?;
+        let (class, rest) = (&rest[..close], &rest[close + 1..]);
+        let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+        let (min, max) = match counts.split_once(',') {
+            Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+            None => {
+                let n = counts.parse().ok()?;
+                (n, n)
+            }
+        };
+        let mut chars = Vec::new();
+        let mut ranges = Vec::new();
+        let mut it = class.chars().peekable();
+        while let Some(c) = it.next() {
+            let c = if c == '\\' {
+                match it.next()? {
+                    '0' => '\0',
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                }
+            } else {
+                c
+            };
+            if it.peek() == Some(&'-') {
+                let mut ahead = it.clone();
+                ahead.next();
+                if let Some(&hi) = ahead.peek() {
+                    if hi != ']' {
+                        it.next();
+                        it.next();
+                        ranges.push((c, hi));
+                        continue;
+                    }
+                }
+            }
+            chars.push(c);
+        }
+        Some(Pattern::Class {
+            negated,
+            chars,
+            ranges,
+            min,
+            max,
+        })
+    }
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match self {
+            Pattern::AnyString => {
+                let len = rng.usize_in(0, 24);
+                (0..len).map(|_| random_char(rng)).collect()
+            }
+            Pattern::Class {
+                negated,
+                chars,
+                ranges,
+                min,
+                max,
+            } => {
+                let len = rng.usize_in(*min, *max + 1);
+                let matches = |c: char| {
+                    chars.contains(&c) || ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c))
+                };
+                (0..len)
+                    .map(|_| {
+                        if *negated {
+                            // Rejection-sample from the generic pool.
+                            loop {
+                                let c = random_char(rng);
+                                if !matches(c) {
+                                    return c;
+                                }
+                            }
+                        } else {
+                            let n_chars = chars.len();
+                            let n_total = n_chars + ranges.len();
+                            assert!(n_total > 0, "empty character class");
+                            let pick = rng.below(n_total as u64) as usize;
+                            if pick < n_chars {
+                                chars[pick]
+                            } else {
+                                let (lo, hi) = ranges[pick - n_chars];
+                                let span = hi as u32 - lo as u32 + 1;
+                                char::from_u32(lo as u32 + rng.below(span as u64) as u32)
+                                    .unwrap_or(lo)
+                            }
+                        }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_pattern_respects_bounds_and_exclusions() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "[^/\0]{1,40}".generate(&mut rng);
+            let n = s.chars().count();
+            assert!((1..=40).contains(&n), "bad len {n}");
+            assert!(!s.contains('/') && !s.contains('\0'));
+        }
+    }
+
+    #[test]
+    fn positive_class_with_range() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            let s = "[a-c_]{2,5}".generate(&mut rng);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c) || c == '_'));
+            assert!((2..=5).contains(&s.chars().count()));
+        }
+    }
+
+    #[test]
+    fn any_string_pattern_varies() {
+        let mut rng = TestRng::from_seed(5);
+        let distinct: std::collections::HashSet<String> =
+            (0..50).map(|_| ".*".generate(&mut rng)).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn int_arbitrary_hits_boundaries() {
+        let mut rng = TestRng::from_seed(6);
+        let vals: Vec<u64> = (0..200).map(|_| u64::arbitrary(&mut rng)).collect();
+        assert!(vals.contains(&0));
+        assert!(vals.contains(&u64::MAX));
+    }
+}

@@ -1,0 +1,260 @@
+//! A minimal reimplementation of the `rand` 0.10 API surface this workspace
+//! uses (the build environment has no crates.io access).
+//!
+//! Provides the [`Rng`] core trait, the [`RngExt`] convenience extension
+//! (`random`, `random_range`, `random_bool`), [`SeedableRng::seed_from_u64`],
+//! a [`rngs::SmallRng`] built on xoshiro256**, and a [`rng()`] constructor
+//! for an OS-entropy-free "thread" rng. Distribution quality matches what the
+//! harness needs (uniform integers/floats); it makes no cryptographic claims.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Core random source: a stream of uniform `u64`s.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// One SplitMix64 step; used for seeding and stream splitting.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Types producible uniformly at random by [`RngExt::random`].
+pub trait Random: Sized {
+    /// Draws one uniform value.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for bool {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for f64 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range. Panics when the range is empty.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // span == 2^64 only for full-width u64/i64 ranges.
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                let v = rng.next_u64() as u128 % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Convenience sampling methods, blanket-implemented for every [`Rng`].
+pub trait RngExt: Rng {
+    /// Draws one uniform value of an inferred type.
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Draws one value uniformly from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::random(self) < p
+    }
+}
+
+impl<R: Rng> RngExt for R {}
+
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed through SplitMix64, as rand does, so nearby
+            // seeds give unrelated streams.
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Ambient generator returned by [`crate::rng`]. Seeded per call from a
+    /// process-global counter, so distinct calls yield distinct streams
+    /// without touching OS entropy.
+    pub struct ThreadRng(pub(crate) SmallRng);
+
+    impl Rng for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+static GLOBAL_STREAM: AtomicU64 = AtomicU64::new(0x6a0_95d6);
+
+/// Returns an ambient non-deterministic-ish generator (the `rand::rng()`
+/// entry point). Streams differ across calls; timing mixes in so repeated
+/// process runs differ too.
+pub fn rng() -> rngs::ThreadRng {
+    let n = GLOBAL_STREAM.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(0);
+    rngs::ThreadRng(rngs::SmallRng::seed_from_u64(n ^ t.rotate_left(32)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seeded_stream_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_range_stays_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = r.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = r.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn random_f64_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_respects_extremes() {
+        let mut r = SmallRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+
+    #[test]
+    fn full_width_inclusive_range_works() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let _: u64 = r.random_range(0..=u64::MAX);
+    }
+}

@@ -102,6 +102,7 @@ pub struct EntryCache {
 
 impl MetaEngine {
     /// Builds an engine over the component clients.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         config: EngineConfig,
         taf: TafDbClient,

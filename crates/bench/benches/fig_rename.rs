@@ -50,7 +50,7 @@ fn main() {
         }
         let r = run_clients(clients, Some(Duration::from_millis(1500)), None, |c| {
             let fs = system.client();
-            let mut flip = vec![false; 64];
+            let mut flip = [false; 64];
             let mut moved = 0u64;
             move |i| -> Result<bool, FsError> {
                 if i % 10 == 9 {

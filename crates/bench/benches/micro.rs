@@ -49,7 +49,7 @@ fn bench_primitive_execution(c: &mut Criterion) {
     c.bench_function("shard/point_get", |b| {
         b.iter(|| {
             j += 1;
-            black_box(shard.get(&Key::entry(ROOT_INODE, &format!("f{}", 1 + j % i.max(1)))))
+            black_box(shard.get(&Key::entry(ROOT_INODE, format!("f{}", 1 + j % i.max(1)))))
         })
     });
 }

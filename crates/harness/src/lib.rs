@@ -8,11 +8,15 @@
 //! file/IO-size distributions follow Figure 14.
 
 pub mod metrics;
+pub mod model;
+pub mod nemesis;
 pub mod runner;
 pub mod traces;
 pub mod workload;
 
 pub use metrics::{Histogram, Summary};
+pub use model::Model;
+pub use nemesis::{run_nemesis, Divergence, NemOp, NemesisOptions, NemesisReport, NemesisSchedule};
 pub use runner::{run_clients, BenchResult};
 pub use traces::{Trace, TraceKind, TraceOp};
 pub use workload::{prepare_op_workload, MetaOp, WorkloadOptions};

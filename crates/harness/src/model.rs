@@ -1,0 +1,288 @@
+//! The reference namespace model shared by every checking harness.
+//!
+//! A trivially-correct map from absolute paths to node types, implementing
+//! the same POSIX surface (and the same error kinds) as the systems under
+//! test. `tests/model_check.rs` diffs it against a live cluster op-by-op;
+//! the nemesis divergence oracle ([`crate::nemesis`]) replays fault-window
+//! histories against sets of these models.
+//!
+//! Error-kind ordering mirrors `CfsClient`: source parent resolution first,
+//! then destination parent, then entry existence, then type/emptiness rules.
+
+use std::collections::BTreeMap;
+
+use cfs_types::FsError;
+
+/// The model: absolute path → `is_dir`. Root (`"/"`) always exists.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Model {
+    /// path → is_dir
+    pub nodes: BTreeMap<String, bool>,
+}
+
+impl Default for Model {
+    fn default() -> Self {
+        Model::new()
+    }
+}
+
+impl Model {
+    /// A model holding only the root directory.
+    pub fn new() -> Model {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_string(), true);
+        Model { nodes }
+    }
+
+    /// The parent path of `path` (`"/"` for top-level entries).
+    pub fn parent_of(path: &str) -> String {
+        match path.rfind('/') {
+            Some(0) => "/".into(),
+            Some(i) => path[..i].to_string(),
+            None => "/".into(),
+        }
+    }
+
+    /// Names of the direct children of `dir`.
+    pub fn children(&self, dir: &str) -> Vec<String> {
+        let prefix = if dir == "/" {
+            "/".to_string()
+        } else {
+            format!("{dir}/")
+        };
+        self.nodes
+            .keys()
+            .filter(|p| {
+                p.starts_with(&prefix) && p.len() > prefix.len() && !p[prefix.len()..].contains('/')
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn parent_must_be_dir(&self, path: &str) -> Result<(), FsError> {
+        match self.nodes.get(&Self::parent_of(path)) {
+            Some(true) => Ok(()),
+            Some(false) => Err(FsError::NotDir),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Creates a regular file.
+    pub fn create(&mut self, path: &str) -> Result<(), FsError> {
+        self.parent_must_be_dir(path)?;
+        if self.nodes.contains_key(path) {
+            return Err(FsError::AlreadyExists);
+        }
+        self.nodes.insert(path.to_string(), false);
+        Ok(())
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, path: &str) -> Result<(), FsError> {
+        self.parent_must_be_dir(path)?;
+        if self.nodes.contains_key(path) {
+            return Err(FsError::AlreadyExists);
+        }
+        self.nodes.insert(path.to_string(), true);
+        Ok(())
+    }
+
+    /// Removes a regular file.
+    pub fn unlink(&mut self, path: &str) -> Result<(), FsError> {
+        self.parent_must_be_dir(path)?;
+        match self.nodes.get(path) {
+            None => Err(FsError::NotFound),
+            Some(true) => Err(FsError::IsDir),
+            Some(false) => {
+                self.nodes.remove(path);
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &str) -> Result<(), FsError> {
+        self.parent_must_be_dir(path)?;
+        match self.nodes.get(path) {
+            None => Err(FsError::NotFound),
+            Some(false) => Err(FsError::NotDir),
+            Some(true) => {
+                if !self.children(path).is_empty() {
+                    return Err(FsError::NotEmpty);
+                }
+                self.nodes.remove(path);
+                Ok(())
+            }
+        }
+    }
+
+    /// Resolves a path. Like the client's path walk, a file appearing as an
+    /// intermediate component yields `NotDir`.
+    pub fn lookup(&self, path: &str) -> Result<(), FsError> {
+        self.parent_must_be_dir(path)?;
+        if self.nodes.contains_key(path) {
+            Ok(())
+        } else {
+            Err(FsError::NotFound)
+        }
+    }
+
+    /// Applies an attribute update; namespace-invisible, but the target must
+    /// exist (matching `CfsClient::setattr` resolution).
+    pub fn setattr(&mut self, path: &str) -> Result<(), FsError> {
+        self.parent_must_be_dir(path)?;
+        match self.nodes.get(path) {
+            Some(_) => Ok(()),
+            None => Err(FsError::NotFound),
+        }
+    }
+
+    /// Renames `src` to `dst` with POSIX semantics: destination replacement
+    /// for compatible types, `Loop` when a directory would move into its own
+    /// subtree, no-op success when `src == dst`.
+    pub fn rename(&mut self, src: &str, dst: &str) -> Result<(), FsError> {
+        // Parent resolution first, mirroring the client's resolve order.
+        self.parent_must_be_dir(src)?;
+        self.parent_must_be_dir(dst)?;
+        if src == dst {
+            return self.lookup(src);
+        }
+        let src_is_dir = *self.nodes.get(src).ok_or(FsError::NotFound)?;
+        // Destination type conflicts are diagnosed before the loop check,
+        // matching the renamer's validation order.
+        match (src_is_dir, self.nodes.get(dst).copied()) {
+            (_, None) => {}
+            (true, Some(true)) => {
+                if !self.children(dst).is_empty() {
+                    return Err(FsError::NotEmpty);
+                }
+            }
+            (true, Some(false)) => return Err(FsError::NotDir),
+            (false, Some(true)) => return Err(FsError::IsDir),
+            (false, Some(false)) => {}
+        }
+        if src_is_dir && dst.starts_with(&format!("{src}/")) {
+            return Err(FsError::Loop);
+        }
+        self.nodes.remove(dst);
+        if src_is_dir {
+            // Move the whole subtree.
+            let prefix = format!("{src}/");
+            let moved: Vec<(String, bool)> = self
+                .nodes
+                .range(prefix.clone()..)
+                .take_while(|(p, _)| p.starts_with(&prefix))
+                .map(|(p, &d)| (format!("{dst}/{}", &p[prefix.len()..]), d))
+                .collect();
+            self.nodes.retain(|p, _| !p.starts_with(&prefix));
+            self.nodes.extend(moved);
+        }
+        self.nodes.remove(src);
+        self.nodes.insert(dst.to_string(), src_is_dir);
+        Ok(())
+    }
+
+    /// The model's namespace restricted to `root` and its subtree, as
+    /// path → is_dir (used by the nemesis final-state comparison).
+    pub fn subtree(&self, root: &str) -> BTreeMap<String, bool> {
+        let prefix = format!("{root}/");
+        self.nodes
+            .iter()
+            .filter(|(p, _)| p.as_str() == root || p.starts_with(&prefix))
+            .map(|(p, &d)| (p.clone(), d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> Model {
+        let mut m = Model::new();
+        m.mkdir("/a").unwrap();
+        m.mkdir("/a/sub").unwrap();
+        m.create("/a/f").unwrap();
+        m.mkdir("/b").unwrap();
+        m
+    }
+
+    #[test]
+    fn create_requires_dir_parent() {
+        let mut m = seeded();
+        assert_eq!(m.create("/a/f/x"), Err(FsError::NotDir));
+        assert_eq!(m.create("/zzz/x"), Err(FsError::NotFound));
+        assert_eq!(m.create("/a/f"), Err(FsError::AlreadyExists));
+        assert_eq!(m.create("/a/g"), Ok(()));
+    }
+
+    #[test]
+    fn rmdir_rejects_nonempty_and_files() {
+        let mut m = seeded();
+        assert_eq!(m.rmdir("/a"), Err(FsError::NotEmpty));
+        assert_eq!(m.rmdir("/a/f"), Err(FsError::NotDir));
+        assert_eq!(m.unlink("/a/sub"), Err(FsError::IsDir));
+        assert_eq!(m.rmdir("/a/sub"), Ok(()));
+    }
+
+    #[test]
+    fn rename_file_replaces_file() {
+        let mut m = seeded();
+        m.create("/b/g").unwrap();
+        assert_eq!(m.rename("/a/f", "/b/g"), Ok(()));
+        assert_eq!(m.lookup("/a/f"), Err(FsError::NotFound));
+        assert_eq!(m.lookup("/b/g"), Ok(()));
+    }
+
+    #[test]
+    fn rename_dir_moves_subtree() {
+        let mut m = seeded();
+        m.create("/a/sub/deep").unwrap();
+        assert_eq!(m.rename("/a", "/b/a2"), Ok(()));
+        assert_eq!(m.lookup("/b/a2/sub/deep"), Ok(()));
+        assert_eq!(m.lookup("/a"), Err(FsError::NotFound));
+        assert_eq!(m.nodes.get("/b/a2"), Some(&true));
+    }
+
+    #[test]
+    fn rename_type_conflicts() {
+        let mut m = seeded();
+        assert_eq!(m.rename("/a", "/a/sub/x"), Err(FsError::Loop));
+        // Destination type conflict wins over the loop check, like the
+        // renamer service.
+        assert_eq!(m.rename("/a", "/a/f"), Err(FsError::NotDir));
+        m.mkdir("/a/e").unwrap();
+        assert_eq!(m.rename("/a", "/a/e"), Err(FsError::Loop));
+        m.rmdir("/a/e").unwrap();
+        assert_eq!(m.rename("/a/f", "/b"), Err(FsError::IsDir));
+        m.create("/b/x").unwrap();
+        assert_eq!(m.rename("/a", "/b"), Err(FsError::NotEmpty));
+        assert_eq!(m.rename("/b/x", "/b/x"), Ok(()));
+        assert_eq!(m.rename("/b/nope", "/b/y"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn rename_dir_replaces_empty_dir() {
+        let mut m = seeded();
+        m.mkdir("/b/empty").unwrap();
+        assert_eq!(m.rename("/a/sub", "/b/empty"), Ok(()));
+        assert_eq!(m.nodes.get("/b/empty"), Some(&true));
+        assert_eq!(m.lookup("/a/sub"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn setattr_requires_existence() {
+        let mut m = seeded();
+        assert_eq!(m.setattr("/a/f"), Ok(()));
+        assert_eq!(m.setattr("/a"), Ok(()));
+        assert_eq!(m.setattr("/a/nope"), Err(FsError::NotFound));
+    }
+
+    #[test]
+    fn subtree_filters_by_prefix() {
+        let m = seeded();
+        let sub = m.subtree("/a");
+        assert!(sub.contains_key("/a") && sub.contains_key("/a/f"));
+        assert!(!sub.contains_key("/b"));
+    }
+}

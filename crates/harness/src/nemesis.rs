@@ -1,0 +1,844 @@
+//! Seeded fault-injection (nemesis) driver and divergence oracle.
+//!
+//! One `u64` seed determines the entire experiment: the fault schedule
+//! (node kills, partitions, drop-rate spikes — all reverted by a heal), the
+//! per-thread operation streams, and — through the seeded network in
+//! `cfs-rpc` — every message-drop and jitter decision. A failing run is
+//! reported with its seed and reproduces with `CFS_SIM_SEED=<seed>`.
+//!
+//! Determinism boundary: workload threads run on real OS threads against a
+//! wall-clock Raft, so *results* (which ops hit a fault window) vary between
+//! runs. What is a pure function of the seed — and what
+//! [`NemesisReport::canonical_log`] therefore contains — is everything the
+//! simulation *injects*: the fault schedule and the full per-thread op
+//! streams. Results are judged instead by the divergence oracle.
+//!
+//! The oracle replays each thread's surviving history against the reference
+//! [`Model`](crate::model::Model). Threads own disjoint subtrees, so each
+//! per-thread history is sequential and the check needs no linearizability
+//! search. Ops in flight during a fault may time out after the client's
+//! retry budget (`Timeout`/`NotLeader`), or be internally retried so that a
+//! first attempt's lost success resurfaces as `AlreadyExists`/`NotFound`
+//! (the op colliding with itself). The oracle accepts either outcome by
+//! forking candidate states. Error *kinds* are never used to prune: the
+//! resolution reads an op performs before committing can observe stale
+//! state mid-fault, so a definite error only asserts "this op did not
+//! commit", not which state it saw. The judging power comes from the two
+//! observations faults cannot excuse — an op that reported `Ok` must be
+//! possible in some candidate, and the final namespace (read after heal +
+//! re-election) must equal some candidate exactly, allowing ops abandoned
+//! at a timeout to land after the sequence ends.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use cfs_core::{CfsCluster, CfsConfig, FileSystem};
+use cfs_filestore::SetAttrPatch;
+use cfs_rpc::SimRng;
+use cfs_types::{FileType, FsError};
+
+use crate::model::Model;
+
+/// Workload threads (each owning the `/nem/c{t}` subtree).
+pub const NEMESIS_THREADS: usize = 3;
+
+/// Stream labels carving independent [`SimRng`] children out of the seed.
+const LBL_SCHEDULE: u64 = 0x5eed_0001;
+const LBL_WORKLOAD: u64 = 0x5eed_0002;
+
+/// Upper bound on oracle candidate states per thread; crossing it means the
+/// history is so fault-riddled the check would be vacuous.
+const MAX_CANDIDATES: usize = 4096;
+
+// ---------------------------------------------------------------------------
+// Fault schedule
+// ---------------------------------------------------------------------------
+
+/// A Raft replica addressed logically (resolved to a `NodeId` at run time).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Target {
+    /// TafDB shard group (true) or FileStore group (false).
+    pub taf: bool,
+    /// Group index.
+    pub group: usize,
+    /// Replica index within the group.
+    pub replica: usize,
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.taf { "taf" } else { "fs" };
+        write!(f, "{kind}[{}].r{}", self.group, self.replica)
+    }
+}
+
+/// One injectable fault; each is reverted at the end of its window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Crash one replica (revived at window end).
+    Kill(Target),
+    /// Partition one replica away from the rest of the cluster (healed at
+    /// window end).
+    Isolate(Target),
+    /// Raise the one-way drop rate, in millionths (cleared at window end).
+    DropSpike(u32),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Kill(t) => write!(f, "kill {t}"),
+            Fault::Isolate(t) => write!(f, "isolate {t}"),
+            Fault::DropSpike(m) => write!(f, "drop-spike {m}ppm"),
+        }
+    }
+}
+
+/// A fault active during `[start_ms, end_ms)` from workload start.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultWindow {
+    /// Window start, milliseconds from workload start.
+    pub start_ms: u64,
+    /// Window end (fault reverted), milliseconds from workload start.
+    pub end_ms: u64,
+    /// The fault held open for the window.
+    pub fault: Fault,
+}
+
+/// The seed-derived fault plan: non-overlapping windows, each reverted
+/// before the next opens, so at most one replica per group is ever down.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NemesisSchedule {
+    /// Windows in increasing time order.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl NemesisSchedule {
+    /// Derives the fault plan for `seed` against a `taf_shards`×/`fs_groups`×
+    /// `replication` deployment. Pure: same inputs, same schedule.
+    pub fn generate(seed: u64, taf_shards: usize, fs_groups: usize, replication: usize) -> Self {
+        let mut rng = SimRng::from_seed(seed).split(LBL_SCHEDULE);
+        let mut windows = Vec::new();
+        let count = 3 + rng.below(3); // 3..=5 windows
+        let mut cursor = 60u64;
+        for _ in 0..count {
+            let start_ms = cursor + 20 + rng.below(70);
+            let dur = 80 + rng.below(170); // 80..250 ms
+            let fault = match rng.below(10) {
+                0..=3 => Fault::Kill(pick_target(&mut rng, taf_shards, fs_groups, replication)),
+                4..=6 => Fault::Isolate(pick_target(&mut rng, taf_shards, fs_groups, replication)),
+                // 10%..40% one-way drop: disruptive but recoverable within
+                // the Raft heartbeat/resend cycle.
+                _ => Fault::DropSpike(100_000 + rng.below(300_000) as u32),
+            };
+            windows.push(FaultWindow {
+                start_ms,
+                end_ms: start_ms + dur,
+                fault,
+            });
+            cursor = start_ms + dur;
+        }
+        NemesisSchedule { windows }
+    }
+
+    /// Last fault-revert time, ms from workload start.
+    pub fn end_ms(&self) -> u64 {
+        self.windows.last().map(|w| w.end_ms).unwrap_or(0)
+    }
+}
+
+fn pick_target(
+    rng: &mut SimRng,
+    taf_shards: usize,
+    fs_groups: usize,
+    replication: usize,
+) -> Target {
+    let taf = rng.below(10) < 7; // metadata path faults dominate
+    let groups = if taf { taf_shards } else { fs_groups };
+    Target {
+        taf,
+        group: rng.below(groups as u64) as usize,
+        replica: rng.below(replication as u64) as usize,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload
+// ---------------------------------------------------------------------------
+
+/// One metadata operation in a nemesis history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum NemOp {
+    /// Create a regular file.
+    Create(String),
+    /// Create a directory.
+    Mkdir(String),
+    /// Remove a file.
+    Unlink(String),
+    /// Remove an empty directory.
+    Rmdir(String),
+    /// Rename (src, dst).
+    Rename(String, String),
+    /// Attribute update (chmod-style).
+    Setattr(String),
+    /// Path resolution (read-only; not judged by the oracle — reads during a
+    /// failover window are documented as possibly stale).
+    Lookup(String),
+}
+
+impl fmt::Display for NemOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NemOp::Create(p) => write!(f, "create {p}"),
+            NemOp::Mkdir(p) => write!(f, "mkdir {p}"),
+            NemOp::Unlink(p) => write!(f, "unlink {p}"),
+            NemOp::Rmdir(p) => write!(f, "rmdir {p}"),
+            NemOp::Rename(s, d) => write!(f, "rename {s} -> {d}"),
+            NemOp::Setattr(p) => write!(f, "setattr {p}"),
+            NemOp::Lookup(p) => write!(f, "lookup {p}"),
+        }
+    }
+}
+
+/// The subtree root owned by workload thread `t`.
+pub fn thread_root(t: usize) -> String {
+    format!("/nem/c{t}")
+}
+
+fn gen_path(rng: &mut SimRng, base: &str) -> String {
+    const DIRS: [&str; 2] = ["d0", "d1"];
+    const LEAVES: [&str; 5] = ["d0", "d1", "f0", "f1", "f2"];
+    if rng.below(10) < 6 {
+        format!("{base}/{}", LEAVES[rng.below(5) as usize])
+    } else {
+        format!(
+            "{base}/{}/{}",
+            DIRS[rng.below(2) as usize],
+            LEAVES[rng.below(5) as usize]
+        )
+    }
+}
+
+/// Generates thread `t`'s op stream for `seed`: a pure function of both, and
+/// oblivious to op results, so the issued history is identical across runs.
+pub fn generate_ops(seed: u64, t: usize, count: usize) -> Vec<NemOp> {
+    let mut rng = SimRng::from_seed(seed)
+        .split(LBL_WORKLOAD)
+        .split(t as u64 + 1);
+    let base = thread_root(t);
+    (0..count)
+        .map(|_| {
+            let p = gen_path(&mut rng, &base);
+            match rng.below(100) {
+                0..=24 => NemOp::Create(p),
+                25..=44 => NemOp::Mkdir(p),
+                45..=59 => NemOp::Unlink(p),
+                60..=69 => NemOp::Rmdir(p),
+                70..=84 => NemOp::Rename(p, gen_path(&mut rng, &base)),
+                85..=94 => NemOp::Setattr(p),
+                _ => NemOp::Lookup(p),
+            }
+        })
+        .collect()
+}
+
+fn apply_fs(fs: &impl FileSystem, op: &NemOp) -> Result<(), FsError> {
+    match op {
+        NemOp::Create(p) => fs.create(p).map(|_| ()),
+        NemOp::Mkdir(p) => fs.mkdir(p).map(|_| ()),
+        NemOp::Unlink(p) => fs.unlink(p),
+        NemOp::Rmdir(p) => fs.rmdir(p),
+        NemOp::Rename(s, d) => fs.rename(s, d),
+        NemOp::Setattr(p) => fs.setattr(
+            p,
+            SetAttrPatch {
+                mode: Some(0o640),
+                ..SetAttrPatch::default()
+            },
+        ),
+        NemOp::Lookup(p) => fs.lookup(p).map(|_| ()),
+    }
+}
+
+fn apply_model(m: &mut Model, op: &NemOp) -> Result<(), FsError> {
+    match op {
+        NemOp::Create(p) => m.create(p),
+        NemOp::Mkdir(p) => m.mkdir(p),
+        NemOp::Unlink(p) => m.unlink(p),
+        NemOp::Rmdir(p) => m.rmdir(p),
+        NemOp::Rename(s, d) => m.rename(s, d),
+        NemOp::Setattr(p) => m.setattr(p),
+        NemOp::Lookup(p) => m.lookup(p),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Divergence oracle
+// ---------------------------------------------------------------------------
+
+/// The error a successfully-applied op reports when the client's internal
+/// retry collides with the op's own first attempt (response lost to a
+/// fault, retry observes the already-applied state).
+fn self_collision(op: &NemOp) -> Option<FsError> {
+    match op {
+        NemOp::Create(_) | NemOp::Mkdir(_) => Some(FsError::AlreadyExists),
+        NemOp::Unlink(_) | NemOp::Rmdir(_) | NemOp::Rename(..) => Some(FsError::NotFound),
+        // Setattr retries are idempotent (re-applying converges to Ok), and
+        // lookups are never judged.
+        NemOp::Setattr(_) | NemOp::Lookup(_) => None,
+    }
+}
+
+/// True when `e` is what an op surfaces after exhausting the client's retry
+/// budget mid-fault — the oracle cannot tell whether the op applied.
+fn indeterminate(e: &FsError) -> bool {
+    e.is_retryable()
+}
+
+/// A detected divergence: no candidate state explains an observation.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Workload thread.
+    pub thread: usize,
+    /// Index into the thread's op stream (`None`: final-state mismatch).
+    pub op_index: Option<usize>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op_index {
+            Some(i) => write!(f, "thread {} op #{}: {}", self.thread, i, self.detail),
+            None => write!(f, "thread {} final state: {}", self.thread, self.detail),
+        }
+    }
+}
+
+/// Replays one thread's history against the model, forking candidates on
+/// ambiguous results, and checks the observed final subtree against the
+/// surviving candidates.
+pub fn check_thread_history(
+    thread: usize,
+    ops: &[NemOp],
+    results: &[Result<(), FsError>],
+    final_subtree: &BTreeMap<String, bool>,
+) -> Result<(), Divergence> {
+    assert_eq!(ops.len(), results.len());
+    let root = thread_root(thread);
+    let mut base = Model::new();
+    base.mkdir("/nem").expect("fresh model");
+    base.mkdir(&root).expect("fresh model");
+
+    let mut candidates = vec![base];
+    for (i, (op, observed)) in ops.iter().zip(results).enumerate() {
+        if matches!(op, NemOp::Lookup(_)) {
+            continue; // reads may be stale during failover windows
+        }
+        let mut next: Vec<Model> = Vec::new();
+        let push = |next: &mut Vec<Model>, m: Model| {
+            if !next.contains(&m) {
+                next.push(m);
+            }
+        };
+        for cand in &candidates {
+            let mut applied = cand.clone();
+            let predicted = apply_model(&mut applied, op);
+            match observed {
+                Ok(()) => {
+                    if predicted.is_ok() {
+                        push(&mut next, applied);
+                    }
+                }
+                Err(e) => {
+                    // Any error means the op did not commit from this
+                    // candidate's point of view, so the unchanged state
+                    // always survives. The error *kind* is not matched
+                    // against the prediction: mid-fault, the resolution
+                    // reads an op performs before committing can observe
+                    // stale state (a killed replica rejoining, a failover
+                    // read), surfacing an error that describes an earlier
+                    // namespace — e.g. rmdir returning NotFound for a
+                    // directory that exists. Wrong-result bugs are instead
+                    // caught by Ok-observations and the final-state match.
+                    push(&mut next, cand.clone());
+                    if predicted.is_ok() {
+                        if indeterminate(e) {
+                            // Retry budget exhausted mid-fault: the op may
+                            // also have applied (and may still apply later;
+                            // see the late-landing extension below).
+                            push(&mut next, applied);
+                        } else if self_collision(op).as_ref() == Some(e) {
+                            // A lost success resurfacing via internal retry.
+                            push(&mut next, applied);
+                        }
+                    }
+                }
+            }
+        }
+        if next.is_empty() {
+            return Err(Divergence {
+                thread,
+                op_index: Some(i),
+                detail: format!(
+                    "`{op}` observed {observed:?}, unexplainable from any of {} candidate state(s)",
+                    candidates.len()
+                ),
+            });
+        }
+        if next.len() > MAX_CANDIDATES {
+            return Err(Divergence {
+                thread,
+                op_index: Some(i),
+                detail: format!(
+                    "oracle state explosion: {} candidates (history too ambiguous to check)",
+                    next.len()
+                ),
+            });
+        }
+        candidates = next;
+    }
+
+    // An op abandoned mid-fault (indeterminate result) was forked as
+    // applied-at-issue above, but its proposal can also land *after* the
+    // last op of the sequence — e.g. a partitioned leader's log surviving
+    // the heal. Extend the candidate set with every in-order subset of the
+    // abandoned ops applied at the end.
+    let abandoned: Vec<&NemOp> = ops
+        .iter()
+        .zip(results)
+        .filter(|(op, r)| {
+            !matches!(op, NemOp::Lookup(_)) && matches!(r, Err(e) if indeterminate(e))
+        })
+        .map(|(op, _)| op)
+        .collect();
+    for op in abandoned {
+        let mut extended = candidates.clone();
+        for cand in &candidates {
+            let mut applied = cand.clone();
+            if apply_model(&mut applied, op).is_ok() && !extended.contains(&applied) {
+                extended.push(applied);
+            }
+        }
+        if extended.len() > MAX_CANDIDATES {
+            break; // keep the check bounded; the base set is still valid
+        }
+        candidates = extended;
+    }
+
+    if candidates
+        .iter()
+        .any(|c| &c.subtree(&root) == final_subtree)
+    {
+        return Ok(());
+    }
+    let closest = candidates
+        .iter()
+        .map(|c| c.subtree(&root))
+        .min_by_key(|s| symmetric_diff(s, final_subtree))
+        .unwrap_or_default();
+    Err(Divergence {
+        thread,
+        op_index: None,
+        detail: format!(
+            "observed namespace matches none of {} candidate(s).\n  observed: {:?}\n  closest candidate: {:?}",
+            candidates.len(),
+            final_subtree,
+            closest
+        ),
+    })
+}
+
+fn symmetric_diff(a: &BTreeMap<String, bool>, b: &BTreeMap<String, bool>) -> usize {
+    a.iter().filter(|(k, v)| b.get(*k) != Some(v)).count()
+        + b.iter().filter(|(k, v)| a.get(*k) != Some(v)).count()
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Tunables for one nemesis run.
+#[derive(Clone, Copy, Debug)]
+pub struct NemesisOptions {
+    /// Ops issued per workload thread.
+    pub ops_per_thread: usize,
+}
+
+impl Default for NemesisOptions {
+    fn default() -> Self {
+        NemesisOptions {
+            ops_per_thread: std::env::var("CFS_NEMESIS_OPS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(50),
+        }
+    }
+}
+
+/// Everything a nemesis run yields.
+pub struct NemesisReport {
+    /// The seed the run derived from.
+    pub seed: u64,
+    /// Per-thread observed results, parallel to `generate_ops(seed, t, ..)`.
+    pub results: Vec<Vec<Result<(), FsError>>>,
+    /// First divergence found, if any.
+    pub divergence: Option<Divergence>,
+    canonical: String,
+}
+
+impl NemesisReport {
+    /// The canonical op-history log: the seed, the fault schedule, and every
+    /// issued op — i.e. every seed-derived injection decision. Byte-identical
+    /// across runs with the same seed (results are excluded: they depend on
+    /// wall-clock Raft timing and are judged by the oracle instead).
+    pub fn canonical_log(&self) -> &str {
+        &self.canonical
+    }
+}
+
+/// Renders the canonical log for `seed` without running anything (the run's
+/// log must equal this by construction; the determinism test asserts it).
+pub fn canonical_log_for(seed: u64, opts: &NemesisOptions, schedule: &NemesisSchedule) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("seed={seed}\nschedule:\n"));
+    for w in &schedule.windows {
+        out.push_str(&format!(
+            "  +{}ms..+{}ms {}\n",
+            w.start_ms, w.end_ms, w.fault
+        ));
+    }
+    out.push_str("ops:\n");
+    for t in 0..NEMESIS_THREADS {
+        for (i, op) in generate_ops(seed, t, opts.ops_per_thread)
+            .iter()
+            .enumerate()
+        {
+            out.push_str(&format!("  t{t}#{i} {op}\n"));
+        }
+    }
+    out
+}
+
+/// Boots a `test_small` cluster seeded with `seed`, drives the seed-derived
+/// workload and fault schedule against it, heals, and runs the divergence
+/// oracle over the surviving history.
+pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
+    let mut config = CfsConfig::test_small();
+    config.net.seed = seed;
+    let schedule = NemesisSchedule::generate(
+        seed,
+        config.taf_shards,
+        config.filestore_nodes,
+        config.replication,
+    );
+    let canonical = canonical_log_for(seed, &opts, &schedule);
+
+    let cluster = CfsCluster::start(config.clone()).expect("cluster boot");
+
+    // Pre-create the per-thread roots before any fault opens.
+    let setup = cluster.client();
+    setup.mkdir("/nem").expect("setup mkdir /nem");
+    for t in 0..NEMESIS_THREADS {
+        setup.mkdir(&thread_root(t)).expect("setup thread root");
+    }
+
+    let per_thread_ops: Vec<Vec<NemOp>> = (0..NEMESIS_THREADS)
+        .map(|t| generate_ops(seed, t, opts.ops_per_thread))
+        .collect();
+    let pace_rng = SimRng::from_seed(seed).split(LBL_WORKLOAD);
+
+    let start = Instant::now();
+    let results: Vec<Vec<Result<(), FsError>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, ops) in per_thread_ops.iter().enumerate() {
+            let client = cluster.client();
+            // Pacing stream: seed-pure sleep lengths spreading issuance
+            // across the fault schedule.
+            let mut pace = pace_rng.split(0x70ace).split(t as u64 + 1);
+            handles.push(scope.spawn(move || {
+                ops.iter()
+                    .map(|op| {
+                        std::thread::sleep(Duration::from_millis(4 + pace.below(12)));
+                        apply_fs(&client, op)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+
+        // The nemesis itself: walk the schedule on this thread.
+        let net = cluster.network();
+        let resolve = |tgt: Target| {
+            if tgt.taf {
+                cluster.taf_groups()[tgt.group].raft().nodes()[tgt.replica].id()
+            } else {
+                cluster.fs_groups()[tgt.group].raft().nodes()[tgt.replica].id()
+            }
+        };
+        let all_raft_nodes = || {
+            let mut ids = Vec::new();
+            for g in cluster.taf_groups() {
+                ids.extend(g.raft().nodes().iter().map(|n| n.id()));
+            }
+            for g in cluster.fs_groups() {
+                ids.extend(g.raft().nodes().iter().map(|n| n.id()));
+            }
+            ids
+        };
+        for w in &schedule.windows {
+            sleep_until(start, w.start_ms);
+            match w.fault {
+                Fault::Kill(t) => net.kill(resolve(t)),
+                Fault::Isolate(t) => {
+                    let victim = resolve(t);
+                    let rest: Vec<_> = all_raft_nodes()
+                        .into_iter()
+                        .filter(|&n| n != victim)
+                        .collect();
+                    net.partition(vec![vec![victim], rest]);
+                }
+                Fault::DropSpike(ppm) => net.set_drop_rate(ppm as f64 / 1e6),
+            }
+            sleep_until(start, w.end_ms);
+            match w.fault {
+                Fault::Kill(t) => net.revive(resolve(t)),
+                Fault::Isolate(_) => net.heal(),
+                Fault::DropSpike(_) => net.set_drop_rate(0.0),
+            }
+        }
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("workload thread"))
+            .collect()
+    });
+
+    // Belt and braces: revert every fault class, then wait for re-election so
+    // the final read runs against a healthy cluster.
+    let net = cluster.network();
+    net.heal();
+    net.set_drop_rate(0.0);
+    for g in cluster.taf_groups() {
+        for n in g.raft().nodes() {
+            net.revive(n.id());
+        }
+    }
+    for g in cluster.fs_groups() {
+        for n in g.raft().nodes() {
+            net.revive(n.id());
+        }
+    }
+    for g in cluster.taf_groups() {
+        g.wait_ready(Duration::from_secs(30)).expect("taf re-elect");
+    }
+    for g in cluster.fs_groups() {
+        g.wait_ready(Duration::from_secs(30)).expect("fs re-elect");
+    }
+
+    // If any op was abandoned at an indeterminate result, its proposal may
+    // still be in flight (bounded by the raft propose timeout, plus a
+    // renamer continuation finishing against the healed cluster). Let it
+    // land before taking the final read, so the oracle's late-landing
+    // extension sees a settled namespace rather than a torn mid-walk mix.
+    let any_abandoned = results
+        .iter()
+        .flatten()
+        .any(|r| matches!(r, Err(e) if e.is_retryable()));
+    if any_abandoned {
+        std::thread::sleep(Duration::from_secs(6));
+    }
+
+    let walker = cluster.client();
+    let mut divergence = None;
+    for (t, (ops, res)) in per_thread_ops.iter().zip(&results).enumerate() {
+        let observed = walk_subtree(&walker, &thread_root(t));
+        if let Err(d) = check_thread_history(t, ops, res, &observed) {
+            divergence = Some(d);
+            break;
+        }
+    }
+
+    NemesisReport {
+        seed,
+        results,
+        divergence,
+        canonical,
+    }
+}
+
+fn sleep_until(start: Instant, ms: u64) {
+    let target = start + Duration::from_millis(ms);
+    let now = Instant::now();
+    if target > now {
+        std::thread::sleep(target - now);
+    }
+}
+
+/// Recursively lists `root` (which must exist) into path → is_dir, retrying
+/// transient errors — the cluster has healed, so persistent failures here
+/// are themselves a test failure.
+fn walk_subtree(fs: &impl FileSystem, root: &str) -> BTreeMap<String, bool> {
+    let mut out = BTreeMap::new();
+    out.insert(root.to_string(), true);
+    let mut stack = vec![root.to_string()];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while let Some(dir) = stack.pop() {
+        let entries = loop {
+            match fs.readdir(&dir) {
+                Ok(es) => break es,
+                Err(e) if e.is_retryable() && Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("readdir {dir} after heal failed: {e:?}"),
+            }
+        };
+        for e in entries {
+            let path = format!("{dir}/{}", e.name);
+            let is_dir = e.ftype == FileType::Dir;
+            out.insert(path.clone(), is_dir);
+            if is_dir {
+                stack.push(path);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_a_pure_function_of_the_seed() {
+        let a = NemesisSchedule::generate(7, 2, 2, 3);
+        let b = NemesisSchedule::generate(7, 2, 2, 3);
+        assert_eq!(a, b);
+        let c = NemesisSchedule::generate(8, 2, 2, 3);
+        assert_ne!(a, c);
+        // Windows are disjoint and ordered.
+        for w in a.windows.windows(2) {
+            assert!(w[0].end_ms <= w[1].start_ms);
+        }
+    }
+
+    #[test]
+    fn ops_are_a_pure_function_of_seed_and_thread() {
+        assert_eq!(generate_ops(3, 0, 40), generate_ops(3, 0, 40));
+        assert_ne!(generate_ops(3, 0, 40), generate_ops(3, 1, 40));
+        assert_ne!(generate_ops(3, 0, 40), generate_ops(4, 0, 40));
+        for op in generate_ops(11, 2, 200) {
+            let p = match &op {
+                NemOp::Create(p)
+                | NemOp::Mkdir(p)
+                | NemOp::Unlink(p)
+                | NemOp::Rmdir(p)
+                | NemOp::Rename(p, _)
+                | NemOp::Setattr(p)
+                | NemOp::Lookup(p) => p,
+            };
+            assert!(p.starts_with("/nem/c2/"), "op escaped its subtree: {op}");
+        }
+    }
+
+    #[test]
+    fn oracle_accepts_a_clean_history() {
+        let ops = vec![
+            NemOp::Mkdir("/nem/c0/d0".into()),
+            NemOp::Create("/nem/c0/d0/f0".into()),
+            NemOp::Create("/nem/c0/d0/f0".into()),
+            NemOp::Rename("/nem/c0/d0/f0".into(), "/nem/c0/f1".into()),
+            NemOp::Rmdir("/nem/c0/d0".into()),
+        ];
+        let results = vec![Ok(()), Ok(()), Err(FsError::AlreadyExists), Ok(()), Ok(())];
+        let mut fin = BTreeMap::new();
+        fin.insert("/nem/c0".to_string(), true);
+        fin.insert("/nem/c0/f1".to_string(), false);
+        check_thread_history(0, &ops, &results, &fin).unwrap();
+    }
+
+    #[test]
+    fn oracle_forks_on_indeterminate_results() {
+        // A create that timed out may or may not have applied; both final
+        // states must be accepted.
+        let ops = vec![NemOp::Create("/nem/c0/f0".into())];
+        let results = vec![Err(FsError::Timeout)];
+        let mut absent = BTreeMap::new();
+        absent.insert("/nem/c0".to_string(), true);
+        let mut present = absent.clone();
+        present.insert("/nem/c0/f0".to_string(), false);
+        check_thread_history(0, &ops, &results, &absent).unwrap();
+        check_thread_history(0, &ops, &results, &present).unwrap();
+    }
+
+    #[test]
+    fn oracle_accepts_self_collision_errors() {
+        // First attempt applied, response lost, retry reports AlreadyExists:
+        // the file must then exist.
+        let ops = vec![NemOp::Create("/nem/c0/f0".into())];
+        let results = vec![Err(FsError::AlreadyExists)];
+        let mut present = BTreeMap::new();
+        present.insert("/nem/c0".to_string(), true);
+        present.insert("/nem/c0/f0".to_string(), false);
+        check_thread_history(0, &ops, &results, &present).unwrap();
+        // An error never commits anything, so the untouched namespace is
+        // also legal (the kind may stem from a stale resolution read) —
+        // but a *directory* at that name matches neither fork.
+        let mut absent = BTreeMap::new();
+        absent.insert("/nem/c0".to_string(), true);
+        check_thread_history(0, &ops, &results, &absent).unwrap();
+        let mut dir = BTreeMap::new();
+        dir.insert("/nem/c0".to_string(), true);
+        dir.insert("/nem/c0/f0".to_string(), true);
+        assert!(check_thread_history(0, &ops, &results, &dir).is_err());
+    }
+
+    #[test]
+    fn oracle_rejects_lost_acknowledged_writes() {
+        let ops = vec![NemOp::Mkdir("/nem/c0/d0".into())];
+        let results = vec![Ok(())];
+        let mut fin = BTreeMap::new();
+        fin.insert("/nem/c0".to_string(), true);
+        let d = check_thread_history(0, &ops, &results, &fin).unwrap_err();
+        assert!(d.op_index.is_none(), "should fail the final-state check");
+    }
+
+    #[test]
+    fn oracle_rejects_impossible_successes() {
+        // A create under a parent that cannot exist in any candidate must
+        // not report Ok.
+        let ops = vec![NemOp::Create("/nem/c0/d9/f0".into())];
+        let results = vec![Ok(())];
+        let mut fin = BTreeMap::new();
+        fin.insert("/nem/c0".to_string(), true);
+        let d = check_thread_history(0, &ops, &results, &fin).unwrap_err();
+        assert_eq!(d.op_index, Some(0));
+    }
+
+    #[test]
+    fn oracle_accepts_abandoned_op_landing_after_the_sequence() {
+        // mkdir times out, a later rmdir of the same name succeeds (the
+        // mkdir had not landed yet), and the abandoned mkdir then commits
+        // after the workload ends: the directory is legally present.
+        let ops = vec![
+            NemOp::Mkdir("/nem/c0/d0".into()),
+            NemOp::Rmdir("/nem/c0/d0".into()),
+        ];
+        let results = vec![Err(FsError::Timeout), Ok(())];
+        let mut fin = BTreeMap::new();
+        fin.insert("/nem/c0".to_string(), true);
+        fin.insert("/nem/c0/d0".to_string(), true);
+        check_thread_history(0, &ops, &results, &fin).unwrap();
+    }
+
+    #[test]
+    fn canonical_log_is_reproducible() {
+        let opts = NemesisOptions { ops_per_thread: 10 };
+        let s = NemesisSchedule::generate(5, 2, 2, 3);
+        assert_eq!(
+            canonical_log_for(5, &opts, &s),
+            canonical_log_for(5, &opts, &s)
+        );
+        assert!(canonical_log_for(5, &opts, &s).contains("seed=5"));
+    }
+}

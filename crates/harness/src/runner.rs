@@ -167,7 +167,7 @@ mod tests {
             let mut n = 0u64;
             move |_i| {
                 n += 1;
-                if n % 2 == 0 {
+                if n.is_multiple_of(2) {
                     Err(cfs_types::FsError::NotFound)
                 } else {
                     Ok(true)

@@ -39,10 +39,8 @@ impl Memtable {
     /// Inserts or overwrites `key`.
     pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
         self.bytes += key.len() + value.len();
-        if let Some(old) = self.map.insert(key, Slot::Value(value)) {
-            if let Slot::Value(v) = old {
-                self.bytes = self.bytes.saturating_sub(v.len());
-            }
+        if let Some(Slot::Value(v)) = self.map.insert(key, Slot::Value(value)) {
+            self.bytes = self.bytes.saturating_sub(v.len());
         }
     }
 

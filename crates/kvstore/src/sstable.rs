@@ -81,8 +81,8 @@ pub fn merge_tables(
 ) -> Arc<SsTable> {
     // Simple merge strategy: collect per-table cursors and repeatedly take
     // the smallest key, preferring the newest table on ties.
-    let mut cursors: Vec<(usize, &[(Vec<u8>, Slot)])> =
-        newest_first.iter().map(|t| (0usize, t.entries())).collect();
+    type Cursor<'a> = (usize, &'a [(Vec<u8>, Slot)]);
+    let mut cursors: Vec<Cursor<'_>> = newest_first.iter().map(|t| (0usize, t.entries())).collect();
     let mut out: Vec<(Vec<u8>, Slot)> = Vec::new();
     loop {
         // Find the minimal current key across cursors; the first (newest)

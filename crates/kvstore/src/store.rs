@@ -385,6 +385,93 @@ mod tests {
     }
 
     #[test]
+    fn memtable_rotation_to_flush_to_merged_iterator_round_trip() {
+        // Tiny memtable so writes rotate through several automatic flushes;
+        // overwrites land in different SSTables than the originals.
+        let kv = KvStore::with_config(KvConfig {
+            memtable_max_bytes: 128,
+            max_tables: 64, // keep every flushed table (no auto-compaction)
+            wal: None,
+        })
+        .unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for round in 0..6u8 {
+            for i in 0..16u8 {
+                let key = vec![i];
+                let mut val = vec![round, i];
+                val.resize(16, round); // bulk so rotations happen mid-round
+                kv.put(key.clone(), val.clone()).unwrap();
+                model.insert(key, val);
+            }
+        }
+        assert!(
+            kv.table_count() > 1,
+            "workload must span multiple flushed tables, got {}",
+            kv.table_count()
+        );
+        // The merged view (memtable + all tables, newest wins) must read back
+        // exactly the logical state.
+        let expect: Vec<(Vec<u8>, Vec<u8>)> = model.clone().into_iter().collect();
+        assert_eq!(kv.scan(&[], &[255u8; 4], usize::MAX), expect);
+        for (k, v) in &model {
+            assert_eq!(kv.get(k).as_ref(), Some(v), "key {k:?}");
+        }
+        // Compaction collapses the levels without changing the view.
+        kv.compact();
+        assert!(kv.table_count() <= 1);
+        assert_eq!(kv.scan(&[], &[255u8; 4], usize::MAX), expect);
+    }
+
+    #[test]
+    fn get_after_delete_shadows_across_levels() {
+        let kv = KvStore::new_in_memory();
+        // Oldest table: original value.
+        kv.put(b"k".to_vec(), b"v-old".to_vec()).unwrap();
+        kv.put(b"other".to_vec(), b"o".to_vec()).unwrap();
+        kv.flush();
+        // Middle table: overwrite.
+        kv.put(b"k".to_vec(), b"v-mid".to_vec()).unwrap();
+        kv.flush();
+        // Newest table: tombstone.
+        kv.delete(b"k".to_vec()).unwrap();
+        kv.flush();
+        assert_eq!(kv.table_count(), 3);
+        // The tombstone must shadow both older versions, in point reads,
+        // multi-key snapshot reads, and scans.
+        assert_eq!(kv.get(b"k"), None);
+        assert_eq!(
+            kv.multi_get(&[b"k", b"other"]),
+            vec![None, Some(b"o".to_vec())]
+        );
+        assert_eq!(
+            kv.scan(b"a", b"z", 10),
+            vec![(b"other".to_vec(), b"o".to_vec())]
+        );
+        // A newer put in the memtable shadows the tombstone again.
+        kv.put(b"k".to_vec(), b"v-new".to_vec()).unwrap();
+        assert_eq!(kv.get(b"k"), Some(b"v-new".to_vec()));
+        // Compaction purges shadowed versions and tombstones but preserves
+        // the logical view.
+        kv.compact();
+        assert_eq!(kv.get(b"k"), Some(b"v-new".to_vec()));
+        assert_eq!(kv.get(b"other"), Some(b"o".to_vec()));
+    }
+
+    #[test]
+    fn tombstone_alone_in_newest_level_hides_nothing_else() {
+        // Deleting a key that only ever existed in older levels, then
+        // compacting, must not resurrect it.
+        let kv = KvStore::new_in_memory();
+        kv.put(b"ghost".to_vec(), b"v".to_vec()).unwrap();
+        kv.flush();
+        kv.delete(b"ghost".to_vec()).unwrap();
+        kv.flush();
+        kv.compact();
+        assert_eq!(kv.get(b"ghost"), None);
+        assert!(kv.scan(&[], &[255u8; 4], usize::MAX).is_empty());
+    }
+
+    #[test]
     fn wal_recovery_restores_state() {
         let dir = std::env::temp_dir().join("cfs-kv-tests");
         std::fs::create_dir_all(&dir).unwrap();

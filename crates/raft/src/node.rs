@@ -64,6 +64,10 @@ impl Default for RaftConfig {
     }
 }
 
+/// A proposal waiting for commit: the term it was proposed in, and the
+/// channel its result is delivered on.
+type Waiter = (u64, Sender<FsResult<Vec<u8>>>);
+
 struct NodeState {
     role: Role,
     term: u64,
@@ -80,7 +84,7 @@ struct NodeState {
     election_deadline: Instant,
     next_heartbeat: Instant,
     leader_hint: Option<NodeId>,
-    waiters: HashMap<u64, (u64, Sender<FsResult<Vec<u8>>>)>,
+    waiters: HashMap<u64, Waiter>,
     stopped: bool,
 }
 
@@ -418,7 +422,6 @@ impl<S: StateMachine> RaftNode<S> {
                     if st.role == Role::Leader {
                         drop(st);
                         self.wake.notify_all();
-                        return;
                     }
                 }
             }
@@ -516,7 +519,6 @@ impl<S: StateMachine> RaftNode<S> {
                         st.sent_to.insert(from, match_index);
                         drop(st);
                         self.wake.notify_all();
-                        return;
                     }
                 } else {
                     let next = st.next_index.entry(from).or_insert(1);
@@ -525,7 +527,6 @@ impl<S: StateMachine> RaftNode<S> {
                     st.sent_to.insert(from, new_next.saturating_sub(1));
                     drop(st);
                     self.wake.notify_all();
-                    return;
                 }
             }
         }

@@ -25,9 +25,11 @@
 pub mod latency;
 pub mod mux;
 pub mod network;
+pub mod rng;
 pub mod stats;
 
 pub use latency::SimLatency;
 pub use mux::MuxService;
-pub use network::{NetConfig, Network, Service};
+pub use network::{seed_from_env, NetConfig, Network, Service};
+pub use rng::SimRng;
 pub use stats::NetStats;

@@ -423,6 +423,9 @@ impl Decode for TxnRequest {
 }
 
 /// Responses to [`TxnRequest`]s.
+// `Locked` dominates the wire traffic, so its payload stays inline rather
+// than costing a heap allocation per lock-and-read.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TxnResponse {
     /// Lock acquired; carries the read record for `LockAndRead`.

@@ -302,7 +302,7 @@ mod tests {
         let ts = TimeService::new(Arc::clone(&map));
         ts.register(&net, NodeId(1));
         let c = TsClient::new(Arc::clone(&net), NodeId(50), NodeId(1), 4, 16);
-        let mut per_shard = vec![0usize; 4];
+        let mut per_shard = [0usize; 4];
         for _ in 0..64 {
             let id = c.alloc_id().unwrap();
             per_shard[map.shard_for(id).0 as usize] += 1;

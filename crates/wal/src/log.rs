@@ -503,6 +503,136 @@ mod tests {
     }
 
     #[test]
+    fn truncated_tail_drops_only_the_cut_entry() {
+        let path = tmp("trunc-tail");
+        {
+            let wal = Wal::with_config(WalConfig {
+                path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            for i in 0..5u8 {
+                wal.append(vec![b'e', i]).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Crash mid-write: cut the file inside the last entry.
+        let full = std::fs::read(&path).unwrap();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full.len() as u64 - 3).unwrap();
+        drop(f);
+        let wal = Wal::with_config(WalConfig {
+            path: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(wal.last_seq(), 4, "only the cut entry may be lost");
+        for i in 0..4u8 {
+            assert_eq!(wal.get(i as u64 + 1).unwrap().payload, vec![b'e', i]);
+        }
+        // Appends continue cleanly and survive another reopen.
+        assert_eq!(wal.append(b"post".to_vec()).unwrap(), 5);
+        wal.sync().unwrap();
+        drop(wal);
+        let wal2 = Wal::with_config(WalConfig {
+            path: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(wal2.last_seq(), 5);
+        assert_eq!(wal2.get(5).unwrap().payload, b"post");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn single_bit_flip_mid_log_drops_only_the_corrupt_suffix() {
+        let path = tmp("bitflip");
+        {
+            let wal = Wal::with_config(WalConfig {
+                path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            for i in 1..=5u8 {
+                wal.append(format!("entry-{i}").into_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Flip a single bit inside entry 3's payload.
+        let mut data = std::fs::read(&path).unwrap();
+        let off = data
+            .windows(7)
+            .position(|w| w == b"entry-3")
+            .expect("payload present in file");
+        data[off] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+        let wal = Wal::with_config(WalConfig {
+            path: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        // The CRC rejects entry 3; everything before it survives, everything
+        // after it (an unreachable suffix) is dropped.
+        assert_eq!(wal.last_seq(), 2);
+        assert_eq!(wal.get(1).unwrap().payload, b"entry-1");
+        assert_eq!(wal.get(2).unwrap().payload, b"entry-2");
+        assert!(wal.get(3).is_none());
+        // The file was truncated at the corruption point, so the log heals.
+        assert_eq!(wal.append(b"entry-3b".to_vec()).unwrap(), 3);
+        wal.sync().unwrap();
+        drop(wal);
+        let wal2 = Wal::with_config(WalConfig {
+            path: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(wal2.last_seq(), 3);
+        assert_eq!(wal2.get(3).unwrap().payload, b"entry-3b");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_group_commit_replays_only_the_complete_prefix() {
+        let path = tmp("torn-batch");
+        let batch2_start;
+        {
+            let wal = Wal::with_config(WalConfig {
+                path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            wal.append_batch(vec![b"a1".to_vec(), b"a2".to_vec()])
+                .unwrap();
+            wal.sync().unwrap();
+            batch2_start = path.metadata().unwrap().len();
+            wal.append_batch(vec![b"b1".to_vec(), b"b2".to_vec(), b"b3".to_vec()])
+                .unwrap();
+            wal.sync().unwrap();
+        }
+        // Crash mid-group-commit: the second batch's write was torn inside
+        // its middle entry.
+        let full = path.metadata().unwrap().len();
+        let per_entry = (full - batch2_start) / 3;
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(batch2_start + per_entry + 1).unwrap();
+        drop(f);
+        let wal = Wal::with_config(WalConfig {
+            path: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        // Every fully-written record before the tear survives: the first
+        // batch and the second batch's first entry.
+        assert_eq!(wal.last_seq(), 3);
+        assert_eq!(wal.get(1).unwrap().payload, b"a1");
+        assert_eq!(wal.get(2).unwrap().payload, b"a2");
+        assert_eq!(wal.get(3).unwrap().payload, b"b1");
+        assert!(wal.get(4).is_none());
+        assert_eq!(wal.append(b"b2-retry".to_vec()).unwrap(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn concurrent_appends_get_unique_sequences() {
         let wal = Arc::new(Wal::new_in_memory());
         let mut handles = Vec::new();

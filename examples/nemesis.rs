@@ -1,0 +1,26 @@
+//! Deterministic fault-injection demo: one seed pins the fault schedule,
+//! the workload, and every network drop/jitter decision. The run prints the
+//! seed-derived plan, injects the faults against a live cluster, and judges
+//! the surviving history with the divergence oracle.
+//!
+//! ```bash
+//! CFS_SIM_SEED=7 cargo run --release --example nemesis
+//! ```
+
+use cfs::harness::{run_nemesis, NemesisOptions};
+use cfs::rpc::seed_from_env;
+
+fn main() {
+    let seed = seed_from_env();
+    let opts = NemesisOptions::default();
+    println!("running nemesis experiment for seed {seed}...");
+    let report = run_nemesis(seed, opts);
+    print!("{}", report.canonical_log());
+    match &report.divergence {
+        None => println!("oracle verdict: no divergence"),
+        Some(d) => {
+            println!("oracle verdict: DIVERGENCE — {d}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,131 +1,149 @@
 //! Model-based property test: random operation sequences applied both to a
-//! live CFS cluster and to a trivial in-memory reference model must agree on
-//! every outcome and on the final namespace.
+//! live CFS cluster and to the reference model (`cfs::harness::Model`, also
+//! used by the nemesis divergence oracle) must agree on every outcome and on
+//! the final namespace.
+//!
+//! The grammar covers create/mkdir/unlink/rmdir/lookup plus renames (file
+//! moves with destination replacement, directory renames, directory moves
+//! into other directories — exercising the Renamer's subtree and loop
+//! handling) and setattr.
 
 use std::collections::BTreeMap;
 
 use cfs::core::{CfsCluster, CfsConfig, FileSystem};
+use cfs::filestore::SetAttrPatch;
+use cfs::harness::Model;
 use cfs::types::{FileType, FsError};
 use proptest::prelude::*;
-
-/// The reference model: a map from absolute paths to node types.
-#[derive(Default, Debug)]
-struct Model {
-    /// path → is_dir
-    nodes: BTreeMap<String, bool>,
-}
-
-impl Model {
-    fn new() -> Model {
-        let mut m = Model::default();
-        m.nodes.insert("/".into(), true);
-        m
-    }
-
-    fn parent_of(path: &str) -> String {
-        match path.rfind('/') {
-            Some(0) => "/".into(),
-            Some(i) => path[..i].to_string(),
-            None => "/".into(),
-        }
-    }
-
-    fn children(&self, dir: &str) -> Vec<String> {
-        let prefix = if dir == "/" {
-            "/".to_string()
-        } else {
-            format!("{dir}/")
-        };
-        self.nodes
-            .keys()
-            .filter(|p| {
-                p.starts_with(&prefix) && p.len() > prefix.len() && !p[prefix.len()..].contains('/')
-            })
-            .cloned()
-            .collect()
-    }
-
-    fn create(&mut self, path: &str) -> Result<(), FsError> {
-        let parent = Self::parent_of(path);
-        match self.nodes.get(&parent) {
-            Some(true) => {}
-            Some(false) => return Err(FsError::NotDir),
-            None => return Err(FsError::NotFound),
-        }
-        if self.nodes.contains_key(path) {
-            return Err(FsError::AlreadyExists);
-        }
-        self.nodes.insert(path.to_string(), false);
-        Ok(())
-    }
-
-    fn mkdir(&mut self, path: &str) -> Result<(), FsError> {
-        let parent = Self::parent_of(path);
-        match self.nodes.get(&parent) {
-            Some(true) => {}
-            Some(false) => return Err(FsError::NotDir),
-            None => return Err(FsError::NotFound),
-        }
-        if self.nodes.contains_key(path) {
-            return Err(FsError::AlreadyExists);
-        }
-        self.nodes.insert(path.to_string(), true);
-        Ok(())
-    }
-
-    fn unlink(&mut self, path: &str) -> Result<(), FsError> {
-        match self.nodes.get(path) {
-            None => Err(FsError::NotFound),
-            Some(true) => Err(FsError::IsDir),
-            Some(false) => {
-                self.nodes.remove(path);
-                Ok(())
-            }
-        }
-    }
-
-    fn rmdir(&mut self, path: &str) -> Result<(), FsError> {
-        match self.nodes.get(path) {
-            None => Err(FsError::NotFound),
-            Some(false) => Err(FsError::NotDir),
-            Some(true) => {
-                if !self.children(path).is_empty() {
-                    return Err(FsError::NotEmpty);
-                }
-                self.nodes.remove(path);
-                Ok(())
-            }
-        }
-    }
-}
 
 /// One step of the random script.
 #[derive(Clone, Debug)]
 enum Step {
     Create(usize, usize),
-    Mkdir(usize, usize),
+    Mkdir(usize),
     Unlink(usize, usize),
-    Rmdir(usize, usize),
+    Rmdir(usize),
+    /// rename(/d/f, /d2/f2): file move with possible replacement.
+    RenameFile(usize, usize, usize, usize),
+    /// rename(/d, /d2): top-level directory rename.
+    RenameDir(usize, usize),
+    /// rename(/d, /d2/f2): directory moved *into* another directory
+    /// (subtree move; may also trip the loop check when d2 == d).
+    RenameDirInto(usize, usize, usize),
+    Setattr(usize, usize),
     Lookup(usize, usize),
 }
 
 const DIR_NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
 const FILE_NAMES: [&str; 4] = ["a", "b", "c", "d"];
 
-fn path_of(d: usize, f: usize) -> (String, String) {
-    let dir = format!("/{}", DIR_NAMES[d % DIR_NAMES.len()]);
-    let file = format!("{dir}/{}", FILE_NAMES[f % FILE_NAMES.len()]);
-    (dir, file)
+fn dir_path(d: usize) -> String {
+    format!("/{}", DIR_NAMES[d % DIR_NAMES.len()])
+}
+
+fn file_path(d: usize, f: usize) -> String {
+    format!("{}/{}", dir_path(d), FILE_NAMES[f % FILE_NAMES.len()])
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {
-    (0..5usize, 0..3usize, 0..4usize).prop_map(|(op, d, f)| match op {
-        0 => Step::Create(d, f),
-        1 => Step::Mkdir(d, f),
-        2 => Step::Unlink(d, f),
-        3 => Step::Rmdir(d, f),
+    (0..10usize, 0..3usize, 0..4usize, 0..3usize, 0..4usize).prop_map(|(op, d, f, d2, f2)| match op
+    {
+        0 | 1 => Step::Create(d, f),
+        2 => Step::Mkdir(d),
+        3 => Step::Unlink(d, f),
+        4 => Step::Rmdir(d),
+        5 => Step::RenameFile(d, f, d2, f2),
+        6 => Step::RenameDir(d, d2),
+        7 => Step::RenameDirInto(d, d2, f2),
+        8 => Step::Setattr(d, f),
         _ => Step::Lookup(d, f),
     })
+}
+
+/// Applies one step to both systems, returning (real, modeled) outcomes.
+fn apply(
+    fs: &impl FileSystem,
+    model: &mut Model,
+    step: &Step,
+) -> (Result<(), FsError>, Result<(), FsError>) {
+    match step {
+        Step::Create(d, f) => {
+            let p = file_path(*d, *f);
+            (fs.create(&p).map(|_| ()), model.create(&p))
+        }
+        Step::Mkdir(d) => {
+            let p = dir_path(*d);
+            (fs.mkdir(&p).map(|_| ()), model.mkdir(&p))
+        }
+        Step::Unlink(d, f) => {
+            let p = file_path(*d, *f);
+            (fs.unlink(&p), model.unlink(&p))
+        }
+        Step::Rmdir(d) => {
+            let p = dir_path(*d);
+            (fs.rmdir(&p), model.rmdir(&p))
+        }
+        Step::RenameFile(d, f, d2, f2) => {
+            let (s, t) = (file_path(*d, *f), file_path(*d2, *f2));
+            (fs.rename(&s, &t), model.rename(&s, &t))
+        }
+        Step::RenameDir(d, d2) => {
+            let (s, t) = (dir_path(*d), dir_path(*d2));
+            (fs.rename(&s, &t), model.rename(&s, &t))
+        }
+        Step::RenameDirInto(d, d2, f2) => {
+            let (s, t) = (dir_path(*d), file_path(*d2, *f2));
+            (fs.rename(&s, &t), model.rename(&s, &t))
+        }
+        Step::Setattr(d, f) => {
+            // Exercise both files and directories.
+            let p = if *f == 3 {
+                dir_path(*d)
+            } else {
+                file_path(*d, *f)
+            };
+            let patch = SetAttrPatch {
+                mode: Some(0o640),
+                ..SetAttrPatch::default()
+            };
+            (fs.setattr(&p, patch), model.setattr(&p))
+        }
+        Step::Lookup(d, f) => {
+            let p = file_path(*d, *f);
+            (fs.lookup(&p).map(|_| ()), model.lookup(&p))
+        }
+    }
+}
+
+/// Recursively walks the real file system from `/` into path → is_dir,
+/// asserting the paper's per-directory children counters along the way.
+fn walk(fs: &impl FileSystem) -> BTreeMap<String, bool> {
+    let mut out = BTreeMap::new();
+    out.insert("/".to_string(), true);
+    let mut stack = vec!["/".to_string()];
+    while let Some(dir) = stack.pop() {
+        let entries = fs.readdir(&dir).expect("readdir during final walk");
+        let attr = fs.getattr(&dir).expect("getattr during final walk");
+        assert_eq!(attr.ftype, FileType::Dir);
+        assert_eq!(
+            attr.children as usize,
+            entries.len(),
+            "children counter of {dir} disagrees with readdir"
+        );
+        for e in entries {
+            let path = if dir == "/" {
+                format!("/{}", e.name)
+            } else {
+                format!("{dir}/{}", e.name)
+            };
+            let is_dir = e.ftype == FileType::Dir;
+            out.insert(path.clone(), is_dir);
+            if is_dir {
+                stack.push(path);
+            }
+        }
+    }
+    out
 }
 
 proptest! {
@@ -137,34 +155,7 @@ proptest! {
         let fs = cluster.client();
         let mut model = Model::new();
         for step in &script {
-            let (real, modeled): (Result<(), FsError>, Result<(), FsError>) = match step {
-                Step::Create(d, f) => {
-                    let (_, file) = path_of(*d, *f);
-                    (fs.create(&file).map(|_| ()), model.create(&file))
-                }
-                Step::Mkdir(d, _) => {
-                    let (dir, _) = path_of(*d, 0);
-                    (fs.mkdir(&dir).map(|_| ()), model.mkdir(&dir))
-                }
-                Step::Unlink(d, f) => {
-                    let (_, file) = path_of(*d, *f);
-                    (fs.unlink(&file), model.unlink(&file))
-                }
-                Step::Rmdir(d, _) => {
-                    let (dir, _) = path_of(*d, 0);
-                    (fs.rmdir(&dir), model.rmdir(&dir))
-                }
-                Step::Lookup(d, f) => {
-                    let (_, file) = path_of(*d, *f);
-                    let real = fs.lookup(&file).map(|_| ());
-                    let modeled = if model.nodes.contains_key(&file) {
-                        Ok(())
-                    } else {
-                        Err(FsError::NotFound)
-                    };
-                    (real, modeled)
-                }
-            };
+            let (real, modeled) = apply(&fs, &mut model, step);
             prop_assert_eq!(
                 real.is_ok(), modeled.is_ok(),
                 "divergence on {:?}: real={:?} model={:?}", step, real, modeled
@@ -173,30 +164,8 @@ proptest! {
                 prop_assert_eq!(re, me, "error kind divergence on {:?}", step);
             }
         }
-        // Final namespace equivalence: walk the real fs, compare to model.
-        for d in 0..DIR_NAMES.len() {
-            let (dir, _) = path_of(d, 0);
-            let model_has = model.nodes.contains_key(&dir);
-            prop_assert_eq!(fs.lookup(&dir).is_ok(), model_has, "dir {} presence", dir);
-            if model_has {
-                let mut model_children: Vec<String> = model
-                    .children(&dir)
-                    .into_iter()
-                    .map(|p| p.rsplit('/').next().unwrap().to_string())
-                    .collect();
-                model_children.sort();
-                let real_children: Vec<String> = fs
-                    .readdir(&dir)
-                    .unwrap()
-                    .into_iter()
-                    .map(|e| e.name)
-                    .collect();
-                prop_assert_eq!(&real_children, &model_children, "children of {}", dir);
-                // The paper's counters: children count must match exactly.
-                let attr = fs.getattr(&dir).unwrap();
-                prop_assert_eq!(attr.children as usize, model_children.len());
-                prop_assert_eq!(attr.ftype, FileType::Dir);
-            }
-        }
+        // Final namespace equivalence: full recursive walk vs the model.
+        let real_namespace = walk(&fs);
+        prop_assert_eq!(&real_namespace, &model.nodes, "final namespace divergence");
     }
 }
