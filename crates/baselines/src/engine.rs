@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cfs_filestore::{placement_hash, FileStoreClient, SetAttrPatch};
 use cfs_tafdb::api::{TafRequest, TafResponse, TxnRequest, TxnResponse};
@@ -78,7 +79,6 @@ pub struct MetaEngine {
     pub(crate) taf: TafDbClient,
     pub(crate) fs: FileStoreClient,
     pub(crate) ts: TsClient,
-    num_shards: u64,
     txn_counter: AtomicU64,
     /// Shared entry resolution cache: `(parent, name) → (ino, type)`.
     cache: Arc<EntryCache>,
@@ -113,13 +113,11 @@ impl MetaEngine {
         instance: u64,
         block_size: u64,
     ) -> MetaEngine {
-        let num_shards = taf.partition_map().num_shards() as u64;
         MetaEngine {
             config,
             taf,
             fs,
             ts,
-            num_shards,
             txn_counter: AtomicU64::new(instance << 32),
             cache,
             coord,
@@ -131,19 +129,37 @@ impl MetaEngine {
         self.txn_counter.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// The shard owning records with id component `kid`.
+    /// The shard owning records with id component `kid`. Resolved against
+    /// the live partition map on every call so installed map epochs are
+    /// honored immediately.
     pub fn shard_of(&self, kid: InodeId) -> ShardId {
         match self.config.placement {
-            Placement::KidHash => ShardId((placement_hash(kid) % self.num_shards) as u32),
+            Placement::KidHash => {
+                let num_shards = self.taf.partition_map().num_shards() as u64;
+                ShardId((placement_hash(kid) % num_shards) as u32)
+            }
             Placement::KidRange => self.taf.partition_map().shard_for(kid),
         }
     }
 
+    /// Issues `req` to the shard owning `kid`, re-resolving against the live
+    /// partition map and retrying when the shard answers `WrongShard` after
+    /// a split's epoch bump (the proxy shares the deployment map, so the
+    /// recomputed route is fresh once the new epoch is installed).
+    fn routed(&self, kid: InodeId, req: &TafRequest) -> FsResult<TafResponse> {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match self.taf.request(self.shard_of(kid), req) {
+                Err(FsError::WrongShard(_)) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                other => return other,
+            }
+        }
+    }
+
     fn get_row(&self, key: &Key) -> FsResult<Option<Record>> {
-        match self
-            .taf
-            .request(self.shard_of(key.kid), &TafRequest::Get(key.clone()))?
-        {
+        match self.routed(key.kid, &TafRequest::Get(key.clone()))? {
             TafResponse::Record(r) => Ok(r),
             TafResponse::Err(e) => Err(e),
             other => Err(FsError::Corrupted(format!("unexpected {other:?}"))),
@@ -151,18 +167,16 @@ impl MetaEngine {
     }
 
     fn put_row(&self, key: Key, rec: Record) -> FsResult<()> {
-        match self
-            .taf
-            .request(self.shard_of(key.kid), &TafRequest::Put(key, rec))?
-        {
+        let kid = key.kid;
+        match self.routed(kid, &TafRequest::Put(key, rec))? {
             TafResponse::Ok => Ok(()),
             TafResponse::Err(e) => Err(e),
             other => Err(FsError::Corrupted(format!("unexpected {other:?}"))),
         }
     }
 
-    fn execute_prim_at(&self, shard: ShardId, prim: Primitive) -> FsResult<()> {
-        match self.taf.request(shard, &TafRequest::Execute(prim))? {
+    fn execute_prim_at(&self, kid: InodeId, prim: Primitive) -> FsResult<()> {
+        match self.routed(kid, &TafRequest::Execute(prim))? {
             TafResponse::Executed(_) => Ok(()),
             TafResponse::Err(e) => Err(e),
             other => Err(FsError::Corrupted(format!("unexpected {other:?}"))),
@@ -542,7 +556,7 @@ impl MetaEngine {
                 ],
             ),
         );
-        self.execute_prim_at(self.shard_of(parent), prim)?;
+        self.execute_prim_at(parent, prim)?;
         self.cache_put(parent, name, (ino, ftype));
         Ok(ino)
     }
@@ -671,7 +685,7 @@ impl MetaEngine {
                 )],
                 ..Primitive::default()
             };
-            self.execute_prim_at(self.shard_of(ino), purge)?;
+            self.execute_prim_at(ino, purge)?;
         }
         let links_delta = if dir { -1 } else { 0 };
         let mut deletes = vec![Cond::require(
@@ -706,13 +720,11 @@ impl MetaEngine {
             )),
             ..Primitive::default()
         };
-        self.execute_prim_at(self.shard_of(parent), prim)?;
+        self.execute_prim_at(parent, prim)?;
         self.cache_forget(parent, name);
         match self.config.schema {
             AttrSchema::SplitByIno if !dir => {
-                let _ = self
-                    .taf
-                    .request(self.shard_of(ino), &TafRequest::Delete(Key::attr(ino)));
+                let _ = self.routed(ino, &TafRequest::Delete(Key::attr(ino)));
             }
             AttrSchema::SplitFileStore if !dir => {
                 let _ = self.fs.delete_file(ino);
@@ -862,7 +874,7 @@ impl MetaEngine {
                 )),
                 ..Primitive::default()
             };
-            return self.execute_prim_at(self.shard_of(key.kid), prim);
+            return self.execute_prim_at(key.kid, prim);
         }
         // Locking path: read + lock, modify, commit.
         let txn = self.next_txn();
@@ -927,12 +939,11 @@ impl MetaEngine {
     pub fn readdir(&self, p: &str) -> FsResult<Vec<cfs_core::DirEntryInfo>> {
         let comps = cfs_core::path::split(p)?;
         let dir = self.resolve_dir(&comps)?;
-        let shard = self.shard_of(dir);
         let mut out = Vec::new();
         let mut after: Option<String> = None;
         loop {
-            let resp = self.taf.request(
-                shard,
+            let resp = self.routed(
+                dir,
                 &TafRequest::Scan {
                     dir,
                     after: after.clone(),

@@ -1,0 +1,133 @@
+//! Scale-out — online 4→8-shard split under sustained contended creates.
+//!
+//! Not a paper figure: CFS §4.1 range-partitions the `inode_table` so the
+//! deployment can add shards, and this bench drives the elastic half of that
+//! claim end to end. A 4-shard deployment runs the Figure 11 contended
+//! create mix, then every shard is split online — fresh Raft groups spawned,
+//! ranges live-migrated, map epoch bumped — while the same mix keeps
+//! running, and the mix runs once more on the resulting 8 shards.
+//!
+//! Knobs: `CFS_SCALEOUT_MS` (during-split measurement window, default
+//! 1500ms), plus the usual `CFS_BENCH_SCALE`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cfs_bench::{banner, bench_cfs_config, cell_duration, default_clients, expectation, speedup};
+use cfs_core::CfsCluster;
+use cfs_harness::metrics::{fmt_ns, fmt_ops, Histogram};
+use cfs_harness::workload::{prepare_op_workload, run_op_bench, MetaOp, WorkloadOptions};
+use cfs_types::ShardId;
+
+/// Simulated storage service time per applied write batch. On a real
+/// deployment the storage engine bounds per-shard write capacity; the
+/// simulation models that the way it models network hops, so splitting a
+/// shard genuinely doubles the capacity behind a range even when the host
+/// has fewer cores than shards.
+const APPLY_COST: Duration = Duration::from_micros(400);
+
+fn main() {
+    let clients = default_clients() * 2;
+    let during_ms: u64 = std::env::var("CFS_SCALEOUT_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    banner(
+        "Scale-out",
+        "online 4->8 shard split under contended create load",
+        &format!(
+            "clients={clients}, 4 shards x3 -> 8 shards x3, apply-cost={}us, during-window={during_ms}ms",
+            APPLY_COST.as_micros()
+        ),
+    );
+    expectation(&[
+        "pre-split: 4 shards bound the uncontended half of the mix",
+        "during: service continues; only per-range freeze windows stall writers briefly",
+        "post-split: 8 shards lift throughput above the pre-split cell",
+    ]);
+
+    let mut config = bench_cfs_config(4, 4);
+    config.kv.apply_cost = APPLY_COST;
+    let cluster = Arc::new(CfsCluster::start(config).expect("boot cfs"));
+    let opts = WorkloadOptions {
+        clients,
+        duration: cell_duration(),
+        contention: 0.1,
+        files_per_client: 0,
+        ..Default::default()
+    };
+    prepare_op_workload(&cluster.client(), MetaOp::Create, &opts).expect("prepare");
+
+    let pre = run_op_bench(|_| cluster.client(), MetaOp::Create, &opts).throughput();
+
+    // Split all four boot shards while the same mix keeps running. The
+    // cells share one cluster, so each needs its own seed: created names
+    // embed the seed, and a repeated seed would collide with the previous
+    // cell's files.
+    let mut during_opts = opts.clone();
+    during_opts.duration = Duration::from_millis(during_ms);
+    during_opts.seed = opts.seed + 1;
+    let (during, stats) = std::thread::scope(|scope| {
+        let c = Arc::clone(&cluster);
+        let splitter = scope.spawn(move || {
+            let mut stats = Vec::new();
+            for s in 0..4u32 {
+                match c.split_shard(ShardId(s)) {
+                    Ok(st) => stats.push(st),
+                    Err(e) => eprintln!("  split of shard {s} failed: {e:?}"),
+                }
+            }
+            stats
+        });
+        let during = run_op_bench(|_| cluster.client(), MetaOp::Create, &during_opts).throughput();
+        (during, splitter.join().expect("splitter thread"))
+    });
+    assert_eq!(
+        cluster.taf_groups().len(),
+        8,
+        "all four splits must complete under load"
+    );
+
+    let mut post_opts = opts.clone();
+    post_opts.seed = opts.seed + 2;
+    let post = run_op_bench(|_| cluster.client(), MetaOp::Create, &post_opts).throughput();
+
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "pre-split", "during", "post-split", "post/pre"
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        fmt_ops(pre),
+        fmt_ops(during),
+        fmt_ops(post),
+        speedup(post, pre),
+    );
+    println!();
+
+    // Migration counters, de-duplicated across replicas by the backend and
+    // summed over groups.
+    let (mut donated, mut received, mut streamed) = (0u64, 0u64, 0u64);
+    for g in cluster.taf_groups() {
+        let m = g.metrics_snapshot();
+        donated += m.ranges_donated;
+        received += m.ranges_received;
+        streamed += m.keys_streamed;
+    }
+    let mut freeze = Histogram::new();
+    let mut tail = 0u64;
+    for st in &stats {
+        freeze.record(st.freeze.as_nanos() as u64);
+        tail += st.tail_len;
+    }
+    let f = freeze.summary();
+    println!("  migration: ranges donated={donated} received={received}");
+    println!("  streamed {streamed} kv entries in export pages, {tail} via freeze tails");
+    println!(
+        "  freeze window: p50={} p99={} max={} ({} splits)",
+        fmt_ns(f.p50_ns),
+        fmt_ns(f.p99_ns),
+        fmt_ns(f.max_ns),
+        f.count,
+    );
+}

@@ -132,6 +132,12 @@ impl SystemUnderTest {
                     total.lock_hold_ns += m.lock_hold_ns;
                     total.lock_acquisitions += m.lock_acquisitions;
                     total.primitives += m.primitives;
+                    // Migration counters: per-group values are already
+                    // de-duplicated across replicas; sum over groups.
+                    total.ranges_donated += m.ranges_donated;
+                    total.ranges_received += m.ranges_received;
+                    total.keys_streamed += m.keys_streamed;
+                    total.freeze_ns += m.freeze_ns;
                 }
                 total
             }

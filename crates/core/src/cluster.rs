@@ -6,12 +6,14 @@ use std::time::Duration;
 
 use cfs_filestore::{FileStoreClient, FileStoreGroup, FileStoreLayout};
 use cfs_kvstore::KvConfig;
+use cfs_placement::{PlacementClient, PlacementDriver, SplitStats};
 use cfs_raft::RaftConfig;
 use cfs_renamer::{RenamerClient, RenamerService};
 use cfs_rpc::{NetConfig, Network};
 use cfs_tafdb::router::{PartitionMap, ShardInfo};
 use cfs_tafdb::{TafBackendGroup, TafDbClient, TimeService, TsClient};
 use cfs_types::{FsResult, NodeId, Record, ShardId, Timestamp, ROOT_INODE};
+use parking_lot::RwLock;
 
 use crate::client::CfsClient;
 use crate::gc::GarbageCollector;
@@ -19,6 +21,10 @@ use crate::gc::GarbageCollector;
 /// Node-id layout of the simulated cluster.
 const TS_NODE: NodeId = NodeId(1);
 const RENAMER_NODE: NodeId = NodeId(2);
+/// The placement driver's service address (map fetches).
+const PLACEMENT_NODE: NodeId = NodeId(3);
+/// Source address of the driver's shard-control RPCs.
+const PLACEMENT_CTL_NODE: NodeId = NodeId(4);
 const TAF_BASE: u32 = 100;
 const FS_BASE: u32 = 10_000;
 const CLIENT_BASE: u32 = 1_000_000;
@@ -91,11 +97,16 @@ pub struct CfsCluster {
     net: Arc<Network>,
     pmap: Arc<PartitionMap>,
     fs_layout: Arc<FileStoreLayout>,
-    taf_groups: Vec<TafBackendGroup>,
+    taf_groups: RwLock<Vec<Arc<TafBackendGroup>>>,
     fs_groups: Vec<FileStoreGroup>,
+    driver: Arc<PlacementDriver>,
     _time_service: Arc<TimeService>,
     _renamer: Arc<RenamerService>,
     next_client: AtomicU32,
+    /// First unused TafDB replica node id (split receivers allocate here).
+    next_taf_node: AtomicU32,
+    /// First unused shard id.
+    next_shard_id: AtomicU32,
 }
 
 impl CfsCluster {
@@ -114,6 +125,15 @@ impl CfsCluster {
             .collect();
         let pmap = Arc::new(PartitionMap::new(shard_infos.clone()));
 
+        // Placement driver: owns the authoritative map and serves it to
+        // clients chasing `WrongShard` redirects.
+        let driver = PlacementDriver::new(
+            Arc::clone(&net),
+            PLACEMENT_NODE,
+            PLACEMENT_CTL_NODE,
+            Arc::clone(&pmap),
+        );
+
         // TS service.
         let time_service = TimeService::new(Arc::clone(&pmap));
         time_service.register(&net, TS_NODE);
@@ -121,13 +141,13 @@ impl CfsCluster {
         // TafDB backend groups.
         let mut taf_groups = Vec::new();
         for info in &shard_infos {
-            taf_groups.push(TafBackendGroup::spawn(
+            taf_groups.push(Arc::new(TafBackendGroup::spawn(
                 &net,
                 info.id,
                 &info.replicas,
                 config.raft.clone(),
                 config.kv.clone(),
-            ));
+            )));
         }
 
         // FileStore groups.
@@ -174,16 +194,22 @@ impl CfsCluster {
         );
         renamer.register(&net, RENAMER_NODE);
 
+        let next_taf_node =
+            AtomicU32::new(TAF_BASE + (config.taf_shards * config.replication) as u32);
+        let next_shard_id = AtomicU32::new(config.taf_shards as u32);
         Ok(CfsCluster {
             config,
             net,
             pmap,
             fs_layout,
-            taf_groups,
+            taf_groups: RwLock::new(taf_groups),
             fs_groups,
+            driver,
             _time_service: time_service,
             _renamer: renamer,
             next_client: AtomicU32::new(CLIENT_BASE),
+            next_taf_node,
+            next_shard_id,
         })
     }
 
@@ -197,9 +223,55 @@ impl CfsCluster {
         &self.config
     }
 
-    /// The TafDB backend groups (metrics, fault injection).
-    pub fn taf_groups(&self) -> &[TafBackendGroup] {
-        &self.taf_groups
+    /// The TafDB backend groups (metrics, fault injection). The set grows
+    /// when [`CfsCluster::split_shard`] adds receivers, so a snapshot is
+    /// returned rather than a borrow.
+    pub fn taf_groups(&self) -> Vec<Arc<TafBackendGroup>> {
+        self.taf_groups.read().clone()
+    }
+
+    /// The placement driver (authoritative map, split orchestration).
+    pub fn placement(&self) -> &Arc<PlacementDriver> {
+        &self.driver
+    }
+
+    /// Splits `src` online at its median occupied kid: spawns a fresh Raft
+    /// group on new node ids, streams the upper half of the range into it
+    /// under live load, and cuts the partition map over to the next epoch.
+    /// On failure the donor resumes normal service and the partial receiver
+    /// is torn down.
+    pub fn split_shard(&self, src: ShardId) -> FsResult<SplitStats> {
+        let id = ShardId(self.next_shard_id.fetch_add(1, Ordering::Relaxed));
+        let base = self
+            .next_taf_node
+            .fetch_add(self.config.replication as u32, Ordering::Relaxed);
+        assert!(
+            base + self.config.replication as u32 <= FS_BASE,
+            "TafDB node ids exhausted"
+        );
+        let replicas: Vec<NodeId> = (0..self.config.replication as u32)
+            .map(|r| NodeId(base + r))
+            .collect();
+        let info = ShardInfo { id, replicas };
+        let group = Arc::new(TafBackendGroup::spawn(
+            &self.net,
+            info.id,
+            &info.replicas,
+            self.config.raft.clone(),
+            self.config.kv.clone(),
+        ));
+        group.wait_ready(Duration::from_secs(30))?;
+        match self.driver.split(src, None, info) {
+            Ok(stats) => {
+                self.taf_groups.write().push(group);
+                Ok(stats)
+            }
+            Err(e) => {
+                // The receiver may hold a partial copy: discard it.
+                group.shutdown();
+                Err(e)
+            }
+        }
     }
 
     /// The FileStore groups.
@@ -207,11 +279,19 @@ impl CfsCluster {
         &self.fs_groups
     }
 
-    /// Creates a new client with a unique address.
+    /// Creates a new client with a unique address. Each client caches its
+    /// own copy of the partition map and refreshes it from the placement
+    /// driver when a shard answers `WrongShard` — the lazy client-side half
+    /// of the scale-out protocol.
     pub fn client(&self) -> CfsClient {
         let me = NodeId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        let client_map = Arc::new(PartitionMap::from_version(self.pmap.current_version()));
+        let taf =
+            TafDbClient::new(Arc::clone(&self.net), me, client_map).with_map_source(Arc::new(
+                PlacementClient::new(Arc::clone(&self.net), me, PLACEMENT_NODE),
+            ));
         CfsClient::new(
-            TafDbClient::new(Arc::clone(&self.net), me, Arc::clone(&self.pmap)),
+            taf,
             FileStoreClient::new(Arc::clone(&self.net), me, Arc::clone(&self.fs_layout)),
             TsClient::new(
                 Arc::clone(&self.net),
@@ -228,9 +308,15 @@ impl CfsCluster {
     /// Builds the garbage collector wired to every component's change stream
     /// (watching replica 0 of each group, which applies all committed
     /// commands regardless of leadership).
+    ///
+    /// Watchers cover the groups alive at call time; build the collector
+    /// after any planned [`CfsCluster::split_shard`] calls. (Split receivers
+    /// ingest moved keys without CDC events, so tombstone grace tracking is
+    /// unaffected by the migration itself.)
     pub fn garbage_collector(&self, grace: Duration) -> GarbageCollector {
         let taf_watchers = self
             .taf_groups
+            .read()
             .iter()
             .map(|g| g.raft().nodes()[0].state_machine().cdc().watch_from_start())
             .collect();
@@ -251,7 +337,7 @@ impl CfsCluster {
 
     /// Stops every Raft group.
     pub fn shutdown(&self) {
-        for g in &self.taf_groups {
+        for g in self.taf_groups.read().iter() {
             g.shutdown();
         }
         for g in &self.fs_groups {

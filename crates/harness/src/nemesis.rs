@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 use cfs_core::{CfsCluster, CfsConfig, FileSystem};
 use cfs_filestore::SetAttrPatch;
 use cfs_rpc::SimRng;
-use cfs_types::{FileType, FsError};
+use cfs_types::{FileType, FsError, ShardId};
 
 use crate::model::Model;
 
@@ -464,6 +464,12 @@ fn symmetric_diff(a: &BTreeMap<String, bool>, b: &BTreeMap<String, bool>) -> usi
 pub struct NemesisOptions {
     /// Ops issued per workload thread.
     pub ops_per_thread: usize,
+    /// Online shard splits launched mid-workload (the scale-out nemesis):
+    /// each spawns a fresh Raft group and live-migrates half of a boot
+    /// shard's range while ops and fault windows are in flight. A split that
+    /// loses its race with a fault aborts and the donor resumes — both
+    /// outcomes must pass the oracle.
+    pub splits: usize,
 }
 
 impl Default for NemesisOptions {
@@ -473,6 +479,7 @@ impl Default for NemesisOptions {
                 .ok()
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(50),
+            splits: 0,
         }
     }
 }
@@ -483,6 +490,9 @@ pub struct NemesisReport {
     pub seed: u64,
     /// Per-thread observed results, parallel to `generate_ops(seed, t, ..)`.
     pub results: Vec<Vec<Result<(), FsError>>>,
+    /// Splits that completed their cutover (≤ `NemesisOptions::splits`; the
+    /// rest aborted against a fault window, which is also a valid outcome).
+    pub splits_ok: usize,
     /// First divergence found, if any.
     pub divergence: Option<Divergence>,
     canonical: String,
@@ -550,69 +560,94 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
     let pace_rng = SimRng::from_seed(seed).split(LBL_WORKLOAD);
 
     let start = Instant::now();
-    let results: Vec<Vec<Result<(), FsError>>> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (t, ops) in per_thread_ops.iter().enumerate() {
-            let client = cluster.client();
-            // Pacing stream: seed-pure sleep lengths spreading issuance
-            // across the fault schedule.
-            let mut pace = pace_rng.split(0x70ace).split(t as u64 + 1);
-            handles.push(scope.spawn(move || {
-                ops.iter()
-                    .map(|op| {
-                        std::thread::sleep(Duration::from_millis(4 + pace.below(12)));
-                        apply_fs(&client, op)
-                    })
-                    .collect::<Vec<_>>()
-            }));
-        }
+    let (results, splits_ok): (Vec<Vec<Result<(), FsError>>>, usize) =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, ops) in per_thread_ops.iter().enumerate() {
+                let client = cluster.client();
+                // Pacing stream: seed-pure sleep lengths spreading issuance
+                // across the fault schedule.
+                let mut pace = pace_rng.split(0x70ace).split(t as u64 + 1);
+                handles.push(scope.spawn(move || {
+                    ops.iter()
+                        .map(|op| {
+                            std::thread::sleep(Duration::from_millis(4 + pace.below(12)));
+                            apply_fs(&client, op)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
 
-        // The nemesis itself: walk the schedule on this thread.
-        let net = cluster.network();
-        let resolve = |tgt: Target| {
-            if tgt.taf {
-                cluster.taf_groups()[tgt.group].raft().nodes()[tgt.replica].id()
-            } else {
-                cluster.fs_groups()[tgt.group].raft().nodes()[tgt.replica].id()
-            }
-        };
-        let all_raft_nodes = || {
-            let mut ids = Vec::new();
-            for g in cluster.taf_groups() {
-                ids.extend(g.raft().nodes().iter().map(|n| n.id()));
-            }
-            for g in cluster.fs_groups() {
-                ids.extend(g.raft().nodes().iter().map(|n| n.id()));
-            }
-            ids
-        };
-        for w in &schedule.windows {
-            sleep_until(start, w.start_ms);
-            match w.fault {
-                Fault::Kill(t) => net.kill(resolve(t)),
-                Fault::Isolate(t) => {
-                    let victim = resolve(t);
-                    let rest: Vec<_> = all_raft_nodes()
-                        .into_iter()
-                        .filter(|&n| n != victim)
-                        .collect();
-                    net.partition(vec![vec![victim], rest]);
+            // The scale-out nemesis: live splits racing the ops and the fault
+            // windows. A split blocked by a fault (donor leader down, drop
+            // spike) aborts cleanly; the donor resumes and later redirects
+            // nothing — the oracle judges the op history either way.
+            let split_handle = (opts.splits > 0).then(|| {
+                let cluster = &cluster;
+                let taf_shards = config.taf_shards;
+                scope.spawn(move || {
+                    let mut ok = 0usize;
+                    for s in 0..opts.splits {
+                        sleep_until(start, 100 + s as u64 * 250);
+                        let donor = ShardId((s % taf_shards) as u32);
+                        if cluster.split_shard(donor).is_ok() {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            });
+
+            // The nemesis itself: walk the schedule on this thread.
+            let net = cluster.network();
+            let resolve = |tgt: Target| {
+                if tgt.taf {
+                    cluster.taf_groups()[tgt.group].raft().nodes()[tgt.replica].id()
+                } else {
+                    cluster.fs_groups()[tgt.group].raft().nodes()[tgt.replica].id()
                 }
-                Fault::DropSpike(ppm) => net.set_drop_rate(ppm as f64 / 1e6),
+            };
+            let all_raft_nodes = || {
+                let mut ids = Vec::new();
+                for g in cluster.taf_groups() {
+                    ids.extend(g.raft().nodes().iter().map(|n| n.id()));
+                }
+                for g in cluster.fs_groups() {
+                    ids.extend(g.raft().nodes().iter().map(|n| n.id()));
+                }
+                ids
+            };
+            for w in &schedule.windows {
+                sleep_until(start, w.start_ms);
+                match w.fault {
+                    Fault::Kill(t) => net.kill(resolve(t)),
+                    Fault::Isolate(t) => {
+                        let victim = resolve(t);
+                        let rest: Vec<_> = all_raft_nodes()
+                            .into_iter()
+                            .filter(|&n| n != victim)
+                            .collect();
+                        net.partition(vec![vec![victim], rest]);
+                    }
+                    Fault::DropSpike(ppm) => net.set_drop_rate(ppm as f64 / 1e6),
+                }
+                sleep_until(start, w.end_ms);
+                match w.fault {
+                    Fault::Kill(t) => net.revive(resolve(t)),
+                    Fault::Isolate(_) => net.heal(),
+                    Fault::DropSpike(_) => net.set_drop_rate(0.0),
+                }
             }
-            sleep_until(start, w.end_ms);
-            match w.fault {
-                Fault::Kill(t) => net.revive(resolve(t)),
-                Fault::Isolate(_) => net.heal(),
-                Fault::DropSpike(_) => net.set_drop_rate(0.0),
-            }
-        }
 
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("workload thread"))
-            .collect()
-    });
+            let results = handles
+                .into_iter()
+                .map(|h| h.join().expect("workload thread"))
+                .collect();
+            let splits_ok = split_handle
+                .map(|h| h.join().expect("split thread"))
+                .unwrap_or(0);
+            (results, splits_ok)
+        });
 
     // Belt and braces: revert every fault class, then wait for re-election so
     // the final read runs against a healthy cluster.
@@ -629,11 +664,19 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
             net.revive(n.id());
         }
     }
+    // `wait_ready` is not enough here: a revived deposed leader still
+    // claims the role until a higher-term message reaches it, and would
+    // serve the final walk a stale leader-local read. Require every group
+    // to converge on a single leader that can commit.
     for g in cluster.taf_groups() {
-        g.wait_ready(Duration::from_secs(30)).expect("taf re-elect");
+        g.raft()
+            .wait_quiescent(Duration::from_secs(30))
+            .expect("taf quiesce");
     }
     for g in cluster.fs_groups() {
-        g.wait_ready(Duration::from_secs(30)).expect("fs re-elect");
+        g.raft()
+            .wait_quiescent(Duration::from_secs(30))
+            .expect("fs quiesce");
     }
 
     // If any op was abandoned at an indeterminate result, its proposal may
@@ -662,6 +705,7 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
     NemesisReport {
         seed,
         results,
+        splits_ok,
         divergence,
         canonical,
     }
@@ -833,7 +877,10 @@ mod tests {
 
     #[test]
     fn canonical_log_is_reproducible() {
-        let opts = NemesisOptions { ops_per_thread: 10 };
+        let opts = NemesisOptions {
+            ops_per_thread: 10,
+            ..NemesisOptions::default()
+        };
         let s = NemesisSchedule::generate(5, 2, 2, 3);
         assert_eq!(
             canonical_log_for(5, &opts, &s),

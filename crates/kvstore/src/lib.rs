@@ -19,4 +19,4 @@ pub mod memtable;
 pub mod sstable;
 pub mod store;
 
-pub use store::{KvConfig, KvStore, WriteOp};
+pub use store::{KvConfig, KvStore, RangeSnapshot, WriteOp};

@@ -68,6 +68,20 @@ impl Memtable {
             .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
     }
 
+    /// Iterates entries with keys `>= start`, optionally bounded by an
+    /// exclusive `end`; `None` scans to the top of the key space.
+    pub fn range_from<'a>(
+        &'a self,
+        start: &'a [u8],
+        end: Option<&'a [u8]>,
+    ) -> impl Iterator<Item = (&'a Vec<u8>, &'a Slot)> + 'a {
+        let upper = match end {
+            Some(e) => Bound::Excluded(e),
+            None => Bound::Unbounded,
+        };
+        self.map.range::<[u8], _>((Bound::Included(start), upper))
+    }
+
     /// Approximate heap footprint used for flush triggering.
     pub fn approx_bytes(&self) -> usize {
         self.bytes

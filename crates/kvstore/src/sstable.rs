@@ -49,6 +49,17 @@ impl SsTable {
         &self.entries[lo..hi]
     }
 
+    /// Returns the sub-slice with keys `>= start`, optionally bounded by an
+    /// exclusive `end`; `None` scans to the top of the key space.
+    pub fn range_from(&self, start: &[u8], end: Option<&[u8]>) -> &[(Vec<u8>, Slot)] {
+        let lo = self.entries.partition_point(|(k, _)| k.as_slice() < start);
+        let hi = match end {
+            Some(e) => self.entries.partition_point(|(k, _)| k.as_slice() < e),
+            None => self.entries.len(),
+        };
+        &self.entries[lo..hi]
+    }
+
     /// All entries, for compaction.
     pub fn entries(&self) -> &[(Vec<u8>, Slot)] {
         &self.entries

@@ -59,6 +59,11 @@ pub struct KvConfig {
     pub max_tables: usize,
     /// Optional WAL configuration; `None` disables logging entirely.
     pub wal: Option<WalConfig>,
+    /// Simulated service time charged per committed write batch by consumers
+    /// that model storage capacity in simulated time (the TafDB shard apply
+    /// path honors it the way the RPC layer honors `hop_latency`). Zero — the
+    /// default — disables it; the store itself never sleeps.
+    pub apply_cost: std::time::Duration,
 }
 
 impl Default for KvConfig {
@@ -67,6 +72,7 @@ impl Default for KvConfig {
             memtable_max_bytes: 4 << 20,
             max_tables: 8,
             wal: None,
+            apply_cost: std::time::Duration::ZERO,
         }
     }
 }
@@ -202,11 +208,24 @@ impl KvStore {
     /// entries *visited*, not to the size of the range — paging through a
     /// million-entry directory stays O(page) per call.
     pub fn scan(&self, start: &[u8], end: &[u8], limit: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.scan_from(start, Some(end), limit)
+    }
+
+    /// Like [`KvStore::scan`], but the exclusive upper bound is optional:
+    /// `None` scans to the very top of the key space. The hard-coded upper
+    /// bounds callers used to fake an unbounded scan silently missed keys
+    /// sorting above them; this is the real thing.
+    pub fn scan_from(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
         let st = self.state.read();
         // Source 0 is the memtable (newest); source i+1 is tables[i].
-        let mut mem_iter = st.mem.range(start, end).peekable();
+        let mut mem_iter = st.mem.range_from(start, end).peekable();
         let mut table_slices: Vec<&[(Vec<u8>, Slot)]> =
-            st.tables.iter().map(|t| t.range(start, end)).collect();
+            st.tables.iter().map(|t| t.range_from(start, end)).collect();
         let mut out = Vec::new();
         while out.len() < limit {
             // Find the smallest current key; the newest source wins ties.
@@ -280,7 +299,42 @@ impl KvStore {
 
     /// Approximate number of live entries (scans everything; test helper).
     pub fn approx_live_entries(&self) -> usize {
-        self.scan(&[], &[0xFFu8; 16], usize::MAX).len()
+        self.scan_from(&[], None, usize::MAX).len()
+    }
+
+    /// Captures a point-in-time snapshot of the keys in `[start, end)`
+    /// (`end = None` for unbounded) and returns a lazy merging iterator over
+    /// the live entries.
+    ///
+    /// The snapshot pins the current SSTables via `Arc` and copies the
+    /// in-range slice of the memtable, so iteration is isolated from
+    /// concurrent writes, flushes, and compactions — this is what live range
+    /// migration streams from while the source shard keeps serving.
+    pub fn range_snapshot(&self, start: &[u8], end: Option<&[u8]>) -> RangeSnapshot {
+        let st = self.state.read();
+        let mem: Vec<(Vec<u8>, Slot)> = st
+            .mem
+            .range_from(start, end)
+            .map(|(k, s)| (k.clone(), s.clone()))
+            .collect();
+        let mut tables = Vec::with_capacity(st.tables.len());
+        let mut bounds = Vec::with_capacity(st.tables.len());
+        for t in &st.tables {
+            let entries = t.entries();
+            let lo = entries.partition_point(|(k, _)| k.as_slice() < start);
+            let hi = match end {
+                Some(e) => entries.partition_point(|(k, _)| k.as_slice() < e),
+                None => entries.len(),
+            };
+            bounds.push((lo, hi));
+            tables.push(Arc::clone(t));
+        }
+        RangeSnapshot {
+            mem,
+            mem_pos: 0,
+            tables,
+            cursors: bounds,
+        }
     }
 
     fn flush_locked(st: &mut State) {
@@ -304,6 +358,79 @@ impl KvStore {
         st.tables.clear();
         if !merged.is_empty() {
             st.tables.push(merged);
+        }
+    }
+}
+
+/// A consistent point-in-time iterator over one key range of a [`KvStore`],
+/// produced by [`KvStore::range_snapshot`].
+///
+/// Yields live `(key, value)` pairs in ascending key order with newest-wins
+/// shadowing across levels; tombstoned keys are skipped. Holding the snapshot
+/// does not block writers: the memtable portion is copied at creation and
+/// the SSTables are immutable `Arc`s.
+pub struct RangeSnapshot {
+    /// Memtable entries in range, copied at snapshot time (newest source).
+    mem: Vec<(Vec<u8>, Slot)>,
+    mem_pos: usize,
+    /// Pinned tables, newest first; `cursors[i]` is the `(next, end)` index
+    /// window into `tables[i].entries()`.
+    tables: Vec<Arc<SsTable>>,
+    cursors: Vec<(usize, usize)>,
+}
+
+impl RangeSnapshot {
+    fn peek_source(&self, i: usize) -> Option<&(Vec<u8>, Slot)> {
+        if i == 0 {
+            self.mem.get(self.mem_pos)
+        } else {
+            let (pos, end) = self.cursors[i - 1];
+            (pos < end).then(|| &self.tables[i - 1].entries()[pos])
+        }
+    }
+
+    fn advance_source(&mut self, i: usize) {
+        if i == 0 {
+            self.mem_pos += 1;
+        } else {
+            self.cursors[i - 1].0 += 1;
+        }
+    }
+}
+
+impl Iterator for RangeSnapshot {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<(Vec<u8>, Vec<u8>)> {
+        loop {
+            // Smallest current key across sources; source 0 (memtable) is
+            // newest and wins ties, then tables in newest-first order.
+            let mut best: Option<(usize, &[u8])> = None;
+            for i in 0..=self.tables.len() {
+                if let Some((k, _)) = self.peek_source(i) {
+                    match best {
+                        None => best = Some((i, k)),
+                        Some((_, bk)) if k.as_slice() < bk => best = Some((i, k)),
+                        _ => {}
+                    }
+                }
+            }
+            let (winner, key) = best?;
+            let key = key.to_vec();
+            let slot = self
+                .peek_source(winner)
+                .expect("winner source non-empty")
+                .1
+                .clone();
+            // Advance every source positioned at this key.
+            for i in 0..=self.tables.len() {
+                if self.peek_source(i).is_some_and(|(k, _)| *k == key) {
+                    self.advance_source(i);
+                }
+            }
+            if let Some(v) = slot.as_value() {
+                return Some((key, v.to_vec()));
+            }
         }
     }
 }
@@ -373,6 +500,7 @@ mod tests {
             memtable_max_bytes: 256,
             max_tables: 2,
             wal: None,
+            ..Default::default()
         })
         .unwrap();
         for i in 0..200u32 {
@@ -392,6 +520,7 @@ mod tests {
             memtable_max_bytes: 128,
             max_tables: 64, // keep every flushed table (no auto-compaction)
             wal: None,
+            ..Default::default()
         })
         .unwrap();
         let mut model = std::collections::BTreeMap::new();
@@ -472,6 +601,71 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_scan_reaches_top_of_key_space() {
+        let kv = KvStore::new_in_memory();
+        // Keys that the old hard-coded `[0xFF; 16]` bound silently missed:
+        // at the bound, above it, and longer than 16 bytes.
+        kv.put(vec![0xFFu8; 16], b"at-bound".to_vec()).unwrap();
+        kv.put(vec![0xFFu8; 24], b"long".to_vec()).unwrap();
+        kv.put(vec![0x01], b"low".to_vec()).unwrap();
+        kv.flush();
+        kv.put(vec![0xFFu8; 17], b"above".to_vec()).unwrap();
+        assert_eq!(kv.scan_from(&[], None, usize::MAX).len(), 4);
+        assert_eq!(kv.approx_live_entries(), 4);
+        // Bounded scan still excludes the high keys.
+        assert_eq!(kv.scan(&[], &[0xFFu8; 16], usize::MAX).len(), 1);
+        // Unbounded tail scan starting above the old bound.
+        let tail = kv.scan_from(&[0xFFu8; 16], None, usize::MAX);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail[0].1, b"at-bound");
+    }
+
+    #[test]
+    fn range_snapshot_merges_levels_and_skips_tombstones() {
+        let kv = KvStore::new_in_memory();
+        kv.put(b"a".to_vec(), b"old-a".to_vec()).unwrap();
+        kv.put(b"b".to_vec(), b"b".to_vec()).unwrap();
+        kv.put(b"dead".to_vec(), b"x".to_vec()).unwrap();
+        kv.flush();
+        kv.put(b"a".to_vec(), b"new-a".to_vec()).unwrap();
+        kv.delete(b"dead".to_vec()).unwrap();
+        kv.put(b"c".to_vec(), b"c".to_vec()).unwrap();
+        let got: Vec<_> = kv.range_snapshot(&[], None).collect();
+        assert_eq!(
+            got,
+            vec![
+                (b"a".to_vec(), b"new-a".to_vec()),
+                (b"b".to_vec(), b"b".to_vec()),
+                (b"c".to_vec(), b"c".to_vec()),
+            ]
+        );
+        // Bounded snapshot.
+        let got: Vec<_> = kv.range_snapshot(b"b", Some(b"c")).collect();
+        assert_eq!(got, vec![(b"b".to_vec(), b"b".to_vec())]);
+    }
+
+    #[test]
+    fn range_snapshot_is_isolated_from_later_writes() {
+        let kv = KvStore::new_in_memory();
+        for i in 0..20u8 {
+            kv.put(vec![i], vec![i]).unwrap();
+        }
+        kv.flush();
+        let snap = kv.range_snapshot(&[], None);
+        // Mutate after the snapshot: overwrite, delete, insert, compact.
+        kv.put(vec![0], b"changed".to_vec()).unwrap();
+        kv.delete(vec![5]).unwrap();
+        kv.put(vec![200], b"new".to_vec()).unwrap();
+        kv.compact();
+        let got: Vec<_> = snap.collect();
+        assert_eq!(got.len(), 20);
+        for (i, (k, v)) in got.iter().enumerate() {
+            assert_eq!(k, &vec![i as u8]);
+            assert_eq!(v, &vec![i as u8]);
+        }
+    }
+
+    #[test]
     fn wal_recovery_restores_state() {
         let dir = std::env::temp_dir().join("cfs-kv-tests");
         std::fs::create_dir_all(&dir).unwrap();
@@ -538,6 +732,7 @@ mod tests {
                 memtable_max_bytes: 64,
                 max_tables: 3,
                 wal: None,
+                ..Default::default()
             }).unwrap();
             let mut model = std::collections::BTreeMap::new();
             for (is_put, key, val) in ops {

@@ -103,6 +103,35 @@ impl<S: StateMachine> RaftGroup<S> {
         }
     }
 
+    /// Blocks until the group has converged on a *single* leader that can
+    /// commit, by committing a no-op barrier and then requiring exactly one
+    /// node to claim the role. After a kill or partition heals, the deposed
+    /// leader keeps claiming leadership — and serving stale leader-local
+    /// reads — until a higher-term message reaches it; waiting out that
+    /// window is what makes a subsequent read linearizable.
+    pub fn wait_quiescent(&self, timeout: Duration) -> FsResult<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let step = deadline
+                .saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(500));
+            if self.propose(Vec::new(), step).is_ok() {
+                let claimants = self
+                    .nodes
+                    .iter()
+                    .filter(|n| n.role() == Role::Leader)
+                    .count();
+                if claimants == 1 {
+                    return Ok(());
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(FsError::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
     /// Stops every node in the group.
     pub fn shutdown(&self) {
         for n in &self.nodes {

@@ -1,6 +1,7 @@
 //! Wire protocol of a TafDB shard: client requests, raft commands,
 //! transaction-engine requests, and responses.
 
+use cfs_kvstore::WriteOp;
 use cfs_types::codec::{Decode, DecodeError, Encode, EncodeListItem};
 use cfs_types::{FsError, InodeId, Key, Record};
 
@@ -31,6 +32,36 @@ pub enum TafRequest {
     Delete(Key),
     /// Fetch the shard's instrumentation counters.
     Metrics,
+    /// Migration: export one page of live entries whose kid lies in
+    /// `[lo, hi]`, starting strictly after the raw kv key `after`
+    /// (leader-local fuzzy read; the range stays writable while pages
+    /// stream).
+    MigExport {
+        /// First kid of the migrating range (inclusive).
+        lo: u64,
+        /// Last kid of the migrating range (inclusive).
+        hi: u64,
+        /// Resume point (exclusive raw kv key), `None` for the beginning.
+        after: Option<Vec<u8>>,
+        /// Maximum entries per page.
+        limit: u32,
+    },
+    /// Migration: apply a streamed batch on the receiving shard (replicated).
+    MigIngest {
+        /// Raw kv writes copied from the donor.
+        ops: Vec<WriteOp>,
+    },
+    /// Migration: ask the shard leader for a balanced split point of
+    /// `[lo, hi]` — the median occupied kid (leader-local read).
+    SplitPoint {
+        /// First kid considered (inclusive).
+        lo: u64,
+        /// Last kid considered (inclusive).
+        hi: u64,
+    },
+    /// Migration control: replicate the inner command (must be one of the
+    /// `Mig*` [`ShardCmd`]s) through the shard's Raft group.
+    MigCtl(ShardCmd),
 }
 
 impl Encode for TafRequest {
@@ -60,6 +91,31 @@ impl Encode for TafRequest {
                 k.encode(buf);
             }
             TafRequest::Metrics => buf.push(5),
+            TafRequest::MigExport {
+                lo,
+                hi,
+                after,
+                limit,
+            } => {
+                buf.push(6);
+                lo.encode(buf);
+                hi.encode(buf);
+                after.encode(buf);
+                limit.encode(buf);
+            }
+            TafRequest::MigIngest { ops } => {
+                buf.push(7);
+                ops.encode(buf);
+            }
+            TafRequest::SplitPoint { lo, hi } => {
+                buf.push(8);
+                lo.encode(buf);
+                hi.encode(buf);
+            }
+            TafRequest::MigCtl(cmd) => {
+                buf.push(9);
+                cmd.encode(buf);
+            }
         }
     }
 }
@@ -77,6 +133,20 @@ impl Decode for TafRequest {
             3 => TafRequest::Put(Key::decode(input)?, Record::decode(input)?),
             4 => TafRequest::Delete(Key::decode(input)?),
             5 => TafRequest::Metrics,
+            6 => TafRequest::MigExport {
+                lo: u64::decode(input)?,
+                hi: u64::decode(input)?,
+                after: Option::<Vec<u8>>::decode(input)?,
+                limit: u32::decode(input)?,
+            },
+            7 => TafRequest::MigIngest {
+                ops: Vec::<WriteOp>::decode(input)?,
+            },
+            8 => TafRequest::SplitPoint {
+                lo: u64::decode(input)?,
+                hi: u64::decode(input)?,
+            },
+            9 => TafRequest::MigCtl(ShardCmd::decode(input)?),
             t => return Err(DecodeError::InvalidTag(t)),
         })
     }
@@ -124,6 +194,18 @@ pub enum TafResponse {
     Metrics(ShardMetricsSnapshot),
     /// The request failed.
     Err(FsError),
+    /// One page of a migration export; `done` means no further page exists.
+    Exported {
+        /// Live entries of the page, in key order.
+        ops: Vec<WriteOp>,
+        /// Whether the donor has no entries past this page.
+        done: bool,
+    },
+    /// The write tail recorded between `MigStart` and `MigFreeze`.
+    Tail(Vec<WriteOp>),
+    /// A balanced split point, `None` when the range holds too few keys to
+    /// split.
+    SplitAt(Option<u64>),
 }
 
 impl Encode for TafResponse {
@@ -150,6 +232,19 @@ impl Encode for TafResponse {
                 buf.push(5);
                 e.encode(buf);
             }
+            TafResponse::Exported { ops, done } => {
+                buf.push(6);
+                ops.encode(buf);
+                done.encode(buf);
+            }
+            TafResponse::Tail(ops) => {
+                buf.push(7);
+                ops.encode(buf);
+            }
+            TafResponse::SplitAt(at) => {
+                buf.push(8);
+                at.encode(buf);
+            }
         }
     }
 }
@@ -163,6 +258,12 @@ impl Decode for TafResponse {
             3 => TafResponse::Ok,
             4 => TafResponse::Metrics(ShardMetricsSnapshot::decode(input)?),
             5 => TafResponse::Err(FsError::decode(input)?),
+            6 => TafResponse::Exported {
+                ops: Vec::<WriteOp>::decode(input)?,
+                done: bool::decode(input)?,
+            },
+            7 => TafResponse::Tail(Vec::<WriteOp>::decode(input)?),
+            8 => TafResponse::SplitAt(Option::<u64>::decode(input)?),
             t => return Err(DecodeError::InvalidTag(t)),
         })
     }
@@ -207,6 +308,56 @@ pub enum ShardCmd {
     CommitWrites {
         /// Writes to apply.
         writes: Vec<(Key, Option<Record>)>,
+    },
+    /// Migration phase 1: start donating `[lo, hi]`. The shard keeps serving
+    /// the range but records every write to it in a tail; new 2PC prepares
+    /// touching the range are refused with `Busy`.
+    MigStart {
+        /// First donated kid (inclusive).
+        lo: u64,
+        /// Last donated kid (inclusive).
+        hi: u64,
+    },
+    /// Migration phase 2: freeze `[lo, hi]` — from here the donor answers
+    /// `WrongShard` for the range. The command's response carries the
+    /// recorded tail; it fails with `Busy` while prepared transactions still
+    /// intersect the range.
+    MigFreeze {
+        /// First donated kid (inclusive).
+        lo: u64,
+        /// Last donated kid (inclusive).
+        hi: u64,
+    },
+    /// Migration phase 3: the new map (at `epoch`) is live; drop the moved
+    /// keys and remember the donation so late clients get redirected with
+    /// the epoch to catch up to.
+    MigFinish {
+        /// First donated kid (inclusive).
+        lo: u64,
+        /// Last donated kid (inclusive).
+        hi: u64,
+        /// Map epoch at which ownership moved.
+        epoch: u64,
+    },
+    /// Cancel an in-flight migration and resume normal service of the range.
+    MigAbort {
+        /// First donated kid (inclusive).
+        lo: u64,
+        /// Last donated kid (inclusive).
+        hi: u64,
+    },
+    /// Receiving side: apply one streamed page of raw kv writes.
+    MigIngest {
+        /// Raw kv writes copied from the donor.
+        ops: Vec<WriteOp>,
+    },
+    /// Receiving side: the transfer of `[lo, hi]` is complete (counted in
+    /// the shard's migration metrics).
+    MigAccept {
+        /// First received kid (inclusive).
+        lo: u64,
+        /// Last received kid (inclusive).
+        hi: u64,
     },
 }
 
@@ -265,6 +416,36 @@ impl Encode for ShardCmd {
                 buf.push(6);
                 encode_writes(writes, buf);
             }
+            ShardCmd::MigStart { lo, hi } => {
+                buf.push(8);
+                lo.encode(buf);
+                hi.encode(buf);
+            }
+            ShardCmd::MigFreeze { lo, hi } => {
+                buf.push(9);
+                lo.encode(buf);
+                hi.encode(buf);
+            }
+            ShardCmd::MigFinish { lo, hi, epoch } => {
+                buf.push(10);
+                lo.encode(buf);
+                hi.encode(buf);
+                epoch.encode(buf);
+            }
+            ShardCmd::MigAbort { lo, hi } => {
+                buf.push(11);
+                lo.encode(buf);
+                hi.encode(buf);
+            }
+            ShardCmd::MigIngest { ops } => {
+                buf.push(12);
+                ops.encode(buf);
+            }
+            ShardCmd::MigAccept { lo, hi } => {
+                buf.push(13);
+                lo.encode(buf);
+                hi.encode(buf);
+            }
         }
     }
 }
@@ -291,6 +472,30 @@ impl Decode for ShardCmd {
             7 => ShardCmd::PreparePrim {
                 txn: u64::decode(input)?,
                 prim: Primitive::decode(input)?,
+            },
+            8 => ShardCmd::MigStart {
+                lo: u64::decode(input)?,
+                hi: u64::decode(input)?,
+            },
+            9 => ShardCmd::MigFreeze {
+                lo: u64::decode(input)?,
+                hi: u64::decode(input)?,
+            },
+            10 => ShardCmd::MigFinish {
+                lo: u64::decode(input)?,
+                hi: u64::decode(input)?,
+                epoch: u64::decode(input)?,
+            },
+            11 => ShardCmd::MigAbort {
+                lo: u64::decode(input)?,
+                hi: u64::decode(input)?,
+            },
+            12 => ShardCmd::MigIngest {
+                ops: Vec::<WriteOp>::decode(input)?,
+            },
+            13 => ShardCmd::MigAccept {
+                lo: u64::decode(input)?,
+                hi: u64::decode(input)?,
             },
             t => return Err(DecodeError::InvalidTag(t)),
         })
@@ -483,9 +688,41 @@ mod tests {
             ),
             TafRequest::Delete(Key::entry(InodeId(4), "x")),
             TafRequest::Metrics,
+            TafRequest::MigExport {
+                lo: 5,
+                hi: u64::MAX,
+                after: Some(vec![0xAB, 0xCD]),
+                limit: 256,
+            },
+            TafRequest::MigIngest {
+                ops: vec![WriteOp::Put(vec![1, 2], vec![3]), WriteOp::Delete(vec![4])],
+            },
+            TafRequest::SplitPoint { lo: 0, hi: 99 },
+            TafRequest::MigCtl(ShardCmd::MigStart { lo: 10, hi: 20 }),
         ];
         for r in reqs {
             assert_eq!(TafRequest::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn migration_responses_round_trip() {
+        let resps = vec![
+            TafResponse::Exported {
+                ops: vec![WriteOp::Put(vec![9], vec![8, 7])],
+                done: true,
+            },
+            TafResponse::Exported {
+                ops: vec![],
+                done: false,
+            },
+            TafResponse::Tail(vec![WriteOp::Delete(vec![0xFF; 9])]),
+            TafResponse::SplitAt(Some(42)),
+            TafResponse::SplitAt(None),
+            TafResponse::Err(FsError::WrongShard(3)),
+        ];
+        for r in resps {
+            assert_eq!(TafResponse::from_bytes(&r.to_bytes()).unwrap(), r);
         }
     }
 
@@ -510,6 +747,18 @@ mod tests {
             ShardCmd::CommitPrepared { txn: 77 },
             ShardCmd::Abort { txn: 78 },
             ShardCmd::CommitWrites { writes: vec![] },
+            ShardCmd::MigStart { lo: 1, hi: 2 },
+            ShardCmd::MigFreeze { lo: 1, hi: 2 },
+            ShardCmd::MigFinish {
+                lo: 1,
+                hi: u64::MAX,
+                epoch: 4,
+            },
+            ShardCmd::MigAbort { lo: 0, hi: 7 },
+            ShardCmd::MigIngest {
+                ops: vec![WriteOp::Put(vec![5], vec![6])],
+            },
+            ShardCmd::MigAccept { lo: 3, hi: 9 },
         ];
         for c in cmds {
             assert_eq!(ShardCmd::from_bytes(&c.to_bytes()).unwrap(), c);

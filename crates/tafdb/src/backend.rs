@@ -87,6 +87,12 @@ impl TafBackendGroup {
             total.primitive_failures = total.primitive_failures.max(m.primitive_failures);
             total.txn_commits = total.txn_commits.max(m.txn_commits);
             total.txn_aborts = total.txn_aborts.max(m.txn_aborts);
+            // Migration counters accrue on every replica through the
+            // replicated commands; max avoids multiplying by replication.
+            total.ranges_donated = total.ranges_donated.max(m.ranges_donated);
+            total.ranges_received = total.ranges_received.max(m.ranges_received);
+            total.keys_streamed = total.keys_streamed.max(m.keys_streamed);
+            total.freeze_ns = total.freeze_ns.max(m.freeze_ns);
         }
         total
     }
@@ -107,17 +113,22 @@ struct AppService {
 impl AppService {
     fn process(&self, req: TafRequest) -> TafResponse {
         match req {
-            TafRequest::Get(key) => match self.node.read(|sm| sm.get(&key)) {
-                Ok(rec) => TafResponse::Record(rec),
-                Err(e) => TafResponse::Err(e),
-            },
-            TafRequest::Scan { dir, after, limit } => {
+            TafRequest::Get(key) => {
                 match self
                     .node
-                    .read(|sm| sm.scan(dir, after.as_deref(), limit as usize))
+                    .read(|sm| sm.check_owner(key.kid.raw()).map(|()| sm.get(&key)))
                 {
-                    Ok(entries) => TafResponse::Entries(entries),
-                    Err(e) => TafResponse::Err(e),
+                    Ok(Ok(rec)) => TafResponse::Record(rec),
+                    Ok(Err(e)) | Err(e) => TafResponse::Err(e),
+                }
+            }
+            TafRequest::Scan { dir, after, limit } => {
+                match self.node.read(|sm| {
+                    sm.check_owner(dir.raw())
+                        .map(|()| sm.scan(dir, after.as_deref(), limit as usize))
+                }) {
+                    Ok(Ok(entries)) => TafResponse::Entries(entries),
+                    Ok(Err(e)) | Err(e) => TafResponse::Err(e),
                 }
             }
             TafRequest::Execute(prim) => {
@@ -142,6 +153,45 @@ impl AppService {
             TafRequest::Delete(key) => self.propose(ShardCmd::Delete(key)),
             TafRequest::Metrics => {
                 TafResponse::Metrics(self.node.state_machine().metrics().snapshot())
+            }
+            TafRequest::MigExport {
+                lo,
+                hi,
+                after,
+                limit,
+            } => {
+                // Fuzzy leader-local read: the range keeps serving while it
+                // streams; the write tail recorded since `MigStart` covers
+                // anything this page export races with.
+                match self
+                    .node
+                    .read(|sm| sm.export_page(lo, hi, after.as_deref(), limit as usize))
+                {
+                    Ok((ops, done)) => TafResponse::Exported { ops, done },
+                    Err(e) => TafResponse::Err(e),
+                }
+            }
+            TafRequest::MigIngest { ops } => self.propose(ShardCmd::MigIngest { ops }),
+            TafRequest::SplitPoint { lo, hi } => {
+                match self.node.read(|sm| sm.split_point(lo, hi)) {
+                    Ok(at) => TafResponse::SplitAt(at),
+                    Err(e) => TafResponse::Err(e),
+                }
+            }
+            TafRequest::MigCtl(cmd) => {
+                if !matches!(
+                    cmd,
+                    ShardCmd::MigStart { .. }
+                        | ShardCmd::MigFreeze { .. }
+                        | ShardCmd::MigFinish { .. }
+                        | ShardCmd::MigAbort { .. }
+                        | ShardCmd::MigAccept { .. }
+                ) {
+                    return TafResponse::Err(FsError::Invalid(
+                        "MigCtl accepts only migration commands".into(),
+                    ));
+                }
+                self.propose(cmd)
             }
         }
     }

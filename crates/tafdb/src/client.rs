@@ -10,16 +10,20 @@ use cfs_types::{FsError, FsResult, InodeId, Key, NodeId, Record, ShardId};
 
 use crate::api::{DirEntry, TafRequest, TafResponse, TxnRequest, TxnResponse};
 use crate::primitive::{PrimResult, Primitive};
-use crate::router::PartitionMap;
+use crate::router::{MapSource, PartitionMap};
 use crate::shard::ShardMetricsSnapshot;
 
 /// A TafDB client handle: routes requests to the owning shard's leader using
 /// the cached partition map (part of *client-side metadata resolving*,
-/// paper §3.1 — no proxy hop).
+/// paper §3.1 — no proxy hop). A `WrongShard` redirect makes the client
+/// refresh its cached map through the configured [`MapSource`] and re-route.
 pub struct TafDbClient {
     net: Arc<Network>,
     me: NodeId,
     pmap: Arc<PartitionMap>,
+    /// Where to fetch newer map versions after a redirect (`None` = static
+    /// layout, redirects surface to the caller).
+    map_source: Option<Arc<dyn MapSource>>,
     /// Per-request retry budget for leader discovery.
     retry_timeout: Duration,
 }
@@ -31,13 +35,66 @@ impl TafDbClient {
             net,
             me,
             pmap,
+            map_source: None,
             retry_timeout: Duration::from_secs(10),
         }
+    }
+
+    /// Configures where the client refreshes its partition map after a
+    /// `WrongShard` redirect.
+    pub fn with_map_source(mut self, source: Arc<dyn MapSource>) -> TafDbClient {
+        self.map_source = Some(source);
+        self
     }
 
     /// The partition map (shared with other client components).
     pub fn partition_map(&self) -> &Arc<PartitionMap> {
         &self.pmap
+    }
+
+    /// Refreshes the cached map after a `WrongShard` carrying `hint_epoch`.
+    /// Returns true when routing may already have changed (newer version
+    /// installed, or the cache is already past the hinted epoch).
+    fn refresh_map(&self, hint_epoch: u64) -> bool {
+        let have = self.pmap.epoch();
+        if hint_epoch > 0 && have >= hint_epoch {
+            // The redirect chased an epoch this cache already knows; the
+            // recomputed route will differ from the stale one.
+            return true;
+        }
+        let Some(src) = &self.map_source else {
+            return false;
+        };
+        match src.fetch_newer(have) {
+            Ok(Some(v)) => self.pmap.install(v),
+            _ => false,
+        }
+    }
+
+    /// Routes `op` by `kid`, refreshing the map and re-routing whenever the
+    /// contacted shard answers `WrongShard` (lazy client-side catch-up;
+    /// during the cutover freeze the shard answers `WrongShard(0)` and the
+    /// client polls until the new map is published).
+    fn with_routing<T>(
+        &self,
+        kid: InodeId,
+        op: impl Fn(&Self, ShardId) -> FsResult<T>,
+    ) -> FsResult<T> {
+        let deadline = Instant::now() + self.retry_timeout;
+        loop {
+            let shard = self.pmap.shard_for(kid);
+            match op(self, shard) {
+                Err(FsError::WrongShard(epoch)) => {
+                    if !self.refresh_map(epoch) {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(FsError::Timeout);
+                    }
+                }
+                other => return other,
+            }
+        }
     }
 
     /// Issues `req` to the leader of `shard`, following `NotLeader` redirects
@@ -59,6 +116,11 @@ impl TafDbClient {
                         }
                         None => self.pmap.rotate_hint(shard),
                     },
+                    // A redirect, not a transient fault: surface immediately
+                    // so the caller refreshes its map and re-routes.
+                    TafResponse::Err(FsError::WrongShard(epoch)) => {
+                        return Err(FsError::WrongShard(epoch))
+                    }
                     TafResponse::Err(e) if e.is_retryable() => {
                         self.pmap.rotate_hint(shard);
                     }
@@ -114,22 +176,31 @@ impl TafDbClient {
 
     /// Point read of one record.
     pub fn get(&self, key: &Key) -> FsResult<Option<Record>> {
-        let shard = self.pmap.shard_for(key.kid);
-        match self.request(shard, &TafRequest::Get(key.clone()))? {
-            TafResponse::Record(rec) => Ok(rec),
-            TafResponse::Err(e) => Err(e),
-            other => Err(unexpected(other)),
-        }
+        self.with_routing(key.kid, |c, shard| {
+            match c.request(shard, &TafRequest::Get(key.clone()))? {
+                TafResponse::Record(rec) => Ok(rec),
+                TafResponse::Err(e) => Err(e),
+                other => Err(unexpected(other)),
+            }
+        })
     }
 
     /// Ordered listing of a directory's children.
     pub fn scan(&self, dir: InodeId, after: Option<String>, limit: u32) -> FsResult<Vec<DirEntry>> {
-        let shard = self.pmap.shard_for(dir);
-        match self.request(shard, &TafRequest::Scan { dir, after, limit })? {
-            TafResponse::Entries(es) => Ok(es),
-            TafResponse::Err(e) => Err(e),
-            other => Err(unexpected(other)),
-        }
+        self.with_routing(dir, |c, shard| {
+            match c.request(
+                shard,
+                &TafRequest::Scan {
+                    dir,
+                    after: after.clone(),
+                    limit,
+                },
+            )? {
+                TafResponse::Entries(es) => Ok(es),
+                TafResponse::Err(e) => Err(e),
+                other => Err(unexpected(other)),
+            }
+        })
     }
 
     /// Executes a single-shard atomic primitive.
@@ -141,36 +212,40 @@ impl TafDbClient {
     pub fn execute(&self, prim: Primitive) -> FsResult<PrimResult> {
         let kids = prim.touched_kids();
         debug_assert!(!kids.is_empty(), "primitive touches no record");
-        let shard = self.pmap.shard_for(kids[0]);
         debug_assert!(
-            kids.iter().all(|&k| self.pmap.shard_for(k) == shard),
+            kids.iter()
+                .all(|&k| self.pmap.shard_for(k) == self.pmap.shard_for(kids[0])),
             "single-shard primitive spans shards: {kids:?}"
         );
-        match self.request(shard, &TafRequest::Execute(prim))? {
-            TafResponse::Executed(res) => Ok(res),
-            TafResponse::Err(e) => Err(e),
-            other => Err(unexpected(other)),
-        }
+        self.with_routing(kids[0], |c, shard| {
+            match c.request(shard, &TafRequest::Execute(prim.clone()))? {
+                TafResponse::Executed(res) => Ok(res),
+                TafResponse::Err(e) => Err(e),
+                other => Err(unexpected(other)),
+            }
+        })
     }
 
     /// Upserts one record (directory `/_ATTR` creation, GC repair).
     pub fn put(&self, key: Key, rec: Record) -> FsResult<()> {
-        let shard = self.pmap.shard_for(key.kid);
-        match self.request(shard, &TafRequest::Put(key, rec))? {
-            TafResponse::Ok => Ok(()),
-            TafResponse::Err(e) => Err(e),
-            other => Err(unexpected(other)),
-        }
+        self.with_routing(key.kid, |c, shard| {
+            match c.request(shard, &TafRequest::Put(key.clone(), rec.clone()))? {
+                TafResponse::Ok => Ok(()),
+                TafResponse::Err(e) => Err(e),
+                other => Err(unexpected(other)),
+            }
+        })
     }
 
     /// Deletes one record (GC cleanup).
     pub fn delete(&self, key: Key) -> FsResult<()> {
-        let shard = self.pmap.shard_for(key.kid);
-        match self.request(shard, &TafRequest::Delete(key))? {
-            TafResponse::Ok => Ok(()),
-            TafResponse::Err(e) => Err(e),
-            other => Err(unexpected(other)),
-        }
+        self.with_routing(key.kid, |c, shard| {
+            match c.request(shard, &TafRequest::Delete(key.clone()))? {
+                TafResponse::Ok => Ok(()),
+                TafResponse::Err(e) => Err(e),
+                other => Err(unexpected(other)),
+            }
+        })
     }
 
     /// Fetches one shard's metrics snapshot.

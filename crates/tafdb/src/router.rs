@@ -1,116 +1,384 @@
 //! Range partitioning of the `inode_table` across shards.
 //!
 //! Paper §4.1: "we break inode_table into a set of shards ... by a range
-//! partitioning scheme on the kID values". The inode id space is divided into
-//! `num_shards` equal contiguous ranges; every record of one directory (its
+//! partitioning scheme on the kID values". Every record of one directory (its
 //! `/_ATTR` record and all children id records share the directory's id as
-//! `kID`) therefore lands on exactly one shard.
+//! `kID`) lands on exactly one shard.
+//!
+//! The map is **versioned**: each published assignment carries an epoch, and
+//! shard boundaries are arbitrary (not just equal slices) so the placement
+//! driver can split a shard online. [`PartitionMap`] is the client-side cache
+//! of the latest known [`MapVersion`]; a `WrongShard` redirect tells the
+//! client its epoch is stale and it refreshes through a [`MapSource`] before
+//! retrying (client-side metadata resolving, paper §3.1 — no proxy hop).
 //!
 //! Balance comes from the id allocator (see [`crate::tserver`]): new
 //! directory ids are handed out round-robin across ranges, so directories
 //! spread evenly while each directory's records stay together.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
-use cfs_types::{InodeId, NodeId, ShardId};
+use cfs_types::codec::{Decode, DecodeError, Encode, EncodeListItem};
+use cfs_types::{FsError, FsResult, InodeId, NodeId, ShardId};
+use parking_lot::RwLock;
 
 /// Static description of one shard.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ShardInfo {
-    /// Shard id (also its index).
+    /// Shard id (stable across splits; not necessarily its index).
     pub id: ShardId,
     /// Raft replica addresses, in group order.
     pub replicas: Vec<NodeId>,
 }
 
-/// The cluster's partition map, cached inside every client
-/// (client-side metadata resolving, paper §3.1).
+impl EncodeListItem for ShardInfo {}
+
+impl Encode for ShardInfo {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.replicas.encode(buf);
+    }
+}
+
+impl Decode for ShardInfo {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ShardInfo {
+            id: ShardId::decode(input)?,
+            replicas: Vec::<NodeId>::decode(input)?,
+        })
+    }
+}
+
+/// One shard's slot in a [`MapVersion`]: the shard and the **inclusive** id
+/// range `[start, end]` it owns.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardRange {
+    /// The owning shard.
+    pub info: ShardInfo,
+    /// First owned id.
+    pub start: u64,
+    /// Last owned id (inclusive, so the tiling can cover `u64::MAX`).
+    pub end: u64,
+}
+
+impl EncodeListItem for ShardRange {}
+
+impl Encode for ShardRange {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.info.encode(buf);
+        self.start.encode(buf);
+        self.end.encode(buf);
+    }
+}
+
+impl Decode for ShardRange {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ShardRange {
+            info: ShardInfo::decode(input)?,
+            start: u64::decode(input)?,
+            end: u64::decode(input)?,
+        })
+    }
+}
+
+/// An epoch-stamped, wire-encodable shard→range assignment. The unit the
+/// placement driver publishes and clients cache.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MapVersion {
+    /// Monotonic version number; bumped at every cutover.
+    pub epoch: u64,
+    /// Ranges sorted by `start`, tiling `[0, u64::MAX]` with no gap/overlap.
+    pub shards: Vec<ShardRange>,
+}
+
+impl Encode for MapVersion {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.epoch.encode(buf);
+        self.shards.encode(buf);
+    }
+}
+
+impl Decode for MapVersion {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(MapVersion {
+            epoch: u64::decode(input)?,
+            shards: Vec::<ShardRange>::decode(input)?,
+        })
+    }
+}
+
+impl MapVersion {
+    /// Builds the epoch-1 assignment of `shards` equal ranges (the boot-time
+    /// layout every deployment starts from).
+    pub fn equal_ranges(shards: Vec<ShardInfo>) -> MapVersion {
+        assert!(!shards.is_empty());
+        let n = shards.len() as u64;
+        let range_size = u64::MAX / n;
+        let last = shards.len() - 1;
+        let shards = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, info)| ShardRange {
+                info,
+                start: i as u64 * range_size,
+                end: if i == last {
+                    u64::MAX
+                } else {
+                    (i as u64 + 1) * range_size - 1
+                },
+            })
+            .collect();
+        MapVersion { epoch: 1, shards }
+    }
+
+    /// Checks that the ranges tile the full id space: sorted, gap-free,
+    /// overlap-free, starting at 0 and ending at `u64::MAX`, with unique
+    /// shard ids.
+    pub fn validate(&self) -> FsResult<()> {
+        if self.shards.is_empty() {
+            return Err(FsError::Invalid("empty partition map".into()));
+        }
+        if self.shards[0].start != 0 {
+            return Err(FsError::Invalid("first range must start at 0".into()));
+        }
+        if self.shards.last().expect("non-empty").end != u64::MAX {
+            return Err(FsError::Invalid("last range must end at u64::MAX".into()));
+        }
+        let mut ids = std::collections::HashSet::new();
+        for w in self.shards.windows(2) {
+            if w[0].end == u64::MAX || w[0].end + 1 != w[1].start {
+                return Err(FsError::Invalid(format!(
+                    "ranges must tile: [..,{}] then [{},..]",
+                    w[0].end, w[1].start
+                )));
+            }
+        }
+        for r in &self.shards {
+            if r.start > r.end {
+                return Err(FsError::Invalid(format!(
+                    "inverted range [{},{}]",
+                    r.start, r.end
+                )));
+            }
+            if !ids.insert(r.info.id) {
+                return Err(FsError::Invalid(format!(
+                    "duplicate shard id {:?}",
+                    r.info.id
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Derives the next-epoch assignment in which `src` keeps `[lo, at-1]`
+    /// and `new_shard` takes over `[at, hi]` of `src`'s current `[lo, hi]`.
+    pub fn split(&self, src: ShardId, at: u64, new_shard: ShardInfo) -> FsResult<MapVersion> {
+        let idx = self
+            .shards
+            .iter()
+            .position(|r| r.info.id == src)
+            .ok_or_else(|| FsError::Invalid(format!("unknown shard {src:?}")))?;
+        let (lo, hi) = (self.shards[idx].start, self.shards[idx].end);
+        if at <= lo || at > hi {
+            return Err(FsError::Invalid(format!(
+                "split point {at} outside ({lo},{hi}]"
+            )));
+        }
+        let mut shards = self.shards.clone();
+        shards[idx].end = at - 1;
+        shards.insert(
+            idx + 1,
+            ShardRange {
+                info: new_shard,
+                start: at,
+                end: hi,
+            },
+        );
+        let next = MapVersion {
+            epoch: self.epoch + 1,
+            shards,
+        };
+        next.validate()?;
+        Ok(next)
+    }
+
+    fn slot_for(&self, kid: u64) -> &ShardRange {
+        // Last range whose start <= kid; the tiling guarantees kid <= end.
+        let idx = self.shards.partition_point(|r| r.start <= kid) - 1;
+        &self.shards[idx]
+    }
+}
+
+/// The cluster's partition map: a cached [`MapVersion`] plus per-shard leader
+/// hints, behind interior mutability so [`PartitionMap::install`] switches
+/// every holder of the shared `Arc` to the new epoch at once.
 pub struct PartitionMap {
-    shards: Vec<ShardInfo>,
-    range_size: u64,
-    /// Cached leader index per shard, updated from redirect hints.
-    leader_hints: Vec<AtomicU32>,
+    inner: RwLock<Inner>,
+}
+
+struct Inner {
+    version: MapVersion,
+    /// Cached leader index per shard id, updated from redirect hints and
+    /// carried across installs.
+    hints: HashMap<ShardId, Arc<AtomicU32>>,
+}
+
+impl Inner {
+    fn slot(&self, shard: ShardId) -> &ShardRange {
+        self.version
+            .shards
+            .iter()
+            .find(|r| r.info.id == shard)
+            .unwrap_or_else(|| panic!("unknown shard {shard:?}"))
+    }
 }
 
 impl PartitionMap {
-    /// Builds a map over `shards` equal ranges of the id space.
+    /// Builds an epoch-1 map over `shards` equal ranges of the id space.
     pub fn new(shards: Vec<ShardInfo>) -> PartitionMap {
-        assert!(!shards.is_empty());
-        let n = shards.len() as u64;
-        let leader_hints = shards.iter().map(|_| AtomicU32::new(0)).collect();
+        PartitionMap::from_version(MapVersion::equal_ranges(shards))
+    }
+
+    /// Builds a map caching `version`.
+    pub fn from_version(version: MapVersion) -> PartitionMap {
+        version.validate().expect("valid map version");
+        let hints = version
+            .shards
+            .iter()
+            .map(|r| (r.info.id, Arc::new(AtomicU32::new(0))))
+            .collect();
         PartitionMap {
-            shards,
-            range_size: u64::MAX / n,
-            leader_hints,
+            inner: RwLock::new(Inner { version, hints }),
         }
+    }
+
+    /// The epoch of the cached version.
+    pub fn epoch(&self) -> u64 {
+        self.inner.read().version.epoch
+    }
+
+    /// A copy of the cached version (what a client gossips or compares).
+    pub fn current_version(&self) -> MapVersion {
+        self.inner.read().version.clone()
+    }
+
+    /// Installs `version` if it is newer than the cached one; returns whether
+    /// it was installed. Leader hints of surviving shards are preserved.
+    pub fn install(&self, version: MapVersion) -> bool {
+        if version.validate().is_err() {
+            return false;
+        }
+        let mut inner = self.inner.write();
+        if version.epoch <= inner.version.epoch {
+            return false;
+        }
+        let hints = version
+            .shards
+            .iter()
+            .map(|r| {
+                let hint = inner
+                    .hints
+                    .get(&r.info.id)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::new(AtomicU32::new(0)));
+                (r.info.id, hint)
+            })
+            .collect();
+        inner.version = version;
+        inner.hints = hints;
+        true
     }
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.inner.read().version.shards.len()
     }
 
     /// The shard owning all records with the given `kID`.
     pub fn shard_for(&self, kid: InodeId) -> ShardId {
-        let idx = (kid.raw() / self.range_size).min(self.shards.len() as u64 - 1);
-        ShardId(idx as u32)
+        self.inner.read().version.slot_for(kid.raw()).info.id
     }
 
-    /// The id range `[start, end)` owned by `shard`.
+    /// The id range `[start, end]` (both inclusive) owned by `shard`: the
+    /// tiling covers the full id space, so the top key `u64::MAX` is owned by
+    /// the last range.
     pub fn range_of(&self, shard: ShardId) -> (u64, u64) {
-        let s = u64::from(shard.0);
-        let start = s * self.range_size;
-        let end = if shard.0 as usize + 1 == self.shards.len() {
-            u64::MAX
-        } else {
-            (s + 1) * self.range_size
-        };
-        (start, end)
+        let inner = self.inner.read();
+        let slot = inner.slot(shard);
+        (slot.start, slot.end)
     }
 
     /// Replica addresses of `shard`.
-    pub fn replicas(&self, shard: ShardId) -> &[NodeId] {
-        &self.shards[shard.0 as usize].replicas
+    pub fn replicas(&self, shard: ShardId) -> Vec<NodeId> {
+        self.inner.read().slot(shard).info.replicas.clone()
     }
 
     /// The cached most-likely leader of `shard`.
     pub fn leader_hint(&self, shard: ShardId) -> NodeId {
-        let replicas = self.replicas(shard);
-        let idx = self.leader_hints[shard.0 as usize].load(Ordering::Relaxed) as usize;
+        let inner = self.inner.read();
+        let replicas = &inner.slot(shard).info.replicas;
+        let idx = inner.hints[&shard].load(Ordering::Relaxed) as usize;
         replicas[idx % replicas.len()]
     }
 
     /// Records that `node` answered as leader (or was hinted at).
     pub fn note_leader(&self, shard: ShardId, node: NodeId) {
-        if let Some(idx) = self.replicas(shard).iter().position(|&r| r == node) {
-            self.leader_hints[shard.0 as usize].store(idx as u32, Ordering::Relaxed);
+        let inner = self.inner.read();
+        if let Some(idx) = inner
+            .slot(shard)
+            .info
+            .replicas
+            .iter()
+            .position(|&r| r == node)
+        {
+            inner.hints[&shard].store(idx as u32, Ordering::Relaxed);
         }
     }
 
     /// Rotates the hint to the next replica (used when the hinted leader does
     /// not answer).
     pub fn rotate_hint(&self, shard: ShardId) {
-        self.leader_hints[shard.0 as usize].fetch_add(1, Ordering::Relaxed);
+        self.inner.read().hints[&shard].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// All shards.
-    pub fn shards(&self) -> &[ShardInfo] {
-        &self.shards
+    /// All shards, in range order.
+    pub fn shards(&self) -> Vec<ShardInfo> {
+        self.inner
+            .read()
+            .version
+            .shards
+            .iter()
+            .map(|r| r.info.clone())
+            .collect()
     }
+}
+
+/// Where a client fetches a fresh [`MapVersion`] after a `WrongShard`
+/// redirect (implemented by the placement driver's client).
+pub trait MapSource: Send + Sync {
+    /// Returns a version with epoch strictly greater than `have_epoch`, or
+    /// `None` when the source has nothing newer.
+    fn fetch_newer(&self, have_epoch: u64) -> FsResult<Option<MapVersion>>;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn map(n: u32) -> PartitionMap {
-        let shards = (0..n)
+        PartitionMap::new(infos(n))
+    }
+
+    fn infos(n: u32) -> Vec<ShardInfo> {
+        (0..n)
             .map(|i| ShardInfo {
                 id: ShardId(i),
                 replicas: vec![NodeId(i * 10), NodeId(i * 10 + 1), NodeId(i * 10 + 2)],
             })
-            .collect();
-        PartitionMap::new(shards)
+            .collect()
     }
 
     #[test]
@@ -124,15 +392,21 @@ mod tests {
         let m = map(4);
         for s in 0..4u32 {
             let (start, end) = m.range_of(ShardId(s));
-            assert!(start < end);
+            assert!(start <= end);
             assert_eq!(m.shard_for(InodeId(start)), ShardId(s));
-            assert_eq!(m.shard_for(InodeId(end - 1)), ShardId(s));
+            assert_eq!(m.shard_for(InodeId(end)), ShardId(s));
         }
-        // Ranges tile without gaps.
+        // Ranges tile without gaps (inclusive ends: next start follows
+        // immediately).
         for s in 0..3u32 {
-            assert_eq!(m.range_of(ShardId(s)).1, m.range_of(ShardId(s + 1)).0);
+            assert_eq!(m.range_of(ShardId(s)).1 + 1, m.range_of(ShardId(s + 1)).0);
         }
+        // The full id space is covered: the top key is owned by the last
+        // shard AND its stated range reaches it (the old exclusive-end
+        // representation left u64::MAX outside every stated range).
         assert_eq!(m.shard_for(InodeId(u64::MAX)), ShardId(3));
+        assert_eq!(m.range_of(ShardId(3)).1, u64::MAX);
+        assert_eq!(m.range_of(ShardId(0)).0, 0);
     }
 
     #[test]
@@ -143,5 +417,149 @@ mod tests {
         assert_eq!(m.leader_hint(ShardId(1)), NodeId(12));
         m.rotate_hint(ShardId(1));
         assert_eq!(m.leader_hint(ShardId(1)), NodeId(10));
+    }
+
+    #[test]
+    fn split_produces_next_epoch_with_both_halves() {
+        let m = map(2);
+        let v1 = m.current_version();
+        assert_eq!(v1.epoch, 1);
+        let (lo, hi) = m.range_of(ShardId(1));
+        let mid = lo + (hi - lo) / 2;
+        let v2 = v1
+            .split(
+                ShardId(1),
+                mid,
+                ShardInfo {
+                    id: ShardId(2),
+                    replicas: vec![NodeId(20), NodeId(21), NodeId(22)],
+                },
+            )
+            .unwrap();
+        assert_eq!(v2.epoch, 2);
+        assert!(m.install(v2.clone()));
+        assert_eq!(m.num_shards(), 3);
+        assert_eq!(m.range_of(ShardId(1)), (lo, mid - 1));
+        assert_eq!(m.range_of(ShardId(2)), (mid, hi));
+        assert_eq!(m.shard_for(InodeId(mid - 1)), ShardId(1));
+        assert_eq!(m.shard_for(InodeId(mid)), ShardId(2));
+        assert_eq!(m.shard_for(InodeId(u64::MAX)), ShardId(2));
+        // Re-installing the same or an older epoch is a no-op.
+        assert!(!m.install(v2));
+        assert!(!m.install(v1));
+        assert_eq!(m.epoch(), 2);
+    }
+
+    #[test]
+    fn split_rejects_out_of_range_points() {
+        let v = MapVersion::equal_ranges(infos(2));
+        let (lo, hi) = (v.shards[1].start, v.shards[1].end);
+        let new = ShardInfo {
+            id: ShardId(9),
+            replicas: vec![NodeId(90)],
+        };
+        assert!(v.split(ShardId(1), lo, new.clone()).is_err());
+        assert!(v.split(ShardId(1), hi, new.clone()).is_ok());
+        assert!(v.split(ShardId(7), lo + 1, new).is_err());
+    }
+
+    #[test]
+    fn install_preserves_leader_hints_of_surviving_shards() {
+        let m = map(2);
+        m.note_leader(ShardId(1), NodeId(12));
+        let v2 = m
+            .current_version()
+            .split(
+                ShardId(0),
+                1 << 40,
+                ShardInfo {
+                    id: ShardId(2),
+                    replicas: vec![NodeId(20)],
+                },
+            )
+            .unwrap();
+        assert!(m.install(v2));
+        assert_eq!(m.leader_hint(ShardId(1)), NodeId(12));
+    }
+
+    #[test]
+    fn map_version_round_trips_on_the_wire() {
+        use cfs_types::codec::{Decode, Encode};
+        let mut v = MapVersion::equal_ranges(infos(3));
+        v.epoch = 7;
+        assert_eq!(MapVersion::from_bytes(&v.to_bytes()).unwrap(), v);
+    }
+
+    /// Applies `cuts` as successive splits over a single-shard map, producing
+    /// an arbitrary-boundary tiling.
+    fn version_from_cuts(cuts: &[u64]) -> MapVersion {
+        let mut v = MapVersion::equal_ranges(infos(1));
+        let mut next_id = 1u32;
+        for &cut in cuts {
+            let src = v.slot_for(cut).info.id;
+            let new = ShardInfo {
+                id: ShardId(next_id),
+                replicas: vec![NodeId(next_id * 10)],
+            };
+            if let Ok(split) = v.split(src, cut, new) {
+                v = split;
+                next_id += 1;
+            }
+        }
+        v
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Random split boundaries still tile the id space with no gaps or
+        /// overlaps.
+        #[test]
+        fn prop_random_splits_tile_id_space(
+            cuts in proptest::collection::vec(1u64..=u64::MAX, 0..12)
+        ) {
+            let v = version_from_cuts(&cuts);
+            v.validate().unwrap();
+            prop_assert_eq!(v.shards[0].start, 0);
+            prop_assert_eq!(v.shards.last().unwrap().end, u64::MAX);
+            for w in v.shards.windows(2) {
+                prop_assert!(w[0].end < w[1].start, "no overlap");
+                prop_assert_eq!(w[0].end + 1, w[1].start, "no gap");
+            }
+        }
+
+        /// `shard_for` agrees with `range_of` for every boundary and its
+        /// ±1 neighbours.
+        #[test]
+        fn prop_shard_for_agrees_with_range_of_at_boundaries(
+            cuts in proptest::collection::vec(1u64..=u64::MAX, 1..10)
+        ) {
+            let m = PartitionMap::from_version(version_from_cuts(&cuts));
+            for info in m.shards() {
+                let (start, end) = m.range_of(info.id);
+                // Every boundary key and its neighbours route to the shard
+                // whose stated range contains them.
+                for probe in [
+                    Some(start),
+                    start.checked_sub(1),
+                    start.checked_add(1),
+                    Some(end),
+                    end.checked_sub(1),
+                    end.checked_add(1),
+                ].into_iter().flatten() {
+                    let owner = m.shard_for(InodeId(probe));
+                    let (olo, ohi) = m.range_of(owner);
+                    prop_assert!(
+                        olo <= probe && probe <= ohi,
+                        "probe {} routed to {:?} with range [{},{}]",
+                        probe, owner, olo, ohi
+                    );
+                    // And containment implies agreement.
+                    if start <= probe && probe <= end {
+                        prop_assert_eq!(owner, info.id);
+                    }
+                }
+            }
+        }
     }
 }

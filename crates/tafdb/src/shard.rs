@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use cfs_kvstore::{KvConfig, KvStore, WriteOp};
 use cfs_raft::StateMachine;
@@ -33,6 +34,15 @@ pub struct ShardMetrics {
     pub txn_commits: AtomicU64,
     /// Interactive transactions aborted.
     pub txn_aborts: AtomicU64,
+    /// Key ranges donated to another shard by a completed migration.
+    pub ranges_donated: AtomicU64,
+    /// Key ranges received from another shard.
+    pub ranges_received: AtomicU64,
+    /// Raw kv entries ingested from migration streams.
+    pub keys_streamed: AtomicU64,
+    /// Nanoseconds the shard spent with a range frozen (the cutover window
+    /// in which in-range requests were refused).
+    pub freeze_ns: AtomicU64,
 }
 
 /// A point-in-time copy of [`ShardMetrics`], wire-encodable.
@@ -54,6 +64,14 @@ pub struct ShardMetricsSnapshot {
     pub txn_commits: u64,
     /// Interactive transactions aborted.
     pub txn_aborts: u64,
+    /// Key ranges donated away by completed migrations.
+    pub ranges_donated: u64,
+    /// Key ranges received from other shards.
+    pub ranges_received: u64,
+    /// Raw kv entries ingested from migration streams.
+    pub keys_streamed: u64,
+    /// Nanoseconds spent with a range frozen for cutover.
+    pub freeze_ns: u64,
 }
 
 impl ShardMetrics {
@@ -68,6 +86,10 @@ impl ShardMetrics {
             primitive_failures: self.primitive_failures.load(Ordering::Relaxed),
             txn_commits: self.txn_commits.load(Ordering::Relaxed),
             txn_aborts: self.txn_aborts.load(Ordering::Relaxed),
+            ranges_donated: self.ranges_donated.load(Ordering::Relaxed),
+            ranges_received: self.ranges_received.load(Ordering::Relaxed),
+            keys_streamed: self.keys_streamed.load(Ordering::Relaxed),
+            freeze_ns: self.freeze_ns.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,6 +104,10 @@ impl Encode for ShardMetricsSnapshot {
         self.primitive_failures.encode(buf);
         self.txn_commits.encode(buf);
         self.txn_aborts.encode(buf);
+        self.ranges_donated.encode(buf);
+        self.ranges_received.encode(buf);
+        self.keys_streamed.encode(buf);
+        self.freeze_ns.encode(buf);
     }
 }
 
@@ -96,6 +122,10 @@ impl Decode for ShardMetricsSnapshot {
             primitive_failures: u64::decode(input)?,
             txn_commits: u64::decode(input)?,
             txn_aborts: u64::decode(input)?,
+            ranges_donated: u64::decode(input)?,
+            ranges_received: u64::decode(input)?,
+            keys_streamed: u64::decode(input)?,
+            freeze_ns: u64::decode(input)?,
         })
     }
 }
@@ -106,6 +136,58 @@ enum Staged {
     Writes(Vec<(Key, Option<Record>)>),
     /// A primitive executed with merge semantics at commit (Renamer).
     Prim(Primitive),
+}
+
+/// Phase of an in-flight outbound range migration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum MigPhase {
+    /// Pages are streaming out; the range still serves reads and writes,
+    /// with every write also recorded in the tail.
+    Streaming,
+    /// The range is sealed for cutover: in-range requests answer
+    /// `WrongShard` until the driver finishes or aborts.
+    Frozen,
+}
+
+/// The in-flight outbound migration (at most one per shard).
+struct ActiveMigration {
+    lo: u64,
+    hi: u64,
+    phase: MigPhase,
+    /// In-range writes applied since `MigStart`, replayed on the receiver
+    /// after the export pages.
+    tail: Vec<WriteOp>,
+    /// Wall-clock start of the freeze window (metrics only).
+    frozen_at: Option<Instant>,
+}
+
+/// Replicated migration bookkeeping (driven through `ShardCmd`s so every
+/// replica agrees on ownership).
+#[derive(Default)]
+struct MigState {
+    active: Option<ActiveMigration>,
+    /// Ranges donated away, with the map epoch at which each one moved —
+    /// the epoch is handed to stale clients in `WrongShard` redirects.
+    moved: Vec<(u64, u64, u64)>,
+}
+
+/// The kid prefix of a raw kv key (keys are 8-byte big-endian kid followed
+/// by the record discriminator; see `Key::to_sortable_bytes`).
+fn kid_of(raw: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    let n = raw.len().min(8);
+    b[..n].copy_from_slice(&raw[..n]);
+    u64::from_be_bytes(b)
+}
+
+/// Every kid a primitive touches.
+fn prim_kids(prim: &Primitive) -> impl Iterator<Item = u64> + '_ {
+    prim.checks
+        .iter()
+        .map(|c| c.key.kid.raw())
+        .chain(prim.inserts.iter().map(|(k, _)| k.kid.raw()))
+        .chain(prim.deletes.iter().map(|c| c.key.kid.raw()))
+        .chain(prim.update.iter().map(|u| u.cond.key.kid.raw()))
 }
 
 /// One shard of the `inode_table`: the Raft-replicated state machine.
@@ -119,16 +201,25 @@ pub struct TafShard {
     metrics: Arc<ShardMetrics>,
     /// Logical change stream consumed by the garbage collector (§4.4).
     cdc: cfs_wal::Wal,
+    /// Migration state (replicated through `ShardCmd`s).
+    mig: Mutex<MigState>,
+    /// Simulated storage service time per committed batch (see
+    /// [`KvConfig::apply_cost`]); the shard sleeps this long in its apply
+    /// path so per-shard write capacity is bounded in simulated time.
+    apply_cost: std::time::Duration,
 }
 
 impl TafShard {
     /// Creates a shard over an LSM store with the given config.
     pub fn new(kv_config: KvConfig) -> FsResult<TafShard> {
+        let apply_cost = kv_config.apply_cost;
         Ok(TafShard {
             kv: KvStore::with_config(kv_config)?,
             prepared: Mutex::new(HashMap::new()),
             metrics: Arc::new(ShardMetrics::default()),
             cdc: cfs_wal::Wal::new_in_memory(),
+            mig: Mutex::new(MigState::default()),
+            apply_cost,
         })
     }
 
@@ -185,40 +276,176 @@ impl TafShard {
             .collect()
     }
 
+    /// Returns an error when this shard no longer serves `kid`: the range
+    /// was donated away (`WrongShard` with the epoch to catch up to) or is
+    /// frozen for cutover (`WrongShard(0)` — retry until the new map lands).
+    pub fn check_owner(&self, kid: u64) -> FsResult<()> {
+        let mig = self.mig.lock();
+        for &(lo, hi, epoch) in &mig.moved {
+            if lo <= kid && kid <= hi {
+                return Err(FsError::WrongShard(epoch));
+            }
+        }
+        if let Some(m) = &mig.active {
+            if m.phase == MigPhase::Frozen && m.lo <= kid && kid <= m.hi {
+                return Err(FsError::WrongShard(0));
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits a batch, recording in-range writes in the migration tail
+    /// while an outbound migration is streaming.
+    fn commit_batch(&self, ops: Vec<WriteOp>) -> FsResult<()> {
+        {
+            let mut mig = self.mig.lock();
+            if let Some(m) = &mut mig.active {
+                if m.phase == MigPhase::Streaming {
+                    for op in &ops {
+                        let k = match op {
+                            WriteOp::Put(k, _) => k,
+                            WriteOp::Delete(k) => k,
+                        };
+                        let kid = kid_of(k);
+                        if m.lo <= kid && kid <= m.hi {
+                            m.tail.push(op.clone());
+                        }
+                    }
+                }
+            }
+        }
+        if !self.apply_cost.is_zero() {
+            // Charged per batch, not per op: a migration ingest page costs
+            // one service slot, the same as a single client write.
+            std::thread::sleep(self.apply_cost);
+        }
+        self.kv.write_batch(ops)
+    }
+
+    /// One fuzzy page of the migrating range `[lo, hi]` (leader-local read;
+    /// the range stays writable — later writes are caught by the tail).
+    /// Resumes strictly after raw kv key `after`; the returned flag is true
+    /// when no further page exists.
+    pub fn export_page(
+        &self,
+        lo: u64,
+        hi: u64,
+        after: Option<&[u8]>,
+        limit: usize,
+    ) -> (Vec<WriteOp>, bool) {
+        let start = match after {
+            // Appending a zero byte makes the bound exclusive of `after`.
+            Some(k) => {
+                let mut s = k.to_vec();
+                s.push(0);
+                s
+            }
+            None => lo.to_be_bytes().to_vec(),
+        };
+        let end = hi.checked_add(1).map(|e| e.to_be_bytes().to_vec());
+        let mut page = self.kv.scan_from(&start, end.as_deref(), limit + 1);
+        let done = page.len() <= limit;
+        page.truncate(limit);
+        (
+            page.into_iter().map(|(k, v)| WriteOp::Put(k, v)).collect(),
+            done,
+        )
+    }
+
+    /// A balanced split point for `[lo, hi]`: the kid of the median occupied
+    /// key, or `None` when every key sits at `lo` (nothing to split). The
+    /// returned point always satisfies `lo < at <= hi`, and directories are
+    /// never torn apart because points are kid boundaries.
+    pub fn split_point(&self, lo: u64, hi: u64) -> Option<u64> {
+        let start = lo.to_be_bytes().to_vec();
+        let end = hi.checked_add(1).map(|e| e.to_be_bytes().to_vec());
+        let entries = self.kv.scan_from(&start, end.as_deref(), usize::MAX);
+        if entries.is_empty() {
+            return None;
+        }
+        let mid = kid_of(&entries[entries.len() / 2].0);
+        if mid > lo {
+            return Some(mid);
+        }
+        // The lower half all shares kid `lo`; fall forward to the first
+        // occupied kid above it.
+        entries.iter().map(|(k, _)| kid_of(k)).find(|&k| k > lo)
+    }
+
+    /// Drops every key of a donated range from the local store (no CDC: the
+    /// records moved, they were not logically deleted).
+    fn purge_range(&self, lo: u64, hi: u64) -> FsResult<()> {
+        let start = lo.to_be_bytes().to_vec();
+        let end = hi.checked_add(1).map(|e| e.to_be_bytes().to_vec());
+        let dels = self
+            .kv
+            .scan_from(&start, end.as_deref(), usize::MAX)
+            .into_iter()
+            .map(|(k, _)| WriteOp::Delete(k))
+            .collect();
+        self.kv.write_batch(dels)
+    }
+
+    /// True when any 2PC transaction staged on this shard touches `[lo, hi]`
+    /// (the freeze must wait for their commit or abort).
+    fn prepared_intersects(&self, lo: u64, hi: u64) -> bool {
+        let prepared = self.prepared.lock();
+        prepared.values().flatten().any(|item| match item {
+            Staged::Writes(ws) => ws
+                .iter()
+                .any(|(k, _)| lo <= k.kid.raw() && k.kid.raw() <= hi),
+            Staged::Prim(p) => prim_kids(p).any(|kid| lo <= kid && kid <= hi),
+        })
+    }
+
     /// Applies one replicated command, returning the response to encode.
     pub fn apply_cmd(&self, cmd: ShardCmd) -> TafResponse {
         match cmd {
-            ShardCmd::Execute(prim) => match self.execute_primitive(&prim) {
-                Ok(res) => {
-                    self.metrics.primitives.fetch_add(1, Ordering::Relaxed);
-                    TafResponse::Executed(res)
+            ShardCmd::Execute(prim) => {
+                if let Some(e) = prim_kids(&prim).find_map(|kid| self.check_owner(kid).err()) {
+                    return TafResponse::Err(e);
                 }
-                Err(e) => {
-                    self.metrics
-                        .primitive_failures
-                        .fetch_add(1, Ordering::Relaxed);
-                    TafResponse::Err(e)
+                match self.execute_primitive(&prim) {
+                    Ok(res) => {
+                        self.metrics.primitives.fetch_add(1, Ordering::Relaxed);
+                        TafResponse::Executed(res)
+                    }
+                    Err(e) => {
+                        self.metrics
+                            .primitive_failures
+                            .fetch_add(1, Ordering::Relaxed);
+                        TafResponse::Err(e)
+                    }
                 }
-            },
+            }
             ShardCmd::Put(key, rec) => {
+                if let Err(e) = self.check_owner(key.kid.raw()) {
+                    return TafResponse::Err(e);
+                }
                 self.emit_for_write(&key, Some(&rec));
                 let op = WriteOp::Put(key.to_sortable_bytes(), rec.to_bytes());
-                match self.kv.write_batch(vec![op]) {
+                match self.commit_batch(vec![op]) {
                     Ok(()) => TafResponse::Ok,
                     Err(e) => TafResponse::Err(e),
                 }
             }
             ShardCmd::Delete(key) => {
+                if let Err(e) = self.check_owner(key.kid.raw()) {
+                    return TafResponse::Err(e);
+                }
                 self.emit_for_write(&key, None);
-                match self
-                    .kv
-                    .write_batch(vec![WriteOp::Delete(key.to_sortable_bytes())])
-                {
+                match self.commit_batch(vec![WriteOp::Delete(key.to_sortable_bytes())]) {
                     Ok(()) => TafResponse::Ok,
                     Err(e) => TafResponse::Err(e),
                 }
             }
             ShardCmd::Prepare { txn, writes } => {
+                if let Some(e) = writes
+                    .iter()
+                    .find_map(|(k, _)| self.mig_rejects_prepare(k.kid.raw()))
+                {
+                    return TafResponse::Err(e);
+                }
                 self.prepared
                     .lock()
                     .entry(txn)
@@ -227,6 +454,9 @@ impl TafShard {
                 TafResponse::Ok
             }
             ShardCmd::PreparePrim { txn, prim } => {
+                if let Some(e) = prim_kids(&prim).find_map(|kid| self.mig_rejects_prepare(kid)) {
+                    return TafResponse::Err(e);
+                }
                 self.prepared
                     .lock()
                     .entry(txn)
@@ -268,12 +498,118 @@ impl TafShard {
                 TafResponse::Ok
             }
             ShardCmd::CommitWrites { writes } => {
+                if let Some(e) = writes
+                    .iter()
+                    .find_map(|(k, _)| self.check_owner(k.kid.raw()).err())
+                {
+                    return TafResponse::Err(e);
+                }
                 self.metrics.txn_commits.fetch_add(1, Ordering::Relaxed);
                 match self.apply_writes(writes) {
                     Ok(()) => TafResponse::Ok,
                     Err(e) => TafResponse::Err(e),
                 }
             }
+            ShardCmd::MigStart { lo, hi } => {
+                let mut mig = self.mig.lock();
+                match &mig.active {
+                    // Idempotent: a retried start of the same range is fine.
+                    Some(m) if m.lo == lo && m.hi == hi => TafResponse::Ok,
+                    Some(_) => TafResponse::Err(FsError::Busy),
+                    None => {
+                        mig.active = Some(ActiveMigration {
+                            lo,
+                            hi,
+                            phase: MigPhase::Streaming,
+                            tail: Vec::new(),
+                            frozen_at: None,
+                        });
+                        TafResponse::Ok
+                    }
+                }
+            }
+            ShardCmd::MigFreeze { lo, hi } => {
+                // The tail must be final at freeze: refuse while staged 2PC
+                // transactions could still commit writes into the range.
+                if self.prepared_intersects(lo, hi) {
+                    return TafResponse::Err(FsError::Busy);
+                }
+                let mut mig = self.mig.lock();
+                match &mut mig.active {
+                    Some(m) if m.lo == lo && m.hi == hi => {
+                        if m.phase == MigPhase::Streaming {
+                            m.phase = MigPhase::Frozen;
+                            m.frozen_at = Some(Instant::now());
+                        }
+                        // The tail is kept (not drained) so a retried freeze
+                        // returns the same data.
+                        TafResponse::Tail(m.tail.clone())
+                    }
+                    _ => TafResponse::Err(FsError::Invalid(
+                        "freeze without matching migration".into(),
+                    )),
+                }
+            }
+            ShardCmd::MigFinish { lo, hi, epoch } => {
+                let mut mig = self.mig.lock();
+                match &mig.active {
+                    Some(m) if m.lo == lo && m.hi == hi => {
+                        if let Some(t0) = m.frozen_at {
+                            self.metrics
+                                .freeze_ns
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
+                        mig.active = None;
+                        mig.moved.push((lo, hi, epoch));
+                        self.metrics.ranges_donated.fetch_add(1, Ordering::Relaxed);
+                        drop(mig);
+                        match self.purge_range(lo, hi) {
+                            Ok(()) => TafResponse::Ok,
+                            Err(e) => TafResponse::Err(e),
+                        }
+                    }
+                    // Idempotent: the donation may already be recorded.
+                    _ if mig.moved.contains(&(lo, hi, epoch)) => TafResponse::Ok,
+                    _ => TafResponse::Err(FsError::Invalid(
+                        "finish without matching migration".into(),
+                    )),
+                }
+            }
+            ShardCmd::MigAbort { lo, hi } => {
+                let mut mig = self.mig.lock();
+                if matches!(&mig.active, Some(m) if m.lo == lo && m.hi == hi) {
+                    mig.active = None;
+                }
+                TafResponse::Ok
+            }
+            ShardCmd::MigIngest { ops } => {
+                let n = ops.len() as u64;
+                match self.commit_batch(ops) {
+                    Ok(()) => {
+                        self.metrics.keys_streamed.fetch_add(n, Ordering::Relaxed);
+                        TafResponse::Ok
+                    }
+                    Err(e) => TafResponse::Err(e),
+                }
+            }
+            ShardCmd::MigAccept { lo: _, hi: _ } => {
+                self.metrics.ranges_received.fetch_add(1, Ordering::Relaxed);
+                TafResponse::Ok
+            }
+        }
+    }
+
+    /// Why a new 2PC prepare touching `kid` must be refused, if it must:
+    /// moved or frozen ranges redirect, and any in-flight migration refuses
+    /// new prepares (`Busy`) so the freeze is never blocked indefinitely.
+    fn mig_rejects_prepare(&self, kid: u64) -> Option<FsError> {
+        if let Err(e) = self.check_owner(kid) {
+            return Some(e);
+        }
+        let mig = self.mig.lock();
+        match &mig.active {
+            Some(m) if m.lo <= kid && kid <= m.hi => Some(FsError::Busy),
+            _ => None,
         }
     }
 
@@ -318,7 +654,7 @@ impl TafShard {
                 None => WriteOp::Delete(k.to_sortable_bytes()),
             })
             .collect();
-        self.kv.write_batch(ops)
+        self.commit_batch(ops)
     }
 
     fn execute_primitive(&self, prim: &Primitive) -> FsResult<PrimResult> {
@@ -327,7 +663,8 @@ impl TafShard {
             staged: Vec::new(),
         };
         let result = primitive::execute(&mut staging, prim)?;
-        self.kv.write_batch(staging.staged)?;
+        let staged = std::mem::take(&mut staging.staged);
+        self.commit_batch(staged)?;
         // Publish the logical change stream for the GC's pairing analysis.
         use cfs_types::CdcEvent;
         for (key, rec) in &result.deleted {
@@ -500,6 +837,179 @@ mod tests {
         let m = shard.metrics().snapshot();
         assert_eq!(m.primitives, 1);
         assert_eq!(m.primitive_failures, 1);
+    }
+
+    #[test]
+    fn migration_records_tail_then_freezes_and_redirects() {
+        let shard = shard_with_root();
+        create(&shard, cfs_types::ROOT_INODE, "before", 100);
+        // Start donating the whole root range.
+        assert_eq!(
+            shard.apply_cmd(ShardCmd::MigStart { lo: 0, hi: 50 }),
+            TafResponse::Ok
+        );
+        // Writes during streaming still succeed and land in the tail.
+        assert!(matches!(
+            create(&shard, cfs_types::ROOT_INODE, "during", 101),
+            TafResponse::Executed(_)
+        ));
+        let tail = match shard.apply_cmd(ShardCmd::MigFreeze { lo: 0, hi: 50 }) {
+            TafResponse::Tail(t) => t,
+            other => panic!("expected tail, got {other:?}"),
+        };
+        // The "during" create staged two writes (id record + attr update).
+        assert!(tail.len() >= 2, "tail has the racing writes: {tail:?}");
+        // A retried freeze returns the same tail, not an empty one.
+        assert_eq!(
+            shard.apply_cmd(ShardCmd::MigFreeze { lo: 0, hi: 50 }),
+            TafResponse::Tail(tail.clone())
+        );
+        // Frozen range refuses reads and writes.
+        assert_eq!(shard.check_owner(3), Err(FsError::WrongShard(0)));
+        assert_eq!(
+            create(&shard, cfs_types::ROOT_INODE, "late", 102),
+            TafResponse::Err(FsError::WrongShard(0))
+        );
+        // Finish at epoch 2: the range now redirects with the epoch, and the
+        // local copy is purged.
+        assert_eq!(
+            shard.apply_cmd(ShardCmd::MigFinish {
+                lo: 0,
+                hi: 50,
+                epoch: 2
+            }),
+            TafResponse::Ok
+        );
+        assert_eq!(shard.check_owner(1), Err(FsError::WrongShard(2)));
+        assert!(shard.check_owner(51).is_ok());
+        assert!(shard.get(&Key::attr(cfs_types::ROOT_INODE)).is_none());
+        // Finish retry stays Ok.
+        assert_eq!(
+            shard.apply_cmd(ShardCmd::MigFinish {
+                lo: 0,
+                hi: 50,
+                epoch: 2
+            }),
+            TafResponse::Ok
+        );
+        let m = shard.metrics().snapshot();
+        assert_eq!(m.ranges_donated, 1);
+    }
+
+    #[test]
+    fn migration_abort_restores_service() {
+        let shard = shard_with_root();
+        shard.apply_cmd(ShardCmd::MigStart { lo: 0, hi: 10 });
+        shard.apply_cmd(ShardCmd::MigFreeze { lo: 0, hi: 10 });
+        assert_eq!(shard.check_owner(1), Err(FsError::WrongShard(0)));
+        assert_eq!(
+            shard.apply_cmd(ShardCmd::MigAbort { lo: 0, hi: 10 }),
+            TafResponse::Ok
+        );
+        assert!(shard.check_owner(1).is_ok());
+        assert!(matches!(
+            create(&shard, cfs_types::ROOT_INODE, "f", 100),
+            TafResponse::Executed(_)
+        ));
+    }
+
+    #[test]
+    fn freeze_waits_for_intersecting_prepared_txns() {
+        let shard = shard_with_root();
+        shard.apply_cmd(ShardCmd::MigStart { lo: 0, hi: 10 });
+        // A 2PC transaction prepared before MigStart is still pending.
+        // (Prepares arriving after MigStart are refused outright.)
+        assert_eq!(
+            shard.apply_cmd(ShardCmd::Prepare {
+                txn: 9,
+                writes: vec![(
+                    Key::entry(cfs_types::ROOT_INODE, "x"),
+                    Some(Record::id_record(InodeId(5), FileType::File)),
+                )],
+            }),
+            TafResponse::Err(FsError::Busy)
+        );
+        // Simulate one staged earlier by aborting the migration, preparing,
+        // then restarting it.
+        shard.apply_cmd(ShardCmd::MigAbort { lo: 0, hi: 10 });
+        shard.apply_cmd(ShardCmd::Prepare {
+            txn: 9,
+            writes: vec![(
+                Key::entry(cfs_types::ROOT_INODE, "x"),
+                Some(Record::id_record(InodeId(5), FileType::File)),
+            )],
+        });
+        shard.apply_cmd(ShardCmd::MigStart { lo: 0, hi: 10 });
+        assert_eq!(
+            shard.apply_cmd(ShardCmd::MigFreeze { lo: 0, hi: 10 }),
+            TafResponse::Err(FsError::Busy)
+        );
+        // Once the transaction commits, the freeze goes through and its tail
+        // carries the committed writes.
+        shard.apply_cmd(ShardCmd::CommitPrepared { txn: 9 });
+        match shard.apply_cmd(ShardCmd::MigFreeze { lo: 0, hi: 10 }) {
+            TafResponse::Tail(tail) => assert!(!tail.is_empty()),
+            other => panic!("expected tail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn export_pages_cover_range_and_split_point_balances() {
+        let shard = shard_with_root();
+        for i in 0..20 {
+            shard.apply_cmd(ShardCmd::Put(
+                Key::attr(InodeId(10 + i)),
+                Record::dir_attr_record(0, Timestamp(1)),
+            ));
+        }
+        // Page through [10, 29] with small pages.
+        let mut got = Vec::new();
+        let mut after: Option<Vec<u8>> = None;
+        loop {
+            let (ops, done) = shard.export_page(10, 29, after.as_deref(), 7);
+            for op in &ops {
+                match op {
+                    WriteOp::Put(k, _) => got.push(k.clone()),
+                    WriteOp::Delete(_) => panic!("exports are puts"),
+                }
+            }
+            if done {
+                break;
+            }
+            after = got.last().cloned();
+        }
+        assert_eq!(got.len(), 20);
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "pages are ordered");
+        // The split point lands strictly inside the range.
+        let at = shard.split_point(10, 29).unwrap();
+        assert!(10 < at && at <= 29, "split at {at}");
+        // An empty range cannot be split.
+        assert_eq!(shard.split_point(1000, 2000), None);
+    }
+
+    #[test]
+    fn ingest_applies_raw_ops_and_counts_keys() {
+        let donor = shard_with_root();
+        let receiver = TafShard::new(KvConfig::default()).unwrap();
+        let (ops, done) = donor.export_page(0, u64::MAX, None, 100);
+        assert!(done);
+        let n = ops.len() as u64;
+        assert!(n > 0);
+        assert_eq!(
+            receiver.apply_cmd(ShardCmd::MigIngest { ops }),
+            TafResponse::Ok
+        );
+        assert_eq!(
+            receiver.apply_cmd(ShardCmd::MigAccept {
+                lo: 0,
+                hi: u64::MAX
+            }),
+            TafResponse::Ok
+        );
+        assert!(receiver.get(&Key::attr(cfs_types::ROOT_INODE)).is_some());
+        let m = receiver.metrics().snapshot();
+        assert_eq!(m.keys_streamed, n);
+        assert_eq!(m.ranges_received, 1);
     }
 
     #[test]

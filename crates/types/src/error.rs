@@ -43,6 +43,11 @@ pub enum FsError {
     NotLeader(Option<u32>),
     /// The operation is not supported by this system variant.
     Unsupported(String),
+    /// The contacted shard no longer owns (or is migrating away) the key
+    /// range; carries the partition-map epoch at which ownership changed
+    /// (0 while a migration is still in flight). Clients refresh their
+    /// cached map from the placement driver and retry.
+    WrongShard(u64),
 }
 
 impl FsError {
@@ -51,7 +56,11 @@ impl FsError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            FsError::Timeout | FsError::NotLeader(_) | FsError::Conflict | FsError::Busy
+            FsError::Timeout
+                | FsError::NotLeader(_)
+                | FsError::Conflict
+                | FsError::Busy
+                | FsError::WrongShard(_)
         )
     }
 
@@ -73,6 +82,7 @@ impl FsError {
             FsError::Corrupted(_) => 12,
             FsError::NotLeader(_) => 13,
             FsError::Unsupported(_) => 14,
+            FsError::WrongShard(_) => 15,
         }
     }
 }
@@ -98,6 +108,9 @@ impl fmt::Display for FsError {
                 None => write!(f, "not leader"),
             },
             FsError::Unsupported(d) => write!(f, "operation not supported: {d}"),
+            FsError::WrongShard(epoch) => {
+                write!(f, "shard no longer owns the range (map epoch {epoch})")
+            }
         }
     }
 }
@@ -125,6 +138,7 @@ impl Encode for FsError {
             | FsError::Corrupted(d)
             | FsError::Unsupported(d) => d.clone().encode(buf),
             FsError::NotLeader(hint) => hint.encode(buf),
+            FsError::WrongShard(epoch) => epoch.encode(buf),
             _ => {}
         }
     }
@@ -149,6 +163,7 @@ impl Decode for FsError {
             12 => FsError::Corrupted(String::decode(input)?),
             13 => FsError::NotLeader(Option::<u32>::decode(input)?),
             14 => FsError::Unsupported(String::decode(input)?),
+            15 => FsError::WrongShard(u64::decode(input)?),
             t => return Err(DecodeError::InvalidTag(t)),
         })
     }
@@ -164,6 +179,7 @@ mod tests {
         assert!(FsError::Timeout.is_retryable());
         assert!(FsError::NotLeader(Some(3)).is_retryable());
         assert!(FsError::Conflict.is_retryable());
+        assert!(FsError::WrongShard(3).is_retryable());
         assert!(!FsError::NotFound.is_retryable());
         assert!(!FsError::AlreadyExists.is_retryable());
     }
@@ -178,6 +194,8 @@ mod tests {
             FsError::NotLeader(None),
             FsError::Corrupted("wal seq gap".into()),
             FsError::Loop,
+            FsError::WrongShard(0),
+            FsError::WrongShard(42),
         ];
         for e in cases {
             let buf = e.to_bytes();

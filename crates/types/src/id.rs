@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::codec::{Decode, DecodeError, Encode};
+use crate::codec::{Decode, DecodeError, Encode, EncodeListItem};
 
 /// Identifier of a file or directory inode.
 ///
@@ -92,6 +92,8 @@ impl Decode for InodeId {
         Ok(InodeId(u64::decode(input)?))
     }
 }
+
+impl EncodeListItem for NodeId {}
 
 impl Encode for NodeId {
     fn encode(&self, buf: &mut Vec<u8>) {

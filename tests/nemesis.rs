@@ -18,8 +18,8 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn check_seed(seed: u64) {
-    let report = run_nemesis(seed, NemesisOptions::default());
+fn check_seed_with(seed: u64, opts: NemesisOptions) -> usize {
+    let report = run_nemesis(seed, opts);
     if let Some(d) = &report.divergence {
         let mut observed = String::new();
         for (t, res) in report.results.iter().enumerate() {
@@ -34,6 +34,11 @@ fn check_seed(seed: u64) {
             report.canonical_log()
         );
     }
+    report.splits_ok
+}
+
+fn check_seed(seed: u64) {
+    check_seed_with(seed, NemesisOptions::default());
 }
 
 /// The CI sweep: ~20 seeds, each a full boot → fault schedule → oracle run.
@@ -44,6 +49,29 @@ fn seed_sweep_passes_divergence_oracle() {
     for seed in base..base + count {
         check_seed(seed);
     }
+}
+
+/// The scale-out sweep: each seed runs the full fault schedule with two
+/// online shard splits racing the workload. Acknowledged writes must survive
+/// the live migrations (zero oracle divergences), and across the sweep at
+/// least one split must actually complete its cutover so the protocol —
+/// not just its abort path — is exercised.
+#[test]
+fn split_nemesis_sweep_passes_divergence_oracle() {
+    let base = seed_from_env().wrapping_add(0x5117);
+    let count = env_usize("CFS_NEMESIS_SEEDS", 20) as u64;
+    let opts = NemesisOptions {
+        splits: 2,
+        ..NemesisOptions::default()
+    };
+    let mut splits_ok = 0;
+    for seed in base..base + count {
+        splits_ok += check_seed_with(seed, opts);
+    }
+    assert!(
+        splits_ok > 0,
+        "no split completed across {count} seeds: the sweep never exercised a cutover"
+    );
 }
 
 /// Reproduction entry point for a single failing seed: run with
@@ -60,7 +88,10 @@ fn single_seed_from_env() {
 #[test]
 fn same_seed_produces_byte_identical_op_history() {
     let seed = seed_from_env().wrapping_add(424242);
-    let opts = NemesisOptions { ops_per_thread: 12 };
+    let opts = NemesisOptions {
+        ops_per_thread: 12,
+        ..NemesisOptions::default()
+    };
     let a = run_nemesis(seed, opts);
     let b = run_nemesis(seed, opts);
     assert!(

@@ -1,0 +1,34 @@
+//! Online scale-out through the full FS stack: `CfsCluster::split_shard`
+//! under normal metadata traffic, clients following `WrongShard` redirects.
+
+use cfs_core::{CfsCluster, CfsConfig, FileSystem};
+
+/// Files created before a split stay visible after it, and new ops (create,
+/// lookup, readdir, rename) keep working against the grown deployment —
+/// including for a client built before the split.
+#[test]
+fn split_preserves_namespace_and_service() {
+    let cluster = CfsCluster::start(CfsConfig::test_small()).expect("boot");
+    let old_client = cluster.client();
+    old_client.mkdir("/d").unwrap();
+    for i in 0..40 {
+        old_client.create(&format!("/d/f{i}")).unwrap();
+    }
+
+    let shards_before = cluster.taf_groups().len();
+    let stats = cluster.split_shard(cfs_types::ShardId(0)).expect("split");
+    assert!(stats.keys_streamed > 0);
+    assert_eq!(cluster.taf_groups().len(), shards_before + 1);
+
+    // The pre-split client keeps working through redirects.
+    for i in 0..40 {
+        old_client.lookup(&format!("/d/f{i}")).unwrap();
+    }
+    old_client.create("/d/after-split").unwrap();
+    old_client.rename("/d/f0", "/d/f0-renamed").unwrap();
+
+    // A fresh client sees the same namespace.
+    let new_client = cluster.client();
+    assert_eq!(new_client.readdir("/d").unwrap().len(), 41);
+    new_client.unlink("/d/after-split").unwrap();
+}
