@@ -8,6 +8,30 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// One completed benchmark's latency summary, collected so bench targets can
+/// emit machine-readable results after the run (real criterion writes its
+/// own JSON; this shim lets the caller do it).
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Benchmark name as passed to `bench_function`.
+    pub name: String,
+    /// Mean per-iteration latency.
+    pub mean_ns: f64,
+    /// Median per-iteration latency.
+    pub p50_ns: f64,
+    /// 99th-percentile per-iteration latency.
+    pub p99_ns: f64,
+    /// Number of timed samples behind the percentiles.
+    pub samples: usize,
+}
+
+static REPORTS: std::sync::Mutex<Vec<Report>> = std::sync::Mutex::new(Vec::new());
+
+/// Drains the summaries of every benchmark completed so far, in run order.
+pub fn take_reports() -> Vec<Report> {
+    std::mem::take(&mut *REPORTS.lock().unwrap())
+}
+
 /// Benchmark runner configuration and entry point.
 pub struct Criterion {
     warm_up: Duration,
@@ -113,6 +137,13 @@ impl Bencher {
             p99,
             sorted.len()
         );
+        REPORTS.lock().unwrap().push(Report {
+            name: name.to_string(),
+            mean_ns: mean,
+            p50_ns: p50,
+            p99_ns: p99,
+            samples: sorted.len(),
+        });
     }
 }
 

@@ -5,7 +5,10 @@
 use std::time::Duration;
 
 use cfs_baselines::Variant;
-use cfs_bench::{banner, cell_duration, default_clients, expectation, speedup, SystemUnderTest};
+use cfs_bench::{
+    banner, cell_duration, default_clients, expectation, speedup, write_bench_json, Json,
+    SystemUnderTest,
+};
 use cfs_harness::metrics::{fmt_ns, fmt_ops};
 use cfs_harness::workload::{prepare_op_workload, run_op_bench, MetaOp, WorkloadOptions};
 
@@ -99,4 +102,44 @@ fn main() {
             delta,
         );
     }
+
+    let names: Vec<String> = systems.iter().map(|s| s.name()).collect();
+    let rows: Vec<Json> = MetaOp::FIG9
+        .iter()
+        .enumerate()
+        .map(|(oi, &op)| {
+            let per_system = |vals: &dyn Fn(usize) -> Json| {
+                Json::Obj(
+                    names
+                        .iter()
+                        .enumerate()
+                        .map(|(si, n)| (n.clone(), vals(si)))
+                        .collect(),
+                )
+            };
+            Json::obj(vec![
+                ("op", Json::Str(op.name().to_string())),
+                (
+                    "peak_throughput_ops_s",
+                    per_system(&|si| Json::Num(tput[oi][si])),
+                ),
+                (
+                    "light_load_mean_ns",
+                    per_system(&|si| Json::Int(lat[oi][si])),
+                ),
+            ])
+        })
+        .collect();
+    write_bench_json(
+        "fig09_overall",
+        &Json::obj(vec![
+            ("figure", Json::Str("fig09_overall".to_string())),
+            (
+                "op_mix",
+                Json::Str("each of the 7 Figure-9 metadata ops in isolation".to_string()),
+            ),
+            ("clients", Json::Int(clients as u64)),
+            ("ops", Json::Arr(rows)),
+        ]),
+    );
 }

@@ -13,7 +13,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use cfs_bench::{banner, bench_cfs_config, cell_duration, default_clients, expectation, speedup};
+use cfs_bench::{
+    banner, bench_cfs_config, cell_duration, default_clients, expectation, speedup,
+    write_bench_json, Json,
+};
 use cfs_core::CfsCluster;
 use cfs_harness::metrics::{fmt_ns, fmt_ops, Histogram};
 use cfs_harness::workload::{prepare_op_workload, run_op_bench, MetaOp, WorkloadOptions};
@@ -129,5 +132,41 @@ fn main() {
         fmt_ns(f.p99_ns),
         fmt_ns(f.max_ns),
         f.count,
+    );
+
+    write_bench_json(
+        "fig_scaleout",
+        &Json::obj(vec![
+            ("figure", Json::Str("fig_scaleout".to_string())),
+            (
+                "op_mix",
+                Json::Str(
+                    "contended creates (contention=0.1) across an online 4->8 split".to_string(),
+                ),
+            ),
+            ("clients", Json::Int(clients as u64)),
+            (
+                "throughput_ops_s",
+                Json::obj(vec![
+                    ("pre_split", Json::Num(pre)),
+                    ("during_split", Json::Num(during)),
+                    ("post_split", Json::Num(post)),
+                    ("post_over_pre", Json::Num(post / pre.max(1e-9))),
+                ]),
+            ),
+            (
+                "migration",
+                Json::obj(vec![
+                    ("ranges_donated", Json::Int(donated)),
+                    ("ranges_received", Json::Int(received)),
+                    ("keys_streamed", Json::Int(streamed)),
+                    ("freeze_tail_entries", Json::Int(tail)),
+                    ("freeze_p50_ns", Json::Int(f.p50_ns)),
+                    ("freeze_p99_ns", Json::Int(f.p99_ns)),
+                    ("freeze_max_ns", Json::Int(f.max_ns)),
+                    ("splits", Json::Int(f.count)),
+                ]),
+            ),
+        ]),
     );
 }

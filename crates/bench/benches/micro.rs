@@ -5,6 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use cfs_bench::{write_bench_json, Json};
 use cfs_kvstore::{KvConfig, KvStore};
 use cfs_raft::{RaftConfig, RaftGroup};
 use cfs_rpc::{NetConfig, Network};
@@ -14,7 +15,7 @@ use cfs_tafdb::TafShard;
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::record::{FieldAssign, NumField, Pred};
 use cfs_types::{Cond, FileType, InodeId, Key, NodeId, Record, Timestamp, ROOT_INODE};
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 fn create_prim(parent: InodeId, name: &str, ino: u64) -> Primitive {
@@ -97,6 +98,43 @@ fn bench_codec(c: &mut Criterion) {
     });
 }
 
+fn bench_lock_contention(c: &mut Criterion) {
+    use cfs_tafdb::locking::LockManager;
+    use cfs_tafdb::ShardMetrics;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // Three background transactions ping-pong one hot row lock while the
+    // measured thread takes its turn. Every handoff crosses the condvar:
+    // release_all must wake waiters immediately, so the per-iteration cost
+    // stays in the microseconds instead of a polling quantum.
+    let locks = Arc::new(LockManager::new(Arc::new(ShardMetrics::default())));
+    let key = Key::entry(ROOT_INODE, "hot-row");
+    let stop = Arc::new(AtomicBool::new(false));
+    let contenders: Vec<_> = (1..=3u64)
+        .map(|txn| {
+            let locks = Arc::clone(&locks);
+            let key = key.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    locks.acquire(txn, &key).unwrap();
+                    locks.release_all(txn, None);
+                }
+            })
+        })
+        .collect();
+    c.bench_function("lock/contended_acquire_release", |b| {
+        b.iter(|| {
+            locks.acquire(0, &key).unwrap();
+            locks.release_all(0, None);
+        })
+    });
+    stop.store(true, Ordering::Relaxed);
+    for h in contenders {
+        h.join().unwrap();
+    }
+}
+
 /// State machine that discards commands (isolates consensus cost).
 struct NullSm;
 
@@ -129,6 +167,31 @@ criterion_group! {
         .measurement_time(Duration::from_secs(3))
         .warm_up_time(Duration::from_secs(1))
         .sample_size(30);
-    targets = bench_primitive_execution, bench_kvstore, bench_codec, bench_raft_commit
+    targets = bench_primitive_execution, bench_kvstore, bench_codec, bench_lock_contention, bench_raft_commit
 }
-criterion_main!(benches);
+fn main() {
+    benches();
+    let cases: Vec<Json> = criterion::take_reports()
+        .iter()
+        .map(|r| {
+            Json::obj(vec![
+                ("name", Json::Str(r.name.clone())),
+                ("mean_ns", Json::Num(r.mean_ns)),
+                ("p50_ns", Json::Num(r.p50_ns)),
+                ("p99_ns", Json::Num(r.p99_ns)),
+                ("samples", Json::Int(r.samples as u64)),
+            ])
+        })
+        .collect();
+    write_bench_json(
+        "micro",
+        &Json::obj(vec![
+            ("figure", Json::Str("micro".to_string())),
+            (
+                "op_mix",
+                Json::Str("single-threaded microbenchmarks (per-iteration latency)".to_string()),
+            ),
+            ("cases", Json::Arr(cases)),
+        ]),
+    );
+}

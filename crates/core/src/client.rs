@@ -7,26 +7,22 @@
 //! data and attribute requests sent to FileStore, complex rename requests
 //! forwarded to Renamer, and the remaining ones posted to TafDB."
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use cfs_filestore::{FileStoreClient, SetAttrPatch};
 use cfs_renamer::{RenameRequest, RenamerClient};
 use cfs_tafdb::primitive::{Primitive, UpdateSpec};
-use cfs_tafdb::{TafDbClient, TsClient};
+use cfs_tafdb::{ResolveEnd, TafDbClient, TsClient};
 use cfs_types::record::{LwwField, NumField, Pred};
 use cfs_types::{
     Attr, BlockId, Cond, FieldAssign, FileType, FsError, FsResult, InodeId, Key, Record, Timestamp,
     ROOT_INODE,
 };
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::RwLock;
 
+use crate::dcache::{CacheLookup, DentryCache};
 use crate::fsapi::{DirEntryInfo, FileSystem};
 use crate::path;
-
-/// Maximum cached directory entries before the cache is cleared.
-const ENTRY_CACHE_CAP: usize = 65_536;
 
 /// Page size used by `readdir` scans.
 const READDIR_PAGE: u32 = 1024;
@@ -44,8 +40,10 @@ pub struct CfsClient {
     fs: Arc<FileStoreClient>,
     ts: TsClient,
     renamer: RenamerClient,
-    /// `(parent, name) → (ino, type)` resolution cache.
-    entry_cache: RwLock<HashMap<(InodeId, String), (InodeId, FileType)>>,
+    /// Versioned dentry cache: positive and negative `(parent, name)`
+    /// results, invalidated by per-directory generations piggybacked on
+    /// resolve responses.
+    dcache: DentryCache,
     block_size: u64,
     writeback_tx: Sender<Writeback>,
     writeback_thread: Option<std::thread::JoinHandle<()>>,
@@ -82,7 +80,7 @@ impl CfsClient {
             fs,
             ts,
             renamer,
-            entry_cache: RwLock::new(HashMap::new()),
+            dcache: DentryCache::new(crate::dcache::DEFAULT_CAPACITY),
             block_size,
             writeback_tx: tx,
             writeback_thread: Some(writeback_thread),
@@ -106,61 +104,103 @@ impl CfsClient {
 
     // ---- resolution -----------------------------------------------------
 
-    fn cache_get(&self, parent: InodeId, name: &str) -> Option<(InodeId, FileType)> {
-        self.entry_cache
-            .read()
-            .get(&(parent, name.to_string()))
-            .copied()
-    }
-
-    fn cache_put(&self, parent: InodeId, name: &str, ino: InodeId, ftype: FileType) {
-        // Only directory entries are cached: directories are the stable
-        // ancestors every path resolution walks, while file entries churn
-        // (create/unlink/rename) and caching them would skew the lookup path
-        // away from TafDB — the paper's lookup reads the final component
-        // from the metadata service.
-        if ftype != FileType::Dir {
-            return;
-        }
-        let mut cache = self.entry_cache.write();
-        if cache.len() >= ENTRY_CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert((parent, name.to_string()), (ino, ftype));
-    }
-
     fn cache_forget(&self, parent: InodeId, name: &str) {
-        self.entry_cache.write().remove(&(parent, name.to_string()));
+        self.dcache.forget(parent, name);
+    }
+
+    /// The dentry cache (tests).
+    #[doc(hidden)]
+    pub fn dcache(&self) -> &DentryCache {
+        &self.dcache
+    }
+
+    /// Resolves `comps` starting at directory `start`: the pruned read path.
+    ///
+    /// The longest cached prefix is walked locally, then the remainder is
+    /// resolved with one batched `ResolvePrefix` RPC per shard touched — the
+    /// server walks every component resident on it in a single call and
+    /// hands back a cursor when the chain leaves its range. Every response
+    /// piggybacks the visited directories' generations, which both fills the
+    /// dentry cache and invalidates it when another client mutated a
+    /// directory on the way.
+    ///
+    /// Returns the final component's `(ino, type)`; intermediate components
+    /// must be directories, the final one may be anything.
+    fn walk(&self, start: InodeId, comps: &[&str]) -> FsResult<(InodeId, FileType)> {
+        let mut cur = start;
+        let mut cur_type = FileType::Dir;
+        let mut i = 0;
+        // Greedy local walk over the cached prefix.
+        while i < comps.len() {
+            match self.dcache.lookup(cur, comps[i]) {
+                CacheLookup::Hit(ino, ftype) => {
+                    if i + 1 < comps.len() && ftype != FileType::Dir {
+                        return Err(FsError::NotDir);
+                    }
+                    cur = ino;
+                    cur_type = ftype;
+                    i += 1;
+                }
+                CacheLookup::Negative => return Err(FsError::NotFound),
+                CacheLookup::Miss => break,
+            }
+        }
+        // Server walk: one RPC per shard holding a run of the chain.
+        while i < comps.len() {
+            let rest: Vec<String> = comps[i..].iter().map(|c| (*c).to_string()).collect();
+            let resolved = self.taf.resolve_prefix(cur, &rest)?;
+            let made_progress = !resolved.steps.is_empty();
+            for step in &resolved.steps {
+                self.dcache.observe_gen(cur, step.gen);
+                if step.ftype == FileType::Dir {
+                    self.dcache
+                        .insert(cur, comps[i], step.gen, Some((step.ino, step.ftype)));
+                }
+                cur = step.ino;
+                cur_type = step.ftype;
+                i += 1;
+            }
+            match resolved.end {
+                ResolveEnd::Done => {}
+                ResolveEnd::Continue => {
+                    // The shard guarantees at least one step before a
+                    // cursor; guard against a lying server rather than spin.
+                    if !made_progress {
+                        return Err(FsError::Corrupted("resolve cursor made no progress".into()));
+                    }
+                }
+                ResolveEnd::Err { err, gen } => {
+                    // `cur` is the directory the failing component was
+                    // searched in (for `NotDir` it is the offending
+                    // non-directory itself, whose entries we never cache).
+                    if matches!(err, FsError::NotFound) {
+                        self.dcache.observe_gen(cur, gen);
+                        self.dcache.insert(cur, comps[i], gen, None);
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok((cur, cur_type))
     }
 
     /// Resolves one entry, consulting the cache first.
     fn resolve_entry(&self, parent: InodeId, name: &str) -> FsResult<(InodeId, FileType)> {
-        if let Some(hit) = self.cache_get(parent, name) {
-            return Ok(hit);
-        }
-        let rec = self
-            .taf
-            .get(&Key::entry(parent, name))?
-            .ok_or(FsError::NotFound)?;
-        let ino = rec.id.ok_or(FsError::Corrupted("entry lacks id".into()))?;
-        let ftype = rec
-            .ftype
-            .ok_or(FsError::Corrupted("entry lacks type".into()))?;
-        self.cache_put(parent, name, ino, ftype);
-        Ok((ino, ftype))
+        self.walk(parent, &[name])
+    }
+
+    /// Resolves a full path to its final `(ino, type)`.
+    fn resolve_path(&self, comps: &[&str]) -> FsResult<(InodeId, FileType)> {
+        self.walk(ROOT_INODE, comps)
     }
 
     /// Walks directory components to the containing directory's inode.
     fn resolve_dir(&self, comps: &[&str]) -> FsResult<InodeId> {
-        let mut cur = ROOT_INODE;
-        for comp in comps {
-            let (ino, ftype) = self.resolve_entry(cur, comp)?;
-            if ftype != FileType::Dir {
-                return Err(FsError::NotDir);
-            }
-            cur = ino;
+        let (ino, ftype) = self.walk(ROOT_INODE, comps)?;
+        if ftype != FileType::Dir {
+            return Err(FsError::NotDir);
         }
-        Ok(cur)
+        Ok(ino)
     }
 
     fn resolve_parent_of(&self, p: &str) -> FsResult<(InodeId, String)> {
@@ -288,7 +328,9 @@ impl FileSystem for CfsClient {
         );
         match self.taf.execute(prim) {
             Ok(_) => {
-                self.cache_put(parent, &name, ino, FileType::File);
+                // The create bumped the parent's generation server-side; a
+                // cached negative for this name is now stale.
+                self.cache_forget(parent, &name);
                 Ok(ino)
             }
             Err(e) => {
@@ -319,7 +361,7 @@ impl FileSystem for CfsClient {
         );
         match self.taf.execute(prim) {
             Ok(_) => {
-                self.cache_put(parent, &name, ino, FileType::Dir);
+                self.cache_forget(parent, &name);
                 Ok(ino)
             }
             Err(e) => Err(e),
@@ -376,26 +418,19 @@ impl FileSystem for CfsClient {
         );
         self.taf.execute(unlink)?;
         self.cache_forget(parent, &name);
+        // The directory is gone; drop everything cached under it too.
+        self.dcache.forget_dir(ino);
         Ok(())
     }
 
     fn lookup(&self, p: &str) -> FsResult<InodeId> {
         let comps = path::split(p)?;
-        if comps.is_empty() {
-            return Ok(ROOT_INODE);
-        }
-        let parent = self.resolve_dir(&comps[..comps.len() - 1])?;
-        Ok(self.resolve_entry(parent, comps[comps.len() - 1])?.0)
+        Ok(self.resolve_path(&comps)?.0)
     }
 
     fn getattr(&self, p: &str) -> FsResult<Attr> {
         let comps = path::split(p)?;
-        let (ino, ftype) = if comps.is_empty() {
-            (ROOT_INODE, FileType::Dir)
-        } else {
-            let parent = self.resolve_dir(&comps[..comps.len() - 1])?;
-            self.resolve_entry(parent, comps[comps.len() - 1])?
-        };
+        let (ino, ftype) = self.resolve_path(&comps)?;
         match ftype {
             FileType::Dir => {
                 let rec = self.taf.get(&Key::attr(ino))?.ok_or(FsError::NotFound)?;
@@ -422,12 +457,7 @@ impl FileSystem for CfsClient {
 
     fn setattr(&self, p: &str, patch: SetAttrPatch) -> FsResult<()> {
         let comps = path::split(p)?;
-        let (ino, ftype) = if comps.is_empty() {
-            (ROOT_INODE, FileType::Dir)
-        } else {
-            let parent = self.resolve_dir(&comps[..comps.len() - 1])?;
-            self.resolve_entry(parent, comps[comps.len() - 1])?
-        };
+        let (ino, ftype) = self.resolve_path(&comps)?;
         let ts = self.ts.timestamp()?;
         match ftype {
             FileType::Dir => {
@@ -568,7 +598,7 @@ impl FileSystem for CfsClient {
             match self.taf.execute(prim) {
                 Ok(res) => {
                     self.cache_forget(src_parent, &src_name);
-                    self.cache_put(dst_parent, &dst_name, src_ino, src_type);
+                    self.cache_forget(dst_parent, &dst_name);
                     // Delete the overwritten destination's attribute, if any.
                     for (key, rec) in res.deleted {
                         if key == Key::entry(dst_parent, &dst_name) {
@@ -615,7 +645,7 @@ impl FileSystem for CfsClient {
         rec.symlink_target = Some(target.to_string());
         let prim = Self::insert_entry_prim(parent, &name, rec, 0, now, ts);
         self.taf.execute(prim)?;
-        self.cache_put(parent, &name, ino, FileType::Symlink);
+        self.cache_forget(parent, &name);
         Ok(ino)
     }
 

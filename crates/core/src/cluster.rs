@@ -11,7 +11,7 @@ use cfs_raft::RaftConfig;
 use cfs_renamer::{RenamerClient, RenamerService};
 use cfs_rpc::{NetConfig, Network};
 use cfs_tafdb::router::{PartitionMap, ShardInfo};
-use cfs_tafdb::{TafBackendGroup, TafDbClient, TimeService, TsClient};
+use cfs_tafdb::{ReadConsistency, TafBackendGroup, TafDbClient, TimeService, TsClient};
 use cfs_types::{FsResult, NodeId, Record, ShardId, Timestamp, ROOT_INODE};
 use parking_lot::RwLock;
 
@@ -44,6 +44,9 @@ pub struct CfsConfig {
     pub kv: KvConfig,
     /// Network simulation parameters.
     pub net: NetConfig,
+    /// Which replicas serve client reads: the leader only (default), or any
+    /// replica after a ReadIndex freshness proof.
+    pub read_consistency: ReadConsistency,
     /// Data block size in bytes.
     pub block_size: u64,
     /// Timestamp block fetched per TS RPC.
@@ -66,6 +69,7 @@ impl Default for CfsConfig {
             },
             kv: KvConfig::default(),
             net: NetConfig::default(),
+            read_consistency: ReadConsistency::default(),
             block_size: 64 * 1024,
             ts_block: 1,
             id_block: 64,
@@ -284,12 +288,22 @@ impl CfsCluster {
     /// driver when a shard answers `WrongShard` — the lazy client-side half
     /// of the scale-out protocol.
     pub fn client(&self) -> CfsClient {
+        self.client_with_consistency(self.config.read_consistency)
+    }
+
+    /// Like [`CfsCluster::client`], but with an explicit read consistency —
+    /// benches compare `LeaderOnly` and `ReadIndex` clients side by side on
+    /// one cluster.
+    pub fn client_with_consistency(&self, consistency: ReadConsistency) -> CfsClient {
         let me = NodeId(self.next_client.fetch_add(1, Ordering::Relaxed));
         let client_map = Arc::new(PartitionMap::from_version(self.pmap.current_version()));
-        let taf =
-            TafDbClient::new(Arc::clone(&self.net), me, client_map).with_map_source(Arc::new(
-                PlacementClient::new(Arc::clone(&self.net), me, PLACEMENT_NODE),
-            ));
+        let taf = TafDbClient::new(Arc::clone(&self.net), me, client_map)
+            .with_consistency(consistency)
+            .with_map_source(Arc::new(PlacementClient::new(
+                Arc::clone(&self.net),
+                me,
+                PLACEMENT_NODE,
+            )));
         CfsClient::new(
             taf,
             FileStoreClient::new(Arc::clone(&self.net), me, Arc::clone(&self.fs_layout)),

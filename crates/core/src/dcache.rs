@@ -1,0 +1,370 @@
+//! Versioned dentry cache: a sharded LRU over `(dir, name)` entries with
+//! positive *and* negative results, invalidated by per-directory generation
+//! numbers.
+//!
+//! Every TafDB shard bumps a directory's generation whenever a replicated
+//! command writes one of its entry records (create/unlink/rename/rmdir), and
+//! piggybacks the generation on resolve responses. The client records the
+//! last generation observed per directory; an observation that disagrees
+//! with the recorded one drops that directory's cached entries — and only
+//! that directory's — instead of clearing the whole cache.
+//!
+//! Negative entries get one extra guard. A positive entry that goes stale
+//! fails loudly downstream (the inode's records are gone), but a stale
+//! negative silently masks another client's `create`. So a negative result
+//! is served locally only when the directory's generation was *re-confirmed
+//! by a later response* than the one that inserted it, and serving it
+//! consumes the confirmation: every locally-answered "not found" is backed
+//! by a server round-trip, for that directory, that happened after the
+//! miss was cached and saw the same generation.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cfs_types::{FileType, InodeId};
+use parking_lot::Mutex;
+
+/// Default total entry capacity (matches the previous flat cache's cap).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Number of independently locked cache shards.
+const CACHE_SHARDS: usize = 16;
+
+/// Outcome of a cache probe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheLookup {
+    /// The entry exists: `(ino, type)`.
+    Hit(InodeId, FileType),
+    /// The entry is known not to exist, and the directory's generation was
+    /// confirmed after the miss was cached.
+    Negative,
+    /// Nothing usable cached; ask the server.
+    Miss,
+}
+
+/// One cached resolution result.
+struct CachedEntry {
+    /// `Some((ino, type))` for a positive entry, `None` for a negative one.
+    val: Option<(InodeId, FileType)>,
+    /// Directory confirmation count when this entry was (re-)armed; a
+    /// negative entry is servable only while `DirState::confirms` exceeds it.
+    confirms_at_insert: u64,
+    /// LRU slot key in [`CacheShard::lru`].
+    tick: u64,
+}
+
+/// Per-directory cache state.
+struct DirState {
+    /// Last generation observed from this directory's TafDB shard.
+    gen: u64,
+    /// How many responses have confirmed `gen` for this directory.
+    confirms: u64,
+    /// Cached entries of this directory, by name.
+    entries: HashMap<String, CachedEntry>,
+}
+
+/// One lock-sharded slice of the cache.
+#[derive(Default)]
+struct CacheShard {
+    dirs: HashMap<InodeId, DirState>,
+    /// LRU index: insertion/touch tick → entry address. Oldest first.
+    lru: BTreeMap<u64, (InodeId, String)>,
+    /// Total entries across `dirs` (mirrors `lru.len()`).
+    len: usize,
+    /// Monotonic touch counter.
+    tick: u64,
+}
+
+impl CacheShard {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Drops every cached entry of `dir`, keeping its generation state.
+    fn drop_entries(&mut self, dir: InodeId) {
+        if let Some(state) = self.dirs.get_mut(&dir) {
+            for entry in state.entries.values() {
+                self.lru.remove(&entry.tick);
+                self.len -= 1;
+            }
+            state.entries.clear();
+        }
+    }
+
+    /// Records `gen` for `dir`, dropping the directory's entries when it
+    /// differs from the recorded one. Returns the directory's state.
+    fn sync_gen(&mut self, dir: InodeId, gen: u64) -> &mut DirState {
+        let stale = match self.dirs.get(&dir) {
+            Some(state) => state.gen != gen,
+            None => false,
+        };
+        if stale {
+            self.drop_entries(dir);
+        }
+        let state = self.dirs.entry(dir).or_insert_with(|| DirState {
+            gen,
+            confirms: 0,
+            entries: HashMap::new(),
+        });
+        if state.gen != gen {
+            state.gen = gen;
+        }
+        state
+    }
+
+    fn evict_oldest(&mut self) {
+        if let Some((&tick, _)) = self.lru.iter().next() {
+            let (dir, name) = self.lru.remove(&tick).expect("lru slot exists");
+            if let Some(state) = self.dirs.get_mut(&dir) {
+                if state.entries.remove(&name).is_some() {
+                    self.len -= 1;
+                }
+            }
+        }
+    }
+}
+
+/// The cache: `CACHE_SHARDS` independently locked slices, entries spread by
+/// directory id so one directory's state lives under one lock.
+pub struct DentryCache {
+    shards: Vec<Mutex<CacheShard>>,
+    cap_per_shard: usize,
+}
+
+impl DentryCache {
+    /// Creates a cache bounded to roughly `capacity` entries in total.
+    pub fn new(capacity: usize) -> DentryCache {
+        DentryCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+            cap_per_shard: (capacity / CACHE_SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, dir: InodeId) -> &Mutex<CacheShard> {
+        &self.shards[(dir.raw() % CACHE_SHARDS as u64) as usize]
+    }
+
+    /// Records a generation observation for `dir` piggybacked on a response,
+    /// counting as one confirmation. A changed generation drops the
+    /// directory's cached entries.
+    pub fn observe_gen(&self, dir: InodeId, gen: u64) {
+        let mut shard = self.shard(dir).lock();
+        let state = shard.sync_gen(dir, gen);
+        state.confirms += 1;
+    }
+
+    /// Caches one resolution result observed at generation `gen`:
+    /// `Some((ino, type))` for a found entry, `None` for a confirmed miss.
+    /// Re-inserting an identical result keeps the original arm point, so a
+    /// negative becomes servable once any later response re-confirms the
+    /// generation.
+    pub fn insert(&self, dir: InodeId, name: &str, gen: u64, val: Option<(InodeId, FileType)>) {
+        let mut shard = self.shard(dir).lock();
+        let tick = shard.next_tick();
+        let state = shard.sync_gen(dir, gen);
+        let confirms = state.confirms;
+        if let Some(entry) = state.entries.get_mut(name) {
+            // Same result re-observed: refresh recency, keep the arm point.
+            if entry.val == val {
+                let old = entry.tick;
+                entry.tick = tick;
+                shard.lru.remove(&old);
+                shard.lru.insert(tick, (dir, name.to_string()));
+                return;
+            }
+            entry.val = val;
+            entry.confirms_at_insert = confirms;
+            let old = entry.tick;
+            entry.tick = tick;
+            shard.lru.remove(&old);
+            shard.lru.insert(tick, (dir, name.to_string()));
+            return;
+        }
+        state.entries.insert(
+            name.to_string(),
+            CachedEntry {
+                val,
+                confirms_at_insert: confirms,
+                tick,
+            },
+        );
+        shard.lru.insert(tick, (dir, name.to_string()));
+        shard.len += 1;
+        while shard.len > self.cap_per_shard {
+            shard.evict_oldest();
+        }
+    }
+
+    /// Probes the cache for `name` in `dir`. Serving a negative consumes its
+    /// confirmation, so consecutive local "not found" answers each require a
+    /// fresh post-insert confirmation of the directory's generation.
+    pub fn lookup(&self, dir: InodeId, name: &str) -> CacheLookup {
+        let mut shard = self.shard(dir).lock();
+        let tick = shard.next_tick();
+        let Some(state) = shard.dirs.get_mut(&dir) else {
+            return CacheLookup::Miss;
+        };
+        let Some(entry) = state.entries.get_mut(name) else {
+            return CacheLookup::Miss;
+        };
+        let result = match entry.val {
+            Some((ino, ftype)) => CacheLookup::Hit(ino, ftype),
+            None if state.confirms > entry.confirms_at_insert => {
+                entry.confirms_at_insert = state.confirms;
+                CacheLookup::Negative
+            }
+            None => CacheLookup::Miss,
+        };
+        let old = entry.tick;
+        entry.tick = tick;
+        shard.lru.remove(&old);
+        shard.lru.insert(tick, (dir, name.to_string()));
+        result
+    }
+
+    /// Forgets one entry (the caller mutated it, or learned it is stale).
+    pub fn forget(&self, dir: InodeId, name: &str) {
+        let mut shard = self.shard(dir).lock();
+        if let Some(state) = shard.dirs.get_mut(&dir) {
+            if let Some(entry) = state.entries.remove(name) {
+                shard.lru.remove(&entry.tick);
+                shard.len -= 1;
+            }
+        }
+    }
+
+    /// Drops everything known about `dir` — entries and generation state.
+    /// Used when the directory itself is removed.
+    pub fn forget_dir(&self, dir: InodeId) {
+        let mut shard = self.shard(dir).lock();
+        shard.drop_entries(dir);
+        shard.dirs.remove(&dir);
+    }
+
+    /// Total cached entries (tests).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIR: InodeId = InodeId(42);
+
+    fn pos(ino: u64) -> Option<(InodeId, FileType)> {
+        Some((InodeId(ino), FileType::Dir))
+    }
+
+    #[test]
+    fn positive_hits_are_served_at_the_observed_generation() {
+        let cache = DentryCache::new(64);
+        cache.observe_gen(DIR, 3);
+        cache.insert(DIR, "a", 3, pos(7));
+        assert_eq!(
+            cache.lookup(DIR, "a"),
+            CacheLookup::Hit(InodeId(7), FileType::Dir)
+        );
+    }
+
+    #[test]
+    fn generation_change_drops_only_that_directory() {
+        let cache = DentryCache::new(64);
+        let other = InodeId(43);
+        cache.observe_gen(DIR, 1);
+        cache.insert(DIR, "a", 1, pos(7));
+        cache.observe_gen(other, 5);
+        cache.insert(other, "b", 5, pos(8));
+        // DIR's generation moved: its entry goes, the other survives.
+        cache.observe_gen(DIR, 2);
+        assert_eq!(cache.lookup(DIR, "a"), CacheLookup::Miss);
+        assert_eq!(
+            cache.lookup(other, "b"),
+            CacheLookup::Hit(InodeId(8), FileType::Dir)
+        );
+    }
+
+    #[test]
+    fn negative_requires_a_confirmation_newer_than_its_insert() {
+        let cache = DentryCache::new(64);
+        cache.observe_gen(DIR, 1);
+        cache.insert(DIR, "ghost", 1, None);
+        // No confirmation since the insert: revalidate.
+        assert_eq!(cache.lookup(DIR, "ghost"), CacheLookup::Miss);
+        // The revalidation re-observed the generation and re-inserted the
+        // same miss; the original arm point is kept.
+        cache.observe_gen(DIR, 1);
+        cache.insert(DIR, "ghost", 1, None);
+        assert_eq!(cache.lookup(DIR, "ghost"), CacheLookup::Negative);
+        // Serving consumed the confirmation.
+        assert_eq!(cache.lookup(DIR, "ghost"), CacheLookup::Miss);
+        // Any same-generation response for the directory re-arms it.
+        cache.observe_gen(DIR, 1);
+        assert_eq!(cache.lookup(DIR, "ghost"), CacheLookup::Negative);
+    }
+
+    #[test]
+    fn negative_dies_with_the_generation_that_spawned_it() {
+        let cache = DentryCache::new(64);
+        cache.observe_gen(DIR, 1);
+        cache.insert(DIR, "ghost", 1, None);
+        cache.observe_gen(DIR, 1); // armed
+                                   // Another client created something in DIR: the next response shows
+                                   // generation 2 and the negative is gone, armed or not.
+        cache.observe_gen(DIR, 2);
+        assert_eq!(cache.lookup(DIR, "ghost"), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_first() {
+        // Capacity 16 spread over 16 shards = 1 entry per shard; use one
+        // directory so everything contends for the same slot.
+        let cache = DentryCache::new(16);
+        cache.observe_gen(DIR, 1);
+        cache.insert(DIR, "a", 1, pos(1));
+        cache.insert(DIR, "b", 1, pos(2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(DIR, "a"), CacheLookup::Miss);
+        assert_eq!(
+            cache.lookup(DIR, "b"),
+            CacheLookup::Hit(InodeId(2), FileType::Dir)
+        );
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let cache = DentryCache::new(32); // 2 per shard
+        cache.observe_gen(DIR, 1);
+        cache.insert(DIR, "a", 1, pos(1));
+        cache.insert(DIR, "b", 1, pos(2));
+        // Touch "a" so "b" is now the coldest.
+        assert_eq!(
+            cache.lookup(DIR, "a"),
+            CacheLookup::Hit(InodeId(1), FileType::Dir)
+        );
+        cache.insert(DIR, "c", 1, pos(3));
+        assert_eq!(
+            cache.lookup(DIR, "a"),
+            CacheLookup::Hit(InodeId(1), FileType::Dir)
+        );
+        assert_eq!(cache.lookup(DIR, "b"), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn forget_dir_clears_generation_state_too() {
+        let cache = DentryCache::new(64);
+        cache.observe_gen(DIR, 1);
+        cache.insert(DIR, "a", 1, pos(1));
+        cache.forget_dir(DIR);
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(DIR, "a"), CacheLookup::Miss);
+    }
+}

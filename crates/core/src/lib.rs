@@ -20,11 +20,14 @@
 
 pub mod client;
 pub mod cluster;
+pub mod dcache;
 pub mod fsapi;
 pub mod gc;
 pub mod path;
 
+pub use cfs_tafdb::ReadConsistency;
 pub use client::CfsClient;
 pub use cluster::{CfsCluster, CfsConfig};
+pub use dcache::DentryCache;
 pub use fsapi::{DirEntryInfo, FileSystem};
 pub use gc::{GarbageCollector, GcStats};

@@ -1,0 +1,126 @@
+//! Dentry-cache coherence across clients: negative entries must not mask
+//! another client's create, and mutating ops must bump the parent
+//! directory's generation so piggybacked observations invalidate stale
+//! state.
+
+use cfs_core::{CfsCluster, CfsConfig, FileSystem};
+use cfs_tafdb::{ReadConsistency, ResolveEnd};
+use cfs_types::{FsError, InodeId};
+
+fn cluster() -> CfsCluster {
+    CfsCluster::start(CfsConfig::test_small()).expect("cluster boot")
+}
+
+/// Reads `dir`'s current generation off its shard by resolving a name that
+/// cannot exist: the NotFound response piggybacks the generation.
+fn probe_gen(fs: &cfs_core::CfsClient, dir: InodeId) -> u64 {
+    let r = fs
+        .taf()
+        .resolve_prefix(dir, &["__gen_probe__".to_string()])
+        .expect("probe resolve");
+    match r.end {
+        ResolveEnd::Err {
+            err: FsError::NotFound,
+            gen,
+        } => gen,
+        other => panic!("probe expected NotFound, got {other:?}"),
+    }
+}
+
+#[test]
+fn negative_entry_does_not_mask_another_clients_create() {
+    let c = cluster();
+    let a = c.client();
+    let b = c.client();
+    a.mkdir("/d").unwrap();
+    // Client a caches and arms a negative entry for /d/x: the first miss
+    // inserts it, the second revalidation confirms the generation.
+    assert_eq!(a.lookup("/d/x").unwrap_err(), FsError::NotFound);
+    assert_eq!(a.lookup("/d/x").unwrap_err(), FsError::NotFound);
+    // Another client creates the file, bumping /d's generation.
+    let ino = b.create("/d/x").unwrap();
+    // a may serve at most one armed local "not found"; serving it consumes
+    // the confirmation, so the next lookup revalidates at the shard and
+    // must see b's create.
+    let _ = a.lookup("/d/x");
+    assert_eq!(a.lookup("/d/x").unwrap(), ino);
+    // And the positive result sticks from here on.
+    assert_eq!(a.lookup("/d/x").unwrap(), ino);
+}
+
+#[test]
+fn sibling_response_invalidates_stale_negative() {
+    let c = cluster();
+    let a = c.client();
+    let b = c.client();
+    a.mkdir("/d").unwrap();
+    // Arm a negative for /d/x on client a.
+    assert_eq!(a.lookup("/d/x").unwrap_err(), FsError::NotFound);
+    assert_eq!(a.lookup("/d/x").unwrap_err(), FsError::NotFound);
+    let ino = b.create("/d/x").unwrap();
+    // Resolving any *other* name in /d piggybacks the bumped generation and
+    // drops the directory's cached entries — including the stale negative.
+    assert_eq!(a.lookup("/d/y").unwrap_err(), FsError::NotFound);
+    assert_eq!(a.lookup("/d/x").unwrap(), ino);
+}
+
+#[test]
+fn rename_and_unlink_bump_parent_generation() {
+    let c = cluster();
+    let fs = c.client();
+    fs.mkdir("/d").unwrap();
+    let d = fs.lookup("/d").unwrap();
+    fs.create("/d/f1").unwrap();
+    let g0 = probe_gen(&fs, d);
+    fs.rename("/d/f1", "/d/f2").unwrap();
+    let g1 = probe_gen(&fs, d);
+    assert!(
+        g1 > g0,
+        "rename must bump the parent generation ({g0}->{g1})"
+    );
+    fs.unlink("/d/f2").unwrap();
+    let g2 = probe_gen(&fs, d);
+    assert!(
+        g2 > g1,
+        "unlink must bump the parent generation ({g1}->{g2})"
+    );
+}
+
+#[test]
+fn unlink_by_another_client_is_seen_after_generation_observation() {
+    let c = cluster();
+    let a = c.client();
+    let b = c.client();
+    a.mkdir("/d").unwrap();
+    let ino = a.create("/d/f").unwrap();
+    assert_eq!(a.lookup("/d/f").unwrap(), ino);
+    b.unlink("/d/f").unwrap();
+    // A response for any name in /d carries the new generation; after that
+    // the file entry must not be served from a's cache.
+    assert_eq!(a.lookup("/d/other").unwrap_err(), FsError::NotFound);
+    assert_eq!(a.lookup("/d/f").unwrap_err(), FsError::NotFound);
+}
+
+#[test]
+fn read_index_clients_run_the_full_lifecycle() {
+    let mut cfg = CfsConfig::test_small();
+    cfg.read_consistency = ReadConsistency::ReadIndex;
+    let c = CfsCluster::start(cfg).expect("cluster boot");
+    let fs = c.client();
+    fs.mkdir("/ri").unwrap();
+    let ino = fs.create("/ri/f").unwrap();
+    // Reads route through follower replicas with a freshness proof; the
+    // client must still see its own writes immediately.
+    assert_eq!(fs.lookup("/ri/f").unwrap(), ino);
+    assert_eq!(fs.getattr("/ri/f").unwrap().ino, ino);
+    let names: Vec<String> = fs
+        .readdir("/ri")
+        .unwrap()
+        .into_iter()
+        .map(|e| e.name)
+        .collect();
+    assert_eq!(names, vec!["f".to_string()]);
+    fs.unlink("/ri/f").unwrap();
+    assert_eq!(fs.lookup("/ri/f").unwrap_err(), FsError::NotFound);
+    fs.rmdir("/ri").unwrap();
+}

@@ -470,6 +470,12 @@ pub struct NemesisOptions {
     /// loses its race with a fault aborts and the donor resumes — both
     /// outcomes must pass the oracle.
     pub splits: usize,
+    /// Route client reads through follower replicas with ReadIndex
+    /// freshness proofs (and the versioned dentry cache running over them)
+    /// instead of leader-only reads. The oracle's judgment is unchanged:
+    /// follower reads are still linearizable, so acknowledged writes must
+    /// never be lost and the final namespace must match a candidate.
+    pub read_index: bool,
 }
 
 impl Default for NemesisOptions {
@@ -480,6 +486,7 @@ impl Default for NemesisOptions {
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(50),
             splits: 0,
+            read_index: false,
         }
     }
 }
@@ -537,6 +544,9 @@ pub fn canonical_log_for(seed: u64, opts: &NemesisOptions, schedule: &NemesisSch
 pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
     let mut config = CfsConfig::test_small();
     config.net.seed = seed;
+    if opts.read_index {
+        config.read_consistency = cfs_core::ReadConsistency::ReadIndex;
+    }
     let schedule = NemesisSchedule::generate(
         seed,
         config.taf_shards,
@@ -692,7 +702,12 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
         std::thread::sleep(Duration::from_secs(6));
     }
 
-    let walker = cluster.client();
+    // The final walk is oracle instrumentation, not the system under test:
+    // the workload threads already drove the configured read path (possibly
+    // ReadIndex + dentry cache) through the fault schedule. Read the ground
+    // truth leader-locally so the verdict does not depend on follower-read
+    // confirmation latency on a starved CI box.
+    let walker = cluster.client_with_consistency(cfs_core::ReadConsistency::LeaderOnly);
     let mut divergence = None;
     for (t, (ops, res)) in per_thread_ops.iter().zip(&results).enumerate() {
         let observed = walk_subtree(&walker, &thread_root(t));

@@ -64,6 +64,13 @@ pub struct KvConfig {
     /// path honors it the way the RPC layer honors `hop_latency`). Zero — the
     /// default — disables it; the store itself never sleeps.
     pub apply_cost: std::time::Duration,
+    /// Simulated service time charged per read request (point reads, scans,
+    /// resolve walks) by consumers that model per-replica read capacity —
+    /// reads serialize behind a per-replica gate while this elapses, so a
+    /// group that spreads reads over its followers (ReadIndex) shows higher
+    /// aggregate read throughput than leader-only reads. Zero — the default —
+    /// disables it; the store itself never sleeps.
+    pub read_cost: std::time::Duration,
 }
 
 impl Default for KvConfig {
@@ -73,6 +80,7 @@ impl Default for KvConfig {
             max_tables: 8,
             wal: None,
             apply_cost: std::time::Duration::ZERO,
+            read_cost: std::time::Duration::ZERO,
         }
     }
 }

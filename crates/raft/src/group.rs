@@ -303,6 +303,89 @@ mod tests {
     }
 
     #[test]
+    fn follower_read_index_sees_committed_writes() {
+        let net = Network::new(NetConfig::default());
+        let group = RaftGroup::spawn(&net, &ids(70, 3), fast_config(), |_| RecorderSm::new());
+        let leader = group.wait_for_leader(Duration::from_secs(5)).unwrap();
+        for i in 0..5u32 {
+            leader.propose(i.to_be_bytes().to_vec()).unwrap();
+        }
+        // Every replica — follower or leader — serves the full committed
+        // prefix through read_index, with no settle-down sleep: the protocol
+        // itself waits for the local apply to pass the leader's commit index.
+        for node in group.nodes() {
+            let seen = node
+                .read_index(|sm| sm.applied.lock().len())
+                .expect("read_index on a healthy group");
+            assert_eq!(seen, 5, "node {:?} served a stale read", node.id());
+        }
+        group.shutdown();
+    }
+
+    #[test]
+    fn single_node_read_index_completes_immediately() {
+        let net = Network::new(NetConfig::default());
+        let group = RaftGroup::spawn(&net, &ids(80, 1), fast_config(), |_| RecorderSm::new());
+        let leader = group.leader().expect("single node leads instantly");
+        leader.propose(b"x".to_vec()).unwrap();
+        let n = leader.read_index(|sm| sm.applied.lock().len()).unwrap();
+        assert_eq!(n, 1);
+        group.shutdown();
+    }
+
+    #[test]
+    fn deposed_leader_read_index_fails_instead_of_serving_stale() {
+        let net = Network::new(NetConfig::default());
+        let config = RaftConfig {
+            // Keep the reproduction fast: the deposed leader's confirmation
+            // round gives up after this long.
+            propose_timeout: Duration::from_millis(400),
+            ..fast_config()
+        };
+        let group = RaftGroup::spawn(&net, &ids(90, 3), config, |_| RecorderSm::new());
+        let leader = group.wait_for_leader(Duration::from_secs(5)).unwrap();
+        leader.propose(b"old".to_vec()).unwrap();
+        // Isolate the old leader; the majority side moves on and commits.
+        let others: Vec<NodeId> = group
+            .nodes()
+            .iter()
+            .map(|n| n.id())
+            .filter(|&n| n != leader.id())
+            .collect();
+        net.partition(vec![vec![leader.id()], others.clone()]);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let new_leader = loop {
+            if let Some(l) = group
+                .nodes()
+                .iter()
+                .find(|n| others.contains(&n.id()) && n.role() == Role::Leader)
+            {
+                break l.clone();
+            }
+            assert!(Instant::now() < deadline, "majority side failed to elect");
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        new_leader.propose(b"new".to_vec()).unwrap();
+        // The old leader still *claims* the role (its lease-free `read` would
+        // happily serve a stale view missing "new")...
+        assert_eq!(leader.role(), Role::Leader);
+        assert!(leader.read(|sm| sm.applied.lock().len()).is_ok());
+        // ...but its ReadIndex heartbeat round cannot reach a majority, so
+        // the protocol refuses with NotLeader rather than serving stale data.
+        let res = leader.read_index(|sm| sm.applied.lock().len());
+        assert!(
+            matches!(res, Err(FsError::NotLeader(_))),
+            "deposed leader must fail the confirmation round, got {res:?}"
+        );
+        // The healthy majority keeps serving ReadIndex reads, leader or not.
+        for node in group.nodes().iter().filter(|n| others.contains(&n.id())) {
+            let seen = node.read_index(|sm| sm.applied.lock().len()).unwrap();
+            assert_eq!(seen, 2, "majority-side replica missed a committed write");
+        }
+        group.shutdown();
+    }
+
+    #[test]
     fn group_propose_follows_redirects() {
         let net = Network::new(NetConfig::default());
         let group = RaftGroup::spawn(&net, &ids(50, 3), fast_config(), |_| RecorderSm::new());

@@ -72,6 +72,44 @@ pub enum RaftMsg {
         /// hint where the leader should back up to.
         match_index: u64,
     },
+    /// A replica asks the leader for a ReadIndex: the leader's commit index,
+    /// valid for a local read once confirmed by a heartbeat round.
+    ReadIndexReq {
+        /// Requester-local read id, echoed in the response.
+        id: u64,
+    },
+    /// Leader's answer to [`RaftMsg::ReadIndexReq`], sent only after a
+    /// confirmation round proved it still leads (or immediately with
+    /// `ok = false` when it does not).
+    ReadIndexResp {
+        /// The read id from the request.
+        id: u64,
+        /// The leader's commit index at request arrival (0 when `!ok`).
+        index: u64,
+        /// Whether leadership was confirmed.
+        ok: bool,
+        /// On `!ok`, where the requester should retry (raw node id).
+        hint: Option<u32>,
+    },
+    /// Leadership-confirmation probe broadcast for pending ReadIndex reads.
+    /// Deliberately separate from [`RaftMsg::AppendEntries`]: an ack must
+    /// prove the peer still followed this leader *after* the read request
+    /// arrived, which a late ack of an older heartbeat cannot.
+    ReadIndexHeartbeat {
+        /// Leader's term.
+        term: u64,
+        /// Confirmation round, monotonic per leader term.
+        round: u64,
+    },
+    /// Response to [`RaftMsg::ReadIndexHeartbeat`].
+    ReadIndexAck {
+        /// Responder's current term.
+        term: u64,
+        /// The round being acknowledged.
+        round: u64,
+        /// True when the responder's term matched the probe's.
+        ok: bool,
+    },
 }
 
 impl Encode for RaftMsg {
@@ -116,6 +154,33 @@ impl Encode for RaftMsg {
                 success.encode(buf);
                 match_index.encode(buf);
             }
+            RaftMsg::ReadIndexReq { id } => {
+                buf.push(4);
+                id.encode(buf);
+            }
+            RaftMsg::ReadIndexResp {
+                id,
+                index,
+                ok,
+                hint,
+            } => {
+                buf.push(5);
+                id.encode(buf);
+                index.encode(buf);
+                ok.encode(buf);
+                hint.encode(buf);
+            }
+            RaftMsg::ReadIndexHeartbeat { term, round } => {
+                buf.push(6);
+                term.encode(buf);
+                round.encode(buf);
+            }
+            RaftMsg::ReadIndexAck { term, round, ok } => {
+                buf.push(7);
+                term.encode(buf);
+                round.encode(buf);
+                ok.encode(buf);
+            }
         }
     }
 }
@@ -143,6 +208,24 @@ impl Decode for RaftMsg {
                 term: u64::decode(input)?,
                 success: bool::decode(input)?,
                 match_index: u64::decode(input)?,
+            },
+            4 => RaftMsg::ReadIndexReq {
+                id: u64::decode(input)?,
+            },
+            5 => RaftMsg::ReadIndexResp {
+                id: u64::decode(input)?,
+                index: u64::decode(input)?,
+                ok: bool::decode(input)?,
+                hint: Option::<u32>::decode(input)?,
+            },
+            6 => RaftMsg::ReadIndexHeartbeat {
+                term: u64::decode(input)?,
+                round: u64::decode(input)?,
+            },
+            7 => RaftMsg::ReadIndexAck {
+                term: u64::decode(input)?,
+                round: u64::decode(input)?,
+                ok: bool::decode(input)?,
             },
             t => return Err(DecodeError::InvalidTag(t)),
         })
@@ -212,6 +295,25 @@ mod tests {
                 term: 6,
                 success: false,
                 match_index: 3,
+            },
+            RaftMsg::ReadIndexReq { id: 41 },
+            RaftMsg::ReadIndexResp {
+                id: 41,
+                index: 17,
+                ok: true,
+                hint: None,
+            },
+            RaftMsg::ReadIndexResp {
+                id: 42,
+                index: 0,
+                ok: false,
+                hint: Some(30),
+            },
+            RaftMsg::ReadIndexHeartbeat { term: 7, round: 3 },
+            RaftMsg::ReadIndexAck {
+                term: 7,
+                round: 3,
+                ok: true,
             },
         ];
         for msg in msgs {

@@ -68,6 +68,19 @@ impl Default for RaftConfig {
 /// channel its result is delivered on.
 type Waiter = (u64, Sender<FsResult<Vec<u8>>>);
 
+/// A ReadIndex request the leader is holding until a confirmation round
+/// started at-or-after its arrival reaches a majority.
+struct RiPending {
+    /// Requester-local read id (echoed back).
+    id: u64,
+    /// The requesting node (may be this node itself).
+    from: NodeId,
+    /// The leader's commit index captured at request arrival.
+    index: u64,
+    /// The confirmation round whose completion releases this read.
+    round: u64,
+}
+
 struct NodeState {
     role: Role,
     term: u64,
@@ -85,6 +98,19 @@ struct NodeState {
     next_heartbeat: Instant,
     leader_hint: Option<NodeId>,
     waiters: HashMap<u64, Waiter>,
+    /// Requester-side ReadIndex waiters keyed by read id, completed with the
+    /// confirmed read index (or `NotLeader` when confirmation failed).
+    ri_waiters: HashMap<u64, Sender<FsResult<u64>>>,
+    /// Next requester-local ReadIndex id.
+    ri_next_id: u64,
+    /// Leader-side: highest confirmation round started.
+    ri_round: u64,
+    /// Leader-side: the in-flight confirmation round and the peers that
+    /// acked it. At most one round is in flight, so a burst of concurrent
+    /// reads shares a single heartbeat broadcast.
+    ri_inflight: Option<(u64, HashSet<NodeId>)>,
+    /// Leader-side: reads awaiting their confirmation round.
+    ri_pending: Vec<RiPending>,
     stopped: bool,
 }
 
@@ -137,6 +163,11 @@ impl<S: StateMachine> RaftNode<S> {
                 next_heartbeat: now,
                 leader_hint: single.then_some(id),
                 waiters: HashMap::new(),
+                ri_waiters: HashMap::new(),
+                ri_next_id: 0,
+                ri_round: 0,
+                ri_inflight: None,
+                ri_pending: Vec::new(),
                 stopped: false,
             }),
             wake: Condvar::new(),
@@ -189,6 +220,9 @@ impl<S: StateMachine> RaftNode<S> {
         for (_, (_, tx)) in st.waiters.drain() {
             let _ = tx.send(Err(FsError::Timeout));
         }
+        for (_, tx) in st.ri_waiters.drain() {
+            let _ = tx.send(Err(FsError::Timeout));
+        }
         drop(st);
         self.wake.notify_all();
     }
@@ -234,6 +268,68 @@ impl<S: StateMachine> RaftNode<S> {
                 return Err(FsError::NotLeader(st.leader_hint.map(|n| n.0)));
             }
         }
+        Ok(f(&self.sm))
+    }
+
+    /// Serves a linearizable read from *this* replica — leader or follower —
+    /// via the ReadIndex protocol.
+    ///
+    /// The replica asks the leader (itself, when leading) for its commit
+    /// index; the leader answers only after a heartbeat round proves a
+    /// majority still follows it, which is what makes this safe where
+    /// [`RaftNode::read`] is not: a deposed leader's round never completes,
+    /// so it returns [`FsError::NotLeader`] instead of a stale read. Once
+    /// the confirmed index is applied locally, `f` runs against the state
+    /// machine.
+    pub fn read_index<R>(&self, f: impl FnOnce(&S) -> R) -> FsResult<R> {
+        let deadline = Instant::now() + self.config.propose_timeout;
+        let (tx, rx) = bounded(1);
+        let (id, target) = {
+            let mut st = self.st.lock();
+            if st.stopped {
+                return Err(FsError::Timeout);
+            }
+            let target = if st.role == Role::Leader {
+                self.id
+            } else {
+                match st.leader_hint {
+                    Some(l) => l,
+                    None => return Err(FsError::NotLeader(None)),
+                }
+            };
+            st.ri_next_id += 1;
+            let id = st.ri_next_id;
+            st.ri_waiters.insert(id, tx);
+            (id, target)
+        };
+        if target == self.id {
+            self.handle(self.id, RaftMsg::ReadIndexReq { id });
+        } else {
+            self.send_one(target, RaftMsg::ReadIndexReq { id });
+        }
+        let index = match rx.recv_timeout(self.config.propose_timeout) {
+            Ok(res) => res?,
+            Err(_) => {
+                // The confirmation round never completed: leadership (ours,
+                // or the leader's we asked) could not be confirmed.
+                let mut st = self.st.lock();
+                st.ri_waiters.remove(&id);
+                let hint = st.leader_hint.filter(|&l| l != self.id).map(|n| n.0);
+                return Err(FsError::NotLeader(hint));
+            }
+        };
+        // Wait until the local apply catches up with the read index.
+        let mut st = self.st.lock();
+        while st.applied < index {
+            if st.stopped {
+                return Err(FsError::Timeout);
+            }
+            let timed_out = self.wake.wait_until(&mut st, deadline).timed_out();
+            if timed_out && st.applied < index {
+                return Err(FsError::Timeout);
+            }
+        }
+        drop(st);
         Ok(f(&self.sm))
     }
 
@@ -376,6 +472,84 @@ impl<S: StateMachine> RaftNode<S> {
             for (_, (_, tx)) in st.waiters.drain() {
                 let _ = tx.send(Err(FsError::NotLeader(st.leader_hint.map(|n| n.0))));
             }
+            // Pending ReadIndex confirmations can likewise never complete.
+            st.ri_inflight = None;
+            let hint = st.leader_hint.map(|n| n.0);
+            for p in std::mem::take(&mut st.ri_pending) {
+                self.ri_fail(st, p, hint);
+            }
+        }
+    }
+
+    /// Answers one pending ReadIndex read with `NotLeader`.
+    fn ri_fail(&self, st: &mut NodeState, p: RiPending, hint: Option<u32>) {
+        if p.from == self.id {
+            if let Some(tx) = st.ri_waiters.remove(&p.id) {
+                let _ = tx.send(Err(FsError::NotLeader(hint)));
+            }
+        } else {
+            self.send_one(
+                p.from,
+                RaftMsg::ReadIndexResp {
+                    id: p.id,
+                    index: 0,
+                    ok: false,
+                    hint,
+                },
+            );
+        }
+    }
+
+    /// Starts a fresh ReadIndex confirmation round: broadcasts the probe and
+    /// (for single-node groups) completes immediately.
+    fn ri_start_round(&self, st: &mut NodeState) {
+        st.ri_round += 1;
+        let round = st.ri_round;
+        st.ri_inflight = Some((round, HashSet::new()));
+        let term = st.term;
+        self.broadcast(st, RaftMsg::ReadIndexHeartbeat { term, round });
+        self.ri_try_complete(st);
+    }
+
+    /// Releases every pending read covered by the in-flight round once a
+    /// majority has acked it, then starts the next round if reads queued up
+    /// behind this one.
+    fn ri_try_complete(&self, st: &mut NodeState) {
+        let Some((round, acks)) = &st.ri_inflight else {
+            return;
+        };
+        let cluster = self.peers.len() + 1;
+        if (acks.len() + 1) * 2 <= cluster {
+            return;
+        }
+        let round = *round;
+        st.ri_inflight = None;
+        let mut pending = std::mem::take(&mut st.ri_pending);
+        let mut later = Vec::new();
+        for p in pending.drain(..) {
+            if p.round > round {
+                later.push(p);
+                continue;
+            }
+            if p.from == self.id {
+                if let Some(tx) = st.ri_waiters.remove(&p.id) {
+                    let _ = tx.send(Ok(p.index));
+                }
+            } else {
+                self.send_one(
+                    p.from,
+                    RaftMsg::ReadIndexResp {
+                        id: p.id,
+                        index: p.index,
+                        ok: true,
+                        hint: None,
+                    },
+                );
+            }
+        }
+        st.ri_pending = later;
+        if !st.ri_pending.is_empty() {
+            self.ri_start_round(st);
         }
     }
 
@@ -529,6 +703,94 @@ impl<S: StateMachine> RaftNode<S> {
                     self.wake.notify_all();
                 }
             }
+            RaftMsg::ReadIndexReq { id } => {
+                if st.role != Role::Leader {
+                    let hint = st.leader_hint.map(|n| n.0);
+                    let p = RiPending {
+                        id,
+                        from,
+                        index: 0,
+                        round: 0,
+                    };
+                    self.ri_fail(&mut st, p, hint);
+                    return;
+                }
+                let index = st.commit;
+                match &st.ri_inflight {
+                    Some((r, _)) => {
+                        // A round is already being confirmed, but it started
+                        // before this read arrived; queue for the next one.
+                        let round = r + 1;
+                        st.ri_pending.push(RiPending {
+                            id,
+                            from,
+                            index,
+                            round,
+                        });
+                    }
+                    None => {
+                        let round = st.ri_round + 1;
+                        st.ri_pending.push(RiPending {
+                            id,
+                            from,
+                            index,
+                            round,
+                        });
+                        self.ri_start_round(&mut st);
+                    }
+                }
+            }
+            RaftMsg::ReadIndexResp {
+                id,
+                index,
+                ok,
+                hint,
+            } => {
+                if let Some(tx) = st.ri_waiters.remove(&id) {
+                    let _ = tx.send(if ok {
+                        Ok(index)
+                    } else {
+                        Err(FsError::NotLeader(hint))
+                    });
+                }
+            }
+            RaftMsg::ReadIndexHeartbeat { term, round } => {
+                if term > st.term || (term == st.term && st.role == Role::Candidate) {
+                    self.become_follower(&mut st, term, Some(from));
+                }
+                let ok = term == st.term && st.role != Role::Leader;
+                if ok {
+                    st.leader_hint = Some(from);
+                    st.election_deadline = now + rand_timeout(&self.config);
+                }
+                self.send_one(
+                    from,
+                    RaftMsg::ReadIndexAck {
+                        term: st.term,
+                        round,
+                        ok,
+                    },
+                );
+            }
+            RaftMsg::ReadIndexAck { term, round, ok } => {
+                if term > st.term {
+                    self.become_follower(&mut st, term, None);
+                    return;
+                }
+                if !ok || st.role != Role::Leader || term != st.term {
+                    return;
+                }
+                let mut hit = false;
+                if let Some((r, acks)) = &mut st.ri_inflight {
+                    if *r == round {
+                        acks.insert(from);
+                        hit = true;
+                    }
+                }
+                if hit {
+                    self.ri_try_complete(&mut st);
+                }
+            }
         }
     }
 
@@ -556,6 +818,7 @@ impl<S: StateMachine> RaftNode<S> {
     }
 
     fn apply_committed(&self, st: &mut NodeState) {
+        let applied_before = st.applied;
         while st.applied < st.commit {
             st.applied += 1;
             let index = st.applied;
@@ -573,6 +836,10 @@ impl<S: StateMachine> RaftNode<S> {
                 };
                 let _ = tx.send(result);
             }
+        }
+        if st.applied > applied_before {
+            // ReadIndex readers block on the applied index; wake them.
+            self.wake.notify_all();
         }
     }
 }

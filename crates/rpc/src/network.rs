@@ -287,6 +287,7 @@ impl Network {
         }
         lat.wait(self.conn_entropy(from, to));
         self.inner.stats.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.count_call_class(payload);
         self.inner
             .stats
             .bytes

@@ -21,6 +21,15 @@ pub struct NetStats {
     pub unreachable: AtomicU64,
     /// Total payload bytes moved (requests + responses + one-ways).
     pub bytes: AtomicU64,
+    /// Completed calls on the Raft channel ([`crate::mux::CH_RAFT`]).
+    pub calls_raft: AtomicU64,
+    /// Completed calls on the application channel ([`crate::mux::CH_APP`]).
+    /// Application reads/resolves travel here, so an `calls_app` delta over a
+    /// measurement window divided by the operation count is the hops-per-op
+    /// figure the resolution benches report.
+    pub calls_app: AtomicU64,
+    /// Completed calls on the transaction channel ([`crate::mux::CH_TXN`]).
+    pub calls_txn: AtomicU64,
 }
 
 /// A point-in-time copy of [`NetStats`].
@@ -36,6 +45,12 @@ pub struct NetSnapshot {
     pub unreachable: u64,
     /// Total payload bytes moved.
     pub bytes: u64,
+    /// Completed calls on the Raft channel.
+    pub calls_raft: u64,
+    /// Completed calls on the application channel.
+    pub calls_app: u64,
+    /// Completed calls on the transaction channel.
+    pub calls_txn: u64,
 }
 
 impl NetStats {
@@ -48,7 +63,21 @@ impl NetStats {
             dropped: self.dropped.load(Ordering::Relaxed),
             unreachable: self.unreachable.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            calls_raft: self.calls_raft.load(Ordering::Relaxed),
+            calls_app: self.calls_app.load(Ordering::Relaxed),
+            calls_txn: self.calls_txn.load(Ordering::Relaxed),
         }
+    }
+
+    /// Credits one completed call to the per-channel counter selected by the
+    /// mux channel byte leading `payload` (see [`crate::mux::frame`]).
+    pub(crate) fn count_call_class(&self, payload: &[u8]) {
+        match payload.first() {
+            Some(&crate::mux::CH_RAFT) => self.calls_raft.fetch_add(1, Ordering::Relaxed),
+            Some(&crate::mux::CH_APP) => self.calls_app.fetch_add(1, Ordering::Relaxed),
+            Some(&crate::mux::CH_TXN) => self.calls_txn.fetch_add(1, Ordering::Relaxed),
+            _ => return,
+        };
     }
 }
 
@@ -61,6 +90,9 @@ impl NetSnapshot {
             dropped: self.dropped - earlier.dropped,
             unreachable: self.unreachable - earlier.unreachable,
             bytes: self.bytes - earlier.bytes,
+            calls_raft: self.calls_raft - earlier.calls_raft,
+            calls_app: self.calls_app - earlier.calls_app,
+            calls_txn: self.calls_txn - earlier.calls_txn,
         }
     }
 }
@@ -82,5 +114,22 @@ mod tests {
         assert_eq!(d.calls, 5);
         assert_eq!(d.bytes, 80);
         assert_eq!(d.oneways, 0);
+    }
+
+    #[test]
+    fn per_class_counters_follow_the_channel_byte() {
+        let stats = NetStats::default();
+        stats.count_call_class(&[crate::mux::CH_APP, 1, 2]);
+        stats.count_call_class(&[crate::mux::CH_APP]);
+        stats.count_call_class(&[crate::mux::CH_RAFT, 9]);
+        stats.count_call_class(&[crate::mux::CH_TXN, 9]);
+        stats.count_call_class(&[0xff, 9]); // unknown channel: uncounted
+        stats.count_call_class(&[]);
+        let s = stats.snapshot();
+        assert_eq!(s.calls_app, 2);
+        assert_eq!(s.calls_raft, 1);
+        assert_eq!(s.calls_txn, 1);
+        let d = s.delta(&NetSnapshot::default());
+        assert_eq!(d.calls_app, 2);
     }
 }

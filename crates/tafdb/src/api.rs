@@ -62,6 +62,29 @@ pub enum TafRequest {
     /// Migration control: replicate the inner command (must be one of the
     /// `Mig*` [`ShardCmd`]s) through the shard's Raft group.
     MigCtl(ShardCmd),
+    /// Batched path resolution: starting at directory `start`, walk as many
+    /// of `comps` as this shard owns in one RPC. The response reports the
+    /// steps resolved plus either completion or a cursor for the caller to
+    /// continue on the next shard (paper §4.2's pruned lookup path: one
+    /// critical-section entry per shard instead of one per component).
+    ResolvePrefix {
+        /// Directory the first component is looked up in.
+        start: InodeId,
+        /// Remaining path components, first one resolved against `start`.
+        comps: Vec<String>,
+        /// First id of the range the client believes this shard owns
+        /// (inclusive). Shards have no authoritative copy of the partition
+        /// map, so the walk trusts the client's view and stops with a
+        /// `Continue` cursor once it steps outside `[lo, hi]`; ranges the
+        /// shard donated away are still refused server-side.
+        lo: u64,
+        /// Last believed-owned id (inclusive).
+        hi: u64,
+    },
+    /// Serve the wrapped read (`Get`/`Scan`/`ResolvePrefix`) on whichever
+    /// replica receives it, after a ReadIndex confirmation round with the
+    /// group's leader (linearizable follower read).
+    ReadIndex(Box<TafRequest>),
 }
 
 impl Encode for TafRequest {
@@ -116,6 +139,22 @@ impl Encode for TafRequest {
                 buf.push(9);
                 cmd.encode(buf);
             }
+            TafRequest::ResolvePrefix {
+                start,
+                comps,
+                lo,
+                hi,
+            } => {
+                buf.push(10);
+                start.encode(buf);
+                comps.encode(buf);
+                lo.encode(buf);
+                hi.encode(buf);
+            }
+            TafRequest::ReadIndex(inner) => {
+                buf.push(11);
+                inner.encode(buf);
+            }
         }
     }
 }
@@ -147,6 +186,13 @@ impl Decode for TafRequest {
                 hi: u64::decode(input)?,
             },
             9 => TafRequest::MigCtl(ShardCmd::decode(input)?),
+            10 => TafRequest::ResolvePrefix {
+                start: InodeId::decode(input)?,
+                comps: Vec::<String>::decode(input)?,
+                lo: u64::decode(input)?,
+                hi: u64::decode(input)?,
+            },
+            11 => TafRequest::ReadIndex(Box::new(TafRequest::decode(input)?)),
             t => return Err(DecodeError::InvalidTag(t)),
         })
     }
@@ -179,6 +225,114 @@ impl Decode for DirEntry {
     }
 }
 
+/// One resolved component of a [`TafRequest::ResolvePrefix`] walk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResolveStep {
+    /// Inode the component resolved to.
+    pub ino: InodeId,
+    /// Its file type.
+    pub ftype: cfs_types::FileType,
+    /// Generation of the *parent* directory the component was looked up in,
+    /// at lookup time. Clients key dentry-cache entries on this so a later
+    /// mutation of the directory (which bumps its generation) invalidates
+    /// exactly that directory's cached entries.
+    pub gen: u64,
+}
+
+impl EncodeListItem for ResolveStep {}
+
+impl Encode for ResolveStep {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.ino.encode(buf);
+        self.ftype.encode(buf);
+        self.gen.encode(buf);
+    }
+}
+
+impl Decode for ResolveStep {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(ResolveStep {
+            ino: InodeId::decode(input)?,
+            ftype: cfs_types::FileType::decode(input)?,
+            gen: u64::decode(input)?,
+        })
+    }
+}
+
+/// How a [`TafRequest::ResolvePrefix`] walk ended.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ResolveEnd {
+    /// Every component resolved; the last element of `steps` is the target.
+    Done,
+    /// The walk left this shard's key range: the caller continues with the
+    /// unresolved suffix of its component list (starting after `steps.len()`
+    /// resolved components) at the last resolved inode — or at `start`
+    /// itself when the first component's directory already lives elsewhere.
+    Continue,
+    /// The walk failed at component `steps.len()`.
+    Err {
+        /// Why it failed (`NotFound` for a missing entry, `NotDir` for a
+        /// non-directory with components left to walk).
+        err: FsError,
+        /// Generation of the directory the failing component was looked up
+        /// in (supports negative dentry caching on `NotFound`).
+        gen: u64,
+    },
+}
+
+impl Encode for ResolveEnd {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ResolveEnd::Done => buf.push(0),
+            ResolveEnd::Continue => buf.push(1),
+            ResolveEnd::Err { err, gen } => {
+                buf.push(2);
+                err.encode(buf);
+                gen.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for ResolveEnd {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(match u8::decode(input)? {
+            0 => ResolveEnd::Done,
+            1 => ResolveEnd::Continue,
+            2 => ResolveEnd::Err {
+                err: FsError::decode(input)?,
+                gen: u64::decode(input)?,
+            },
+            t => return Err(DecodeError::InvalidTag(t)),
+        })
+    }
+}
+
+/// Result of a [`TafRequest::ResolvePrefix`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Resolved {
+    /// One entry per component resolved on this shard, in walk order.
+    pub steps: Vec<ResolveStep>,
+    /// Why the walk stopped.
+    pub end: ResolveEnd,
+}
+
+impl Encode for Resolved {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.steps.encode(buf);
+        self.end.encode(buf);
+    }
+}
+
+impl Decode for Resolved {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Resolved {
+            steps: Vec::<ResolveStep>::decode(input)?,
+            end: ResolveEnd::decode(input)?,
+        })
+    }
+}
+
 /// Responses to [`TafRequest`]s.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TafResponse {
@@ -206,6 +360,8 @@ pub enum TafResponse {
     /// A balanced split point, `None` when the range holds too few keys to
     /// split.
     SplitAt(Option<u64>),
+    /// Result of a `ResolvePrefix`.
+    Resolved(Resolved),
 }
 
 impl Encode for TafResponse {
@@ -245,6 +401,10 @@ impl Encode for TafResponse {
                 buf.push(8);
                 at.encode(buf);
             }
+            TafResponse::Resolved(r) => {
+                buf.push(9);
+                r.encode(buf);
+            }
         }
     }
 }
@@ -264,6 +424,7 @@ impl Decode for TafResponse {
             },
             7 => TafResponse::Tail(Vec::<WriteOp>::decode(input)?),
             8 => TafResponse::SplitAt(Option::<u64>::decode(input)?),
+            9 => TafResponse::Resolved(Resolved::decode(input)?),
             t => return Err(DecodeError::InvalidTag(t)),
         })
     }
@@ -699,9 +860,67 @@ mod tests {
             },
             TafRequest::SplitPoint { lo: 0, hi: 99 },
             TafRequest::MigCtl(ShardCmd::MigStart { lo: 10, hi: 20 }),
+            TafRequest::ResolvePrefix {
+                start: InodeId(1),
+                comps: vec!["usr".into(), "lib".into(), "libc.so".into()],
+                lo: 0,
+                hi: u64::MAX,
+            },
+            TafRequest::ResolvePrefix {
+                start: InodeId(77),
+                comps: vec![],
+                lo: 50,
+                hi: 99,
+            },
+            TafRequest::ReadIndex(Box::new(TafRequest::Get(Key::attr(InodeId(6))))),
+            TafRequest::ReadIndex(Box::new(TafRequest::ResolvePrefix {
+                start: InodeId(1),
+                comps: vec!["etc".into()],
+                lo: 0,
+                hi: 7,
+            })),
         ];
         for r in reqs {
             assert_eq!(TafRequest::from_bytes(&r.to_bytes()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn resolve_messages_round_trip() {
+        let resps = vec![
+            TafResponse::Resolved(Resolved {
+                steps: vec![
+                    ResolveStep {
+                        ino: InodeId(2),
+                        ftype: FileType::Dir,
+                        gen: 3,
+                    },
+                    ResolveStep {
+                        ino: InodeId(9),
+                        ftype: FileType::File,
+                        gen: 0,
+                    },
+                ],
+                end: ResolveEnd::Done,
+            }),
+            TafResponse::Resolved(Resolved {
+                steps: vec![ResolveStep {
+                    ino: InodeId(4),
+                    ftype: FileType::Dir,
+                    gen: 11,
+                }],
+                end: ResolveEnd::Continue,
+            }),
+            TafResponse::Resolved(Resolved {
+                steps: vec![],
+                end: ResolveEnd::Err {
+                    err: FsError::NotFound,
+                    gen: 7,
+                },
+            }),
+        ];
+        for r in resps {
+            assert_eq!(TafResponse::from_bytes(&r.to_bytes()).unwrap(), r);
         }
     }
 

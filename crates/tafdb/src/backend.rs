@@ -110,25 +110,55 @@ struct AppService {
     locks: Arc<LockManager>,
 }
 
+/// Evaluates one read-only request against the shard state machine. Shared
+/// by the leader-local read path and the ReadIndex follower-read path so
+/// both enforce the same ownership checks.
+fn serve_read(sm: &TafShard, req: &TafRequest) -> TafResponse {
+    // Simulated read service time accrues on whichever replica serves the
+    // request — the quantity ReadIndex follower reads spread over the group.
+    sm.charge_read();
+    match req {
+        TafRequest::Get(key) => match sm.check_owner(key.kid.raw()) {
+            Ok(()) => TafResponse::Record(sm.get(key)),
+            Err(e) => TafResponse::Err(e),
+        },
+        TafRequest::Scan { dir, after, limit } => match sm.check_owner(dir.raw()) {
+            Ok(()) => TafResponse::Entries(sm.scan(*dir, after.as_deref(), *limit as usize)),
+            Err(e) => TafResponse::Err(e),
+        },
+        TafRequest::ResolvePrefix {
+            start,
+            comps,
+            lo,
+            hi,
+        } => match sm.resolve_prefix(*start, comps, *lo, *hi) {
+            Ok(r) => TafResponse::Resolved(r),
+            Err(e) => TafResponse::Err(e),
+        },
+        _ => TafResponse::Err(FsError::Invalid(
+            "ReadIndex wraps only Get/Scan/ResolvePrefix".into(),
+        )),
+    }
+}
+
 impl AppService {
     fn process(&self, req: TafRequest) -> TafResponse {
         match req {
-            TafRequest::Get(key) => {
-                match self
-                    .node
-                    .read(|sm| sm.check_owner(key.kid.raw()).map(|()| sm.get(&key)))
-                {
-                    Ok(Ok(rec)) => TafResponse::Record(rec),
-                    Ok(Err(e)) | Err(e) => TafResponse::Err(e),
+            req @ (TafRequest::Get(_)
+            | TafRequest::Scan { .. }
+            | TafRequest::ResolvePrefix { .. }) => {
+                match self.node.read(|sm| serve_read(sm, &req)) {
+                    Ok(resp) => resp,
+                    Err(e) => TafResponse::Err(e),
                 }
             }
-            TafRequest::Scan { dir, after, limit } => {
-                match self.node.read(|sm| {
-                    sm.check_owner(dir.raw())
-                        .map(|()| sm.scan(dir, after.as_deref(), limit as usize))
-                }) {
-                    Ok(Ok(entries)) => TafResponse::Entries(entries),
-                    Ok(Err(e)) | Err(e) => TafResponse::Err(e),
+            TafRequest::ReadIndex(inner) => {
+                // Any replica may serve this: the node first obtains the
+                // leader's commit index through a confirmation round, waits
+                // until it has applied that far, then reads locally.
+                match self.node.read_index(|sm| serve_read(sm, &inner)) {
+                    Ok(resp) => resp,
+                    Err(e) => TafResponse::Err(e),
                 }
             }
             TafRequest::Execute(prim) => {

@@ -8,10 +8,25 @@ use cfs_rpc::Network;
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{FsError, FsResult, InodeId, Key, NodeId, Record, ShardId};
 
-use crate::api::{DirEntry, TafRequest, TafResponse, TxnRequest, TxnResponse};
+use crate::api::{DirEntry, Resolved, TafRequest, TafResponse, TxnRequest, TxnResponse};
 use crate::primitive::{PrimResult, Primitive};
 use crate::router::{MapSource, PartitionMap};
 use crate::shard::ShardMetricsSnapshot;
+
+/// Which replicas may serve this client's reads (resolves, gets, scans).
+/// Writes always go through the shard leader regardless.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ReadConsistency {
+    /// Reads go to the shard leader and are served from its local state
+    /// (the seed behavior).
+    #[default]
+    LeaderOnly,
+    /// Reads round-robin over all replicas; each replica confirms the
+    /// leader's commit index through a ReadIndex round and waits until it
+    /// has applied that far before answering. Linearizable, and the read
+    /// CPU/IO cost spreads over the whole group.
+    ReadIndex,
+}
 
 /// A TafDB client handle: routes requests to the owning shard's leader using
 /// the cached partition map (part of *client-side metadata resolving*,
@@ -26,6 +41,8 @@ pub struct TafDbClient {
     map_source: Option<Arc<dyn MapSource>>,
     /// Per-request retry budget for leader discovery.
     retry_timeout: Duration,
+    /// Which replicas serve this client's reads.
+    consistency: ReadConsistency,
 }
 
 impl TafDbClient {
@@ -37,6 +54,7 @@ impl TafDbClient {
             pmap,
             map_source: None,
             retry_timeout: Duration::from_secs(10),
+            consistency: ReadConsistency::default(),
         }
     }
 
@@ -45,6 +63,17 @@ impl TafDbClient {
     pub fn with_map_source(mut self, source: Arc<dyn MapSource>) -> TafDbClient {
         self.map_source = Some(source);
         self
+    }
+
+    /// Selects which replicas serve this client's reads.
+    pub fn with_consistency(mut self, consistency: ReadConsistency) -> TafDbClient {
+        self.consistency = consistency;
+        self
+    }
+
+    /// The configured read consistency.
+    pub fn consistency(&self) -> ReadConsistency {
+        self.consistency
     }
 
     /// The partition map (shared with other client components).
@@ -141,6 +170,46 @@ impl TafDbClient {
         }
     }
 
+    /// Issues the read-only `req` to `shard` under the configured
+    /// consistency: `LeaderOnly` follows the leader-discovery path, while
+    /// `ReadIndex` wraps the request and round-robins it over all replicas
+    /// (each replica proves freshness against the leader before answering).
+    pub fn read_request(&self, shard: ShardId, req: &TafRequest) -> FsResult<TafResponse> {
+        match self.consistency {
+            ReadConsistency::LeaderOnly => self.request(shard, req),
+            ReadConsistency::ReadIndex => {
+                let wrapped = TafRequest::ReadIndex(Box::new(req.clone()));
+                let payload = frame(CH_APP, &wrapped.to_bytes());
+                let deadline = Instant::now() + self.retry_timeout;
+                loop {
+                    let target = self.pmap.read_target(shard);
+                    // A replica that cannot confirm against the leader (no
+                    // leader known, or deposed mid-round) answers NotLeader;
+                    // the round-robin simply moves on to the next replica.
+                    let mut backoff = true;
+                    match self.net.call(self.me, target, &payload) {
+                        Ok(bytes) => match TafResponse::from_bytes(&bytes)? {
+                            TafResponse::Err(FsError::NotLeader(_)) => backoff = false,
+                            TafResponse::Err(FsError::WrongShard(epoch)) => {
+                                return Err(FsError::WrongShard(epoch))
+                            }
+                            TafResponse::Err(e) if e.is_retryable() => {}
+                            resp => return Ok(resp),
+                        },
+                        Err(FsError::Timeout) => {}
+                        Err(e) => return Err(e),
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(FsError::Timeout);
+                    }
+                    if backoff {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                }
+            }
+        }
+    }
+
     /// Issues an interactive-transaction request to the leader of `shard`.
     pub fn txn_request(&self, shard: ShardId, req: &TxnRequest) -> FsResult<TxnResponse> {
         let payload = frame(CH_TXN, &req.to_bytes());
@@ -177,7 +246,7 @@ impl TafDbClient {
     /// Point read of one record.
     pub fn get(&self, key: &Key) -> FsResult<Option<Record>> {
         self.with_routing(key.kid, |c, shard| {
-            match c.request(shard, &TafRequest::Get(key.clone()))? {
+            match c.read_request(shard, &TafRequest::Get(key.clone()))? {
                 TafResponse::Record(rec) => Ok(rec),
                 TafResponse::Err(e) => Err(e),
                 other => Err(unexpected(other)),
@@ -188,7 +257,7 @@ impl TafDbClient {
     /// Ordered listing of a directory's children.
     pub fn scan(&self, dir: InodeId, after: Option<String>, limit: u32) -> FsResult<Vec<DirEntry>> {
         self.with_routing(dir, |c, shard| {
-            match c.request(
+            match c.read_request(
                 shard,
                 &TafRequest::Scan {
                     dir,
@@ -197,6 +266,29 @@ impl TafDbClient {
                 },
             )? {
                 TafResponse::Entries(es) => Ok(es),
+                TafResponse::Err(e) => Err(e),
+                other => Err(unexpected(other)),
+            }
+        })
+    }
+
+    /// Batched path walk: resolves the longest prefix of `comps` that the
+    /// shard owning `start` holds, in a single RPC. The caller inspects the
+    /// returned [`Resolved`] to continue on the next shard (see
+    /// [`crate::api::ResolveEnd::Continue`]).
+    pub fn resolve_prefix(&self, start: InodeId, comps: &[String]) -> FsResult<Resolved> {
+        self.with_routing(start, |c, shard| {
+            let (lo, hi) = c.pmap.range_of(shard);
+            match c.read_request(
+                shard,
+                &TafRequest::ResolvePrefix {
+                    start,
+                    comps: comps.to_vec(),
+                    lo,
+                    hi,
+                },
+            )? {
+                TafResponse::Resolved(r) => Ok(r),
                 TafResponse::Err(e) => Err(e),
                 other => Err(unexpected(other)),
             }
@@ -434,6 +526,74 @@ mod tests {
         client
             .txn_request(shard, &TxnRequest::Abort { txn: 43 })
             .unwrap();
+        for g in &groups {
+            g.shutdown();
+        }
+    }
+
+    #[test]
+    fn resolve_prefix_crosses_shards_with_cursor() {
+        let (_net, groups, client) = boot();
+        // Directory "a" gets an id in shard 1's range; its child file "f"
+        // has its id record under dir `a`, so it also lives on shard 1.
+        let big = u64::MAX / 2 + 10;
+        client
+            .put(
+                Key::entry(ROOT_INODE, "a"),
+                Record::id_record(InodeId(big), FileType::Dir),
+            )
+            .unwrap();
+        client
+            .put(
+                Key::attr(InodeId(big)),
+                Record::dir_attr_record(0, Timestamp(2)),
+            )
+            .unwrap();
+        client
+            .put(
+                Key::entry(InodeId(big), "f"),
+                Record::id_record(InodeId(7), FileType::File),
+            )
+            .unwrap();
+        let comps = vec!["a".to_string(), "f".to_string()];
+        // Hop 1: shard 0 resolves "a" and hands back a cursor.
+        let r = client.resolve_prefix(ROOT_INODE, &comps).unwrap();
+        assert_eq!(r.steps.len(), 1);
+        assert_eq!(r.steps[0].ino, InodeId(big));
+        assert_eq!(r.end, crate::api::ResolveEnd::Continue);
+        // Hop 2: shard 1 finishes the walk.
+        let r2 = client.resolve_prefix(InodeId(big), &comps[1..]).unwrap();
+        assert_eq!(r2.steps.len(), 1);
+        assert_eq!(r2.steps[0].ino, InodeId(7));
+        assert_eq!(r2.end, crate::api::ResolveEnd::Done);
+        for g in &groups {
+            g.shutdown();
+        }
+    }
+
+    #[test]
+    fn read_index_client_reads_its_own_writes_from_any_replica() {
+        let (net, groups, client) = boot();
+        client.execute(create_prim(ROOT_INODE, "fresh", 9)).unwrap();
+        let reader = TafDbClient::new(
+            Arc::clone(&net),
+            NodeId(998),
+            Arc::clone(client.partition_map()),
+        )
+        .with_consistency(ReadConsistency::ReadIndex);
+        // Reads rotate over all three replicas; every one of them must see
+        // the committed write thanks to the ReadIndex confirmation.
+        for _ in 0..6 {
+            let rec = reader.get(&Key::entry(ROOT_INODE, "fresh")).unwrap();
+            assert_eq!(rec.unwrap().id, Some(InodeId(9)));
+        }
+        let entries = reader.scan(ROOT_INODE, None, 10).unwrap();
+        assert_eq!(entries.len(), 1);
+        let r = reader
+            .resolve_prefix(ROOT_INODE, &["fresh".to_string()])
+            .unwrap();
+        assert_eq!(r.end, crate::api::ResolveEnd::Done);
+        assert_eq!(r.steps[0].ino, InodeId(9));
         for g in &groups {
             g.shutdown();
         }

@@ -32,9 +32,9 @@ pub mod router;
 pub mod shard;
 pub mod tserver;
 
-pub use api::{TafRequest, TafResponse};
+pub use api::{ResolveEnd, ResolveStep, Resolved, TafRequest, TafResponse};
 pub use backend::TafBackendGroup;
-pub use client::TafDbClient;
+pub use client::{ReadConsistency, TafDbClient};
 pub use primitive::{PrimResult, Primitive, UpdateSpec};
 pub use router::PartitionMap;
 pub use shard::{ShardMetrics, TafShard};

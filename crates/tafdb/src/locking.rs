@@ -65,8 +65,14 @@ impl LockManager {
 
     /// Acquires the exclusive lock on `key` for `txn`, blocking while another
     /// transaction holds it. Re-acquisition by the owner is a no-op.
+    ///
+    /// Contended waiters sleep on the condvar until [`Self::release_all`]
+    /// notifies them (or the deadline passes) — no polling slices, so a
+    /// release wakes its waiters immediately instead of after a fraction of
+    /// the timeout.
     pub fn acquire(&self, txn: u64, key: &Key) -> FsResult<()> {
         let start = Instant::now();
+        let deadline = start + self.wait_timeout;
         let mut table = self.table.lock();
         let mut contended = false;
         loop {
@@ -95,13 +101,13 @@ impl LockManager {
                 }
                 Some(_) => {
                     contended = true;
-                    if start.elapsed() >= self.wait_timeout {
+                    if Instant::now() >= deadline {
                         self.metrics
                             .lock_wait_ns
                             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                         return Err(FsError::Busy);
                     }
-                    self.released.wait_for(&mut table, self.wait_timeout / 16);
+                    self.released.wait_until(&mut table, deadline);
                 }
             }
         }
@@ -141,16 +147,16 @@ impl LockManager {
     /// finish. With no distributed transaction in flight — the common case —
     /// this is a single uncontended map probe.
     pub fn wait_until_free(&self, keys: &[Key]) -> FsResult<()> {
-        let start = Instant::now();
+        let deadline = Instant::now() + self.wait_timeout;
         let mut table = self.table.lock();
         loop {
             if keys.iter().all(|k| !table.owners.contains_key(k)) {
                 return Ok(());
             }
-            if start.elapsed() >= self.wait_timeout {
+            if Instant::now() >= deadline {
                 return Err(FsError::Busy);
             }
-            self.released.wait_for(&mut table, self.wait_timeout / 16);
+            self.released.wait_until(&mut table, deadline);
         }
     }
 }
@@ -321,6 +327,29 @@ mod tests {
         assert_eq!(lm.locked_rows(), 1);
         // Txn 3 can now take txn 1's old rows.
         lm.acquire(3, &Key::attr(InodeId(1))).unwrap();
+    }
+
+    #[test]
+    fn release_wakes_contended_waiter_promptly() {
+        let lm = Arc::new(LockManager::new(Arc::new(ShardMetrics::default())));
+        let key = Key::attr(InodeId(3));
+        lm.acquire(1, &key).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let k2 = key.clone();
+        let waiter = std::thread::spawn(move || {
+            lm2.acquire(2, &k2).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(40));
+        let released_at = Instant::now();
+        lm.release_all(1, None);
+        waiter.join().unwrap();
+        // The condvar notify must hand the lock over immediately — far
+        // sooner than any slice of the 10s default timeout.
+        assert!(
+            released_at.elapsed() < Duration::from_millis(100),
+            "wake-up took {:?}",
+            released_at.elapsed()
+        );
     }
 
     #[test]

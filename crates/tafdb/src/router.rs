@@ -223,6 +223,9 @@ struct Inner {
     /// Cached leader index per shard id, updated from redirect hints and
     /// carried across installs.
     hints: HashMap<ShardId, Arc<AtomicU32>>,
+    /// Round-robin cursor per shard for load-balanced follower reads
+    /// (ReadIndex consistency spreads read traffic over all replicas).
+    read_rr: HashMap<ShardId, Arc<AtomicU32>>,
 }
 
 impl Inner {
@@ -249,8 +252,17 @@ impl PartitionMap {
             .iter()
             .map(|r| (r.info.id, Arc::new(AtomicU32::new(0))))
             .collect();
+        let read_rr = version
+            .shards
+            .iter()
+            .map(|r| (r.info.id, Arc::new(AtomicU32::new(0))))
+            .collect();
         PartitionMap {
-            inner: RwLock::new(Inner { version, hints }),
+            inner: RwLock::new(Inner {
+                version,
+                hints,
+                read_rr,
+            }),
         }
     }
 
@@ -286,8 +298,21 @@ impl PartitionMap {
                 (r.info.id, hint)
             })
             .collect();
+        let read_rr = version
+            .shards
+            .iter()
+            .map(|r| {
+                let rr = inner
+                    .read_rr
+                    .get(&r.info.id)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::new(AtomicU32::new(0)));
+                (r.info.id, rr)
+            })
+            .collect();
         inner.version = version;
         inner.hints = hints;
+        inner.read_rr = read_rr;
         true
     }
 
@@ -341,6 +366,15 @@ impl PartitionMap {
     /// not answer).
     pub fn rotate_hint(&self, shard: ShardId) {
         self.inner.read().hints[&shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The next replica of `shard` in read round-robin order, spreading
+    /// ReadIndex read traffic evenly over the group.
+    pub fn read_target(&self, shard: ShardId) -> NodeId {
+        let inner = self.inner.read();
+        let replicas = &inner.slot(shard).info.replicas;
+        let idx = inner.read_rr[&shard].fetch_add(1, Ordering::Relaxed) as usize;
+        replicas[idx % replicas.len()]
     }
 
     /// All shards, in range order.
@@ -416,6 +450,25 @@ mod tests {
         m.note_leader(ShardId(1), NodeId(12));
         assert_eq!(m.leader_hint(ShardId(1)), NodeId(12));
         m.rotate_hint(ShardId(1));
+        assert_eq!(m.leader_hint(ShardId(1)), NodeId(10));
+    }
+
+    #[test]
+    fn read_target_round_robins_over_replicas() {
+        let m = map(2);
+        let first: Vec<NodeId> = (0..6).map(|_| m.read_target(ShardId(1))).collect();
+        assert_eq!(
+            first,
+            vec![
+                NodeId(10),
+                NodeId(11),
+                NodeId(12),
+                NodeId(10),
+                NodeId(11),
+                NodeId(12)
+            ]
+        );
+        // Rotating reads does not disturb the leader hint.
         assert_eq!(m.leader_hint(ShardId(1)), NodeId(10));
     }
 

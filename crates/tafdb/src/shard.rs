@@ -11,8 +11,9 @@ use cfs_types::codec::{Decode, DecodeError, Encode};
 use cfs_types::{FsError, FsResult, InodeId, Key, Record};
 use parking_lot::Mutex;
 
-use crate::api::{DirEntry, ShardCmd, TafResponse};
+use crate::api::{DirEntry, ResolveEnd, ResolveStep, Resolved, ShardCmd, TafResponse};
 use crate::primitive::{self, PrimResult, Primitive, RecordStore};
+use cfs_types::FileType;
 
 /// Instrumentation counters of one shard (paper Figure 4's breakdown needs
 /// lock wait/hold times; §5 reports executed-primitive counts).
@@ -203,24 +204,50 @@ pub struct TafShard {
     cdc: cfs_wal::Wal,
     /// Migration state (replicated through `ShardCmd`s).
     mig: Mutex<MigState>,
+    /// Per-directory generation numbers, bumped whenever a replicated write
+    /// touches the directory's entry keys. Piggybacked on resolve responses
+    /// so clients can invalidate exactly the stale directory's dentries.
+    /// Bumps happen in the replicated apply funnel ([`Self::commit_batch`]),
+    /// so every replica of the shard derives the same sequence.
+    dir_gens: Mutex<HashMap<u64, u64>>,
     /// Simulated storage service time per committed batch (see
     /// [`KvConfig::apply_cost`]); the shard sleeps this long in its apply
     /// path so per-shard write capacity is bounded in simulated time.
     apply_cost: std::time::Duration,
+    /// Simulated service time per read request (see [`KvConfig::read_cost`]).
+    read_cost: std::time::Duration,
+    /// Serializes simulated read service on this replica: each replica is
+    /// one read-capacity unit, so spreading reads over followers (ReadIndex)
+    /// multiplies a group's aggregate read throughput.
+    read_gate: Mutex<()>,
 }
 
 impl TafShard {
     /// Creates a shard over an LSM store with the given config.
     pub fn new(kv_config: KvConfig) -> FsResult<TafShard> {
         let apply_cost = kv_config.apply_cost;
+        let read_cost = kv_config.read_cost;
         Ok(TafShard {
             kv: KvStore::with_config(kv_config)?,
             prepared: Mutex::new(HashMap::new()),
             metrics: Arc::new(ShardMetrics::default()),
             cdc: cfs_wal::Wal::new_in_memory(),
             mig: Mutex::new(MigState::default()),
+            dir_gens: Mutex::new(HashMap::new()),
             apply_cost,
+            read_cost,
+            read_gate: Mutex::new(()),
         })
+    }
+
+    /// Charges one simulated read service slot on this replica (no-op when
+    /// [`KvConfig::read_cost`] is zero). Called once per client read request
+    /// by the serving replica.
+    pub fn charge_read(&self) {
+        if !self.read_cost.is_zero() {
+            let _gate = self.read_gate.lock();
+            std::thread::sleep(self.read_cost);
+        }
     }
 
     /// The logical change stream (CDC) of this shard.
@@ -276,6 +303,96 @@ impl TafShard {
             .collect()
     }
 
+    /// Batched path walk (leader-local or ReadIndex-confirmed): resolves as
+    /// many leading components of `comps` as this shard owns, starting at
+    /// directory `start`. This is the pruned read path — one RPC (and one
+    /// critical-section entry) per shard instead of one per component.
+    ///
+    /// Ownership of the *directory being searched* decides how far the walk
+    /// goes. The shard holds no authoritative partition map, so `[lo, hi]`
+    /// is the client's view of this shard's owned range: a component whose
+    /// parent falls outside it ends the walk with [`ResolveEnd::Continue`]
+    /// (the caller resumes there). Ranges this shard donated away are
+    /// refused server-side ([`Self::check_owner`]) — at step 0 the request
+    /// was mis-routed outright and the error propagates so the client
+    /// refreshes its map.
+    pub fn resolve_prefix(
+        &self,
+        start: InodeId,
+        comps: &[String],
+        lo: u64,
+        hi: u64,
+    ) -> FsResult<Resolved> {
+        let mut steps: Vec<ResolveStep> = Vec::with_capacity(comps.len());
+        let mut cur = start;
+        for (i, comp) in comps.iter().enumerate() {
+            if !(lo <= cur.raw() && cur.raw() <= hi) {
+                if i == 0 {
+                    // The client routed `start` here but its stated range
+                    // disagrees (a map install raced the request). Redirect
+                    // so it re-reads its map and retries coherently.
+                    return Err(FsError::WrongShard(0));
+                }
+                return Ok(Resolved {
+                    steps,
+                    end: ResolveEnd::Continue,
+                });
+            }
+            match self.check_owner(cur.raw()) {
+                Ok(()) => {}
+                Err(e) if i == 0 => return Err(e),
+                Err(_) => {
+                    return Ok(Resolved {
+                        steps,
+                        end: ResolveEnd::Continue,
+                    })
+                }
+            }
+            let gen = self.gen_of(cur.raw());
+            let rec = match self.get(&Key::entry(cur, comp)) {
+                Some(rec) => rec,
+                None => {
+                    return Ok(Resolved {
+                        steps,
+                        end: ResolveEnd::Err {
+                            err: FsError::NotFound,
+                            gen,
+                        },
+                    })
+                }
+            };
+            let (ino, ftype) = match (rec.id, rec.ftype) {
+                (Some(ino), Some(ftype)) => (ino, ftype),
+                _ => {
+                    return Ok(Resolved {
+                        steps,
+                        end: ResolveEnd::Err {
+                            err: FsError::Corrupted(format!("entry {comp:?} has no id record")),
+                            gen,
+                        },
+                    })
+                }
+            };
+            steps.push(ResolveStep { ino, ftype, gen });
+            if i + 1 < comps.len() {
+                if ftype != FileType::Dir {
+                    return Ok(Resolved {
+                        steps,
+                        end: ResolveEnd::Err {
+                            err: FsError::NotDir,
+                            gen,
+                        },
+                    });
+                }
+                cur = ino;
+            }
+        }
+        Ok(Resolved {
+            steps,
+            end: ResolveEnd::Done,
+        })
+    }
+
     /// Returns an error when this shard no longer serves `kid`: the range
     /// was donated away (`WrongShard` with the epoch to catch up to) or is
     /// frozen for cutover (`WrongShard(0)` — retry until the new map lands).
@@ -294,9 +411,31 @@ impl TafShard {
         Ok(())
     }
 
+    /// Current generation of directory `kid` (0 until its first entry write).
+    pub fn gen_of(&self, kid: u64) -> u64 {
+        self.dir_gens.lock().get(&kid).copied().unwrap_or(0)
+    }
+
     /// Commits a batch, recording in-range writes in the migration tail
-    /// while an outbound migration is streaming.
+    /// while an outbound migration is streaming, and bumping the generation
+    /// of every directory whose entry keys the batch touches.
     fn commit_batch(&self, ops: Vec<WriteOp>) -> FsResult<()> {
+        {
+            // An entry (name) key is the 8-byte kid followed by the 0x01
+            // discriminator (see `Key::to_sortable_bytes`); attr-record
+            // writes do not change what names resolve to, so they leave the
+            // generation alone.
+            let mut gens = self.dir_gens.lock();
+            for op in &ops {
+                let k = match op {
+                    WriteOp::Put(k, _) => k,
+                    WriteOp::Delete(k) => k,
+                };
+                if k.get(8) == Some(&0x01) {
+                    *gens.entry(kid_of(k)).or_insert(0) += 1;
+                }
+            }
+        }
         {
             let mut mig = self.mig.lock();
             if let Some(m) = &mut mig.active {
@@ -1010,6 +1149,152 @@ mod tests {
         let m = receiver.metrics().snapshot();
         assert_eq!(m.keys_streamed, n);
         assert_eq!(m.ranges_received, 1);
+    }
+
+    /// Writes the id record of one directory entry (and, for directories,
+    /// the child's attr record) straight through the replicated funnel.
+    fn put_entry(shard: &TafShard, parent: InodeId, name: &str, ino: u64, ftype: FileType) {
+        assert_eq!(
+            shard.apply_cmd(ShardCmd::Put(
+                Key::entry(parent, name),
+                Record::id_record(InodeId(ino), ftype),
+            )),
+            TafResponse::Ok
+        );
+        if ftype == FileType::Dir {
+            assert_eq!(
+                shard.apply_cmd(ShardCmd::Put(
+                    Key::attr(InodeId(ino)),
+                    Record::dir_attr_record(0, Timestamp(1)),
+                )),
+                TafResponse::Ok
+            );
+        }
+    }
+
+    fn chain_shard() -> TafShard {
+        let shard = shard_with_root();
+        put_entry(&shard, cfs_types::ROOT_INODE, "a", 10, FileType::Dir);
+        put_entry(&shard, InodeId(10), "b", 20, FileType::Dir);
+        put_entry(&shard, InodeId(20), "f", 30, FileType::File);
+        shard
+    }
+
+    #[test]
+    fn resolve_prefix_walks_whole_chain_in_one_call() {
+        let shard = chain_shard();
+        let comps = vec!["a".to_string(), "b".to_string(), "f".to_string()];
+        let r = shard
+            .resolve_prefix(cfs_types::ROOT_INODE, &comps, 0, u64::MAX)
+            .unwrap();
+        assert_eq!(r.end, ResolveEnd::Done);
+        let inos: Vec<u64> = r.steps.iter().map(|s| s.ino.raw()).collect();
+        assert_eq!(inos, vec![10, 20, 30]);
+        assert_eq!(r.steps[0].ftype, FileType::Dir);
+        assert_eq!(r.steps[2].ftype, FileType::File);
+        // Each step reports the generation of the directory searched.
+        assert_eq!(r.steps[0].gen, shard.gen_of(cfs_types::ROOT_INODE.raw()));
+        assert_eq!(r.steps[1].gen, shard.gen_of(10));
+    }
+
+    #[test]
+    fn resolve_prefix_reports_not_found_with_parent_gen() {
+        let shard = chain_shard();
+        let comps = vec!["a".to_string(), "nope".to_string(), "x".to_string()];
+        let r = shard
+            .resolve_prefix(cfs_types::ROOT_INODE, &comps, 0, u64::MAX)
+            .unwrap();
+        assert_eq!(r.steps.len(), 1);
+        assert_eq!(
+            r.end,
+            ResolveEnd::Err {
+                err: FsError::NotFound,
+                gen: shard.gen_of(10),
+            }
+        );
+    }
+
+    #[test]
+    fn resolve_prefix_rejects_walking_through_a_file() {
+        let shard = chain_shard();
+        let comps: Vec<String> = ["a", "b", "f", "deeper"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let r = shard
+            .resolve_prefix(cfs_types::ROOT_INODE, &comps, 0, u64::MAX)
+            .unwrap();
+        assert_eq!(r.steps.len(), 3);
+        assert!(matches!(
+            r.end,
+            ResolveEnd::Err {
+                err: FsError::NotDir,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn resolve_prefix_continues_at_shard_boundary_and_propagates_misroute() {
+        let shard = chain_shard();
+        // Donate the range holding dir 20 away; the walk must stop in front
+        // of it with a cursor instead of failing.
+        shard.apply_cmd(ShardCmd::MigStart { lo: 20, hi: 20 });
+        shard.apply_cmd(ShardCmd::MigFreeze { lo: 20, hi: 20 });
+        shard.apply_cmd(ShardCmd::MigFinish {
+            lo: 20,
+            hi: 20,
+            epoch: 2,
+        });
+        let comps = vec!["a".to_string(), "b".to_string(), "f".to_string()];
+        let r = shard
+            .resolve_prefix(cfs_types::ROOT_INODE, &comps, 0, u64::MAX)
+            .unwrap();
+        assert_eq!(r.steps.len(), 2);
+        assert_eq!(r.end, ResolveEnd::Continue);
+        // A walk *starting* in the moved range is a routing error.
+        assert_eq!(
+            shard.resolve_prefix(InodeId(20), &comps[2..], 0, u64::MAX),
+            Err(FsError::WrongShard(2))
+        );
+    }
+
+    #[test]
+    fn resolve_prefix_stops_at_the_clients_stated_range() {
+        let shard = chain_shard();
+        let comps = vec!["a".to_string(), "b".to_string(), "f".to_string()];
+        // The client believes this shard owns [0, 15]: dir 20 is elsewhere,
+        // so the walk yields a cursor after resolving "a" and "b".
+        let r = shard
+            .resolve_prefix(cfs_types::ROOT_INODE, &comps, 0, 15)
+            .unwrap();
+        assert_eq!(r.steps.len(), 2);
+        assert_eq!(r.end, ResolveEnd::Continue);
+        // A start outside the stated range means the client's map raced its
+        // own routing decision; redirect instead of guessing.
+        assert_eq!(
+            shard.resolve_prefix(InodeId(20), &comps[2..], 0, 15),
+            Err(FsError::WrongShard(0))
+        );
+    }
+
+    #[test]
+    fn entry_writes_bump_parent_gen_but_attr_writes_do_not() {
+        let shard = shard_with_root();
+        let g0 = shard.gen_of(cfs_types::ROOT_INODE.raw());
+        put_entry(&shard, cfs_types::ROOT_INODE, "x", 40, FileType::File);
+        let g1 = shard.gen_of(cfs_types::ROOT_INODE.raw());
+        assert!(g1 > g0, "entry write must bump the parent's generation");
+        // Rewriting the directory's own attr record is not a namespace
+        // change and must leave the generation alone.
+        shard.apply_cmd(ShardCmd::Put(
+            Key::attr(cfs_types::ROOT_INODE),
+            Record::dir_attr_record(1, Timestamp(9)),
+        ));
+        assert_eq!(shard.gen_of(cfs_types::ROOT_INODE.raw()), g1);
+        // Deleting the entry bumps again.
+        shard.apply_cmd(ShardCmd::Delete(Key::entry(cfs_types::ROOT_INODE, "x")));
+        assert!(shard.gen_of(cfs_types::ROOT_INODE.raw()) > g1);
     }
 
     #[test]

@@ -74,6 +74,25 @@ fn split_nemesis_sweep_passes_divergence_oracle() {
     );
 }
 
+/// The read-path sweep: the full fault schedule with every client reading
+/// through ReadIndex follower reads and the versioned dentry cache (batched
+/// `ResolvePrefix` walks, negative entries and all). Follower reads are
+/// linearizable and the cache revalidates against piggybacked directory
+/// generations, so the oracle's judgment is identical to the leader-only
+/// sweep: zero divergences allowed.
+#[test]
+fn read_index_nemesis_sweep_passes_divergence_oracle() {
+    let base = seed_from_env().wrapping_add(0x8ead);
+    let count = env_usize("CFS_NEMESIS_SEEDS", 20) as u64;
+    let opts = NemesisOptions {
+        read_index: true,
+        ..NemesisOptions::default()
+    };
+    for seed in base..base + count {
+        check_seed_with(seed, opts);
+    }
+}
+
 /// Reproduction entry point for a single failing seed: run with
 /// `CFS_SIM_SEED=<n> cargo test --test nemesis single_seed_from_env -- --ignored`.
 #[test]
