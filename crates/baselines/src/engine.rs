@@ -87,6 +87,11 @@ pub struct MetaEngine {
     pub(crate) coord: Arc<InodeLocks>,
     /// Data block size.
     pub block_size: u64,
+    /// Time a coordinator spends acquiring remote row locks (the lock phase
+    /// of Figure 3's interactive transaction).
+    coord_lock_ns: Arc<cfs_obs::metrics::Histogram>,
+    /// Time a coordinator spends in commit (single-shard or 2PC).
+    coord_commit_ns: Arc<cfs_obs::metrics::Histogram>,
 }
 
 /// Maximum cached resolutions before clearing.
@@ -113,6 +118,7 @@ impl MetaEngine {
         instance: u64,
         block_size: u64,
     ) -> MetaEngine {
+        let reg = cfs_obs::metrics::node(taf.node().0 as u64);
         MetaEngine {
             config,
             taf,
@@ -122,6 +128,8 @@ impl MetaEngine {
             cache,
             coord,
             block_size,
+            coord_lock_ns: reg.histogram("coord_lock_ns"),
+            coord_commit_ns: reg.histogram("coord_commit_ns"),
         }
     }
 
@@ -263,6 +271,8 @@ impl MetaEngine {
     // ---- interactive transactions ----------------------------------------
 
     fn lock_and_read(&self, txn: u64, key: &Key) -> FsResult<Option<Record>> {
+        let _span = cfs_obs::trace::span("bl.lock_and_read");
+        let _sw = cfs_obs::Stopwatch::start(Arc::clone(&self.coord_lock_ns));
         match self.taf.txn_request(
             self.shard_of(key.kid),
             &TxnRequest::LockAndRead {
@@ -284,6 +294,8 @@ impl MetaEngine {
         writes: Vec<(Key, Option<Record>)>,
         locked_shards: &[ShardId],
     ) -> FsResult<()> {
+        let _span = cfs_obs::trace::span("bl.commit");
+        let _sw = cfs_obs::Stopwatch::start(Arc::clone(&self.coord_commit_ns));
         let mut by_shard: HashMap<ShardId, Vec<(Key, Option<Record>)>> = HashMap::new();
         for (k, r) in writes {
             by_shard

@@ -49,6 +49,28 @@ pub enum ProxyRequest {
     Read(String, u64, u64),
 }
 
+impl ProxyRequest {
+    /// Span name for the root span a baseline client opens per operation
+    /// (mirrors the `fs.*` roots of the CFS client).
+    fn span_name(&self) -> &'static str {
+        match self {
+            ProxyRequest::Create(_) => "bl.create",
+            ProxyRequest::Mkdir(_) => "bl.mkdir",
+            ProxyRequest::Unlink(_) => "bl.unlink",
+            ProxyRequest::Rmdir(_) => "bl.rmdir",
+            ProxyRequest::Lookup(_) => "bl.lookup",
+            ProxyRequest::Getattr(_) => "bl.getattr",
+            ProxyRequest::Setattr(_, _) => "bl.setattr",
+            ProxyRequest::Readdir(_) => "bl.readdir",
+            ProxyRequest::Rename(_, _) => "bl.rename",
+            ProxyRequest::Symlink(_, _) => "bl.symlink",
+            ProxyRequest::Readlink(_) => "bl.readlink",
+            ProxyRequest::Write(_, _, _) => "bl.write",
+            ProxyRequest::Read(_, _, _) => "bl.read",
+        }
+    }
+}
+
 impl Encode for ProxyRequest {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
@@ -369,12 +391,16 @@ impl BaselineFs {
                 proxies,
                 next,
             } => {
+                let _node = cfs_obs::trace::node_scope(me.0 as u64);
+                let _op = cfs_obs::trace::root_span(req.span_name());
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let target = proxies[i % proxies.len()];
                 let resp = net.call(*me, target, &frame(CH_APP, &req.to_bytes()))?;
                 Ok(ProxyResponse::from_bytes(&resp)?)
             }
             FrontEnd::Direct(engine) => {
+                let _node = cfs_obs::trace::node_scope(engine.taf.node().0 as u64);
+                let _op = cfs_obs::trace::root_span(req.span_name());
                 let svc = ProxyService {
                     engine: Arc::clone(engine),
                 };

@@ -74,106 +74,10 @@ pub fn speedup(a: f64, b: f64) -> String {
 // Machine-readable results
 // ---------------------------------------------------------------------------
 
-/// A hand-rolled JSON value (the workspace carries no serde; bench results
-/// are small and flat, so a minimal encoder keeps the dependency surface
-/// unchanged).
-#[derive(Clone, Debug)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// Boolean.
-    Bool(bool),
-    /// Integer (u64 counters).
-    Int(u64),
-    /// Floating point; non-finite values encode as `null`.
-    Num(f64),
-    /// String.
-    Str(String),
-    /// Array.
-    Arr(Vec<Json>),
-    /// Object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience: an object from key/value pairs.
-    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    fn render(&self, out: &mut String, indent: usize) {
-        let pad = |out: &mut String, n: usize| out.push_str(&"  ".repeat(n));
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
-            Json::Num(f) => {
-                if f.is_finite() {
-                    out.push_str(&format!("{f}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for ch in s.chars() {
-                    match ch {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    pad(out, indent + 1);
-                    item.render(out, indent + 1);
-                    if i + 1 < items.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                pad(out, indent);
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push_str("{\n");
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    pad(out, indent + 1);
-                    Json::Str(k.clone()).render(out, indent + 1);
-                    out.push_str(": ");
-                    v.render(out, indent + 1);
-                    if i + 1 < pairs.len() {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                }
-                pad(out, indent);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Renders the value as pretty-printed JSON text.
-    pub fn to_text(&self) -> String {
-        let mut out = String::new();
-        self.render(&mut out, 0);
-        out.push('\n');
-        out
-    }
-}
+/// The hand-rolled JSON emitter every `BENCH_*.json` goes through. It lives
+/// in `cfs-obs` now (metrics snapshots and span dumps share it); re-exported
+/// here so bench targets keep their `cfs_bench::Json` spelling.
+pub use cfs_obs::Json;
 
 /// Condenses one [`cfs_harness::runner::BenchResult`] into the standard
 /// result object: throughput, latency percentiles, op/error counts.

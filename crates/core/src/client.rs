@@ -20,6 +20,8 @@ use cfs_types::{
 };
 use crossbeam::channel::{unbounded, Sender};
 
+use cfs_obs::trace;
+
 use crate::dcache::{CacheLookup, DentryCache};
 use crate::fsapi::{DirEntryInfo, FileSystem};
 use crate::path;
@@ -100,6 +102,16 @@ impl CfsClient {
     /// Direct access to the TS client.
     pub fn ts(&self) -> &TsClient {
         &self.ts
+    }
+
+    /// Opens the observability scope for one [`FileSystem`] operation: a
+    /// fresh trace rooted at this client's node. Every hop the operation
+    /// takes (TafDB shard, Raft commit, FileStore) nests under it via the
+    /// rpc-envelope context propagation.
+    fn op_scope(&self, name: &'static str) -> (trace::NodeScope, trace::SpanGuard) {
+        let node = trace::node_scope(self.taf.node().0 as u64);
+        let span = trace::root_span(name);
+        (node, span)
     }
 
     // ---- resolution -----------------------------------------------------
@@ -311,6 +323,7 @@ impl Drop for CfsClient {
 
 impl FileSystem for CfsClient {
     fn create(&self, p: &str) -> FsResult<InodeId> {
+        let _op = self.op_scope("fs.create");
         let (parent, name) = self.resolve_parent_of(p)?;
         let ino = self.ts.alloc_id()?;
         let ts = self.ts.timestamp()?;
@@ -342,6 +355,7 @@ impl FileSystem for CfsClient {
     }
 
     fn mkdir(&self, p: &str) -> FsResult<InodeId> {
+        let _op = self.op_scope("fs.mkdir");
         let (parent, name) = self.resolve_parent_of(p)?;
         let ino = self.ts.alloc_id()?;
         let ts = self.ts.timestamp()?;
@@ -369,6 +383,7 @@ impl FileSystem for CfsClient {
     }
 
     fn unlink(&self, p: &str) -> FsResult<()> {
+        let _op = self.op_scope("fs.unlink");
         let (parent, name) = self.resolve_parent_of(p)?;
         let ts = self.ts.timestamp()?;
         // Figure 7: deletion unlinks from the namespace first, then removes
@@ -389,6 +404,7 @@ impl FileSystem for CfsClient {
     }
 
     fn rmdir(&self, p: &str) -> FsResult<()> {
+        let _op = self.op_scope("fs.rmdir");
         let (parent, name) = self.resolve_parent_of(p)?;
         let (ino, ftype) = self.resolve_entry(parent, &name)?;
         if ftype != FileType::Dir {
@@ -424,11 +440,13 @@ impl FileSystem for CfsClient {
     }
 
     fn lookup(&self, p: &str) -> FsResult<InodeId> {
+        let _op = self.op_scope("fs.lookup");
         let comps = path::split(p)?;
         Ok(self.resolve_path(&comps)?.0)
     }
 
     fn getattr(&self, p: &str) -> FsResult<Attr> {
+        let _op = self.op_scope("fs.getattr");
         let comps = path::split(p)?;
         let (ino, ftype) = self.resolve_path(&comps)?;
         match ftype {
@@ -456,6 +474,7 @@ impl FileSystem for CfsClient {
     }
 
     fn setattr(&self, p: &str, patch: SetAttrPatch) -> FsResult<()> {
+        let _op = self.op_scope("fs.setattr");
         let comps = path::split(p)?;
         let (ino, ftype) = self.resolve_path(&comps)?;
         let ts = self.ts.timestamp()?;
@@ -511,6 +530,7 @@ impl FileSystem for CfsClient {
     }
 
     fn readdir(&self, p: &str) -> FsResult<Vec<DirEntryInfo>> {
+        let _op = self.op_scope("fs.readdir");
         let comps = path::split(p)?;
         let dir = self.resolve_dir(&comps)?;
         // Confirm it exists as a directory (root always does).
@@ -546,6 +566,7 @@ impl FileSystem for CfsClient {
     }
 
     fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
+        let _op = self.op_scope("fs.rename");
         let (src_parent, src_name) = self.resolve_parent_of(src)?;
         let (dst_parent, dst_name) = self.resolve_parent_of(dst)?;
         if src_parent == dst_parent && src_name == dst_name {
@@ -636,6 +657,7 @@ impl FileSystem for CfsClient {
     }
 
     fn symlink(&self, target: &str, linkpath: &str) -> FsResult<InodeId> {
+        let _op = self.op_scope("fs.symlink");
         let (parent, name) = self.resolve_parent_of(linkpath)?;
         let ino = self.ts.alloc_id()?;
         let ts = self.ts.timestamp()?;
@@ -650,6 +672,7 @@ impl FileSystem for CfsClient {
     }
 
     fn readlink(&self, p: &str) -> FsResult<String> {
+        let _op = self.op_scope("fs.readlink");
         let (parent, name) = self.resolve_parent_of(p)?;
         let rec = self
             .taf
@@ -663,6 +686,7 @@ impl FileSystem for CfsClient {
     }
 
     fn write(&self, p: &str, offset: u64, data: &[u8]) -> FsResult<()> {
+        let _op = self.op_scope("fs.write");
         let (parent, name) = self.resolve_parent_of(p)?;
         let (ino, ftype) = self.resolve_entry(parent, &name)?;
         if ftype == FileType::Dir {
@@ -699,6 +723,7 @@ impl FileSystem for CfsClient {
     }
 
     fn read(&self, p: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
+        let _op = self.op_scope("fs.read");
         let (parent, name) = self.resolve_parent_of(p)?;
         let (ino, ftype) = self.resolve_entry(parent, &name)?;
         if ftype == FileType::Dir {

@@ -31,6 +31,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use cfs_core::{CfsCluster, CfsConfig, FileSystem};
@@ -502,6 +503,9 @@ pub struct NemesisReport {
     pub splits_ok: usize,
     /// First divergence found, if any.
     pub divergence: Option<Divergence>,
+    /// Forensic dump written on divergence: per-node metrics snapshots and
+    /// the trace tree of the diverging operation, alongside the seed.
+    pub dump_path: Option<PathBuf>,
     canonical: String,
 }
 
@@ -555,6 +559,10 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
     );
     let canonical = canonical_log_for(seed, &opts, &schedule);
 
+    // Record every operation's trace so a divergence can be dumped with the
+    // full client → shard → Raft → FileStore span tree of the failing op.
+    cfs_obs::trace::enable();
+
     let cluster = CfsCluster::start(config.clone()).expect("cluster boot");
 
     // Pre-create the per-thread roots before any fault opens.
@@ -569,95 +577,110 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
         .collect();
     let pace_rng = SimRng::from_seed(seed).split(LBL_WORKLOAD);
 
+    // One workload observation: the op's result plus the trace id of the
+    // root span the client opened for it.
+    type OpOutcome = (Result<(), FsError>, u64);
+
     let start = Instant::now();
-    let (results, splits_ok): (Vec<Vec<Result<(), FsError>>>, usize) =
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (t, ops) in per_thread_ops.iter().enumerate() {
-                let client = cluster.client();
-                // Pacing stream: seed-pure sleep lengths spreading issuance
-                // across the fault schedule.
-                let mut pace = pace_rng.split(0x70ace).split(t as u64 + 1);
-                handles.push(scope.spawn(move || {
-                    ops.iter()
-                        .map(|op| {
-                            std::thread::sleep(Duration::from_millis(4 + pace.below(12)));
-                            apply_fs(&client, op)
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
+    let (outcomes, splits_ok): (Vec<Vec<OpOutcome>>, usize) = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, ops) in per_thread_ops.iter().enumerate() {
+            let client = cluster.client();
+            // Pacing stream: seed-pure sleep lengths spreading issuance
+            // across the fault schedule.
+            let mut pace = pace_rng.split(0x70ace).split(t as u64 + 1);
+            handles.push(scope.spawn(move || {
+                ops.iter()
+                    .map(|op| {
+                        std::thread::sleep(Duration::from_millis(4 + pace.below(12)));
+                        let r = apply_fs(&client, op);
+                        // The client opened a root span for this op on
+                        // this thread; remember its trace id so a
+                        // divergence can be dumped with the op's tree.
+                        (r, cfs_obs::trace::last_root_trace_id())
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
 
-            // The scale-out nemesis: live splits racing the ops and the fault
-            // windows. A split blocked by a fault (donor leader down, drop
-            // spike) aborts cleanly; the donor resumes and later redirects
-            // nothing — the oracle judges the op history either way.
-            let split_handle = (opts.splits > 0).then(|| {
-                let cluster = &cluster;
-                let taf_shards = config.taf_shards;
-                scope.spawn(move || {
-                    let mut ok = 0usize;
-                    for s in 0..opts.splits {
-                        sleep_until(start, 100 + s as u64 * 250);
-                        let donor = ShardId((s % taf_shards) as u32);
-                        if cluster.split_shard(donor).is_ok() {
-                            ok += 1;
-                        }
+        // The scale-out nemesis: live splits racing the ops and the fault
+        // windows. A split blocked by a fault (donor leader down, drop
+        // spike) aborts cleanly; the donor resumes and later redirects
+        // nothing — the oracle judges the op history either way.
+        let split_handle = (opts.splits > 0).then(|| {
+            let cluster = &cluster;
+            let taf_shards = config.taf_shards;
+            scope.spawn(move || {
+                let mut ok = 0usize;
+                for s in 0..opts.splits {
+                    sleep_until(start, 100 + s as u64 * 250);
+                    let donor = ShardId((s % taf_shards) as u32);
+                    if cluster.split_shard(donor).is_ok() {
+                        ok += 1;
                     }
-                    ok
-                })
-            });
-
-            // The nemesis itself: walk the schedule on this thread.
-            let net = cluster.network();
-            let resolve = |tgt: Target| {
-                if tgt.taf {
-                    cluster.taf_groups()[tgt.group].raft().nodes()[tgt.replica].id()
-                } else {
-                    cluster.fs_groups()[tgt.group].raft().nodes()[tgt.replica].id()
                 }
-            };
-            let all_raft_nodes = || {
-                let mut ids = Vec::new();
-                for g in cluster.taf_groups() {
-                    ids.extend(g.raft().nodes().iter().map(|n| n.id()));
-                }
-                for g in cluster.fs_groups() {
-                    ids.extend(g.raft().nodes().iter().map(|n| n.id()));
-                }
-                ids
-            };
-            for w in &schedule.windows {
-                sleep_until(start, w.start_ms);
-                match w.fault {
-                    Fault::Kill(t) => net.kill(resolve(t)),
-                    Fault::Isolate(t) => {
-                        let victim = resolve(t);
-                        let rest: Vec<_> = all_raft_nodes()
-                            .into_iter()
-                            .filter(|&n| n != victim)
-                            .collect();
-                        net.partition(vec![vec![victim], rest]);
-                    }
-                    Fault::DropSpike(ppm) => net.set_drop_rate(ppm as f64 / 1e6),
-                }
-                sleep_until(start, w.end_ms);
-                match w.fault {
-                    Fault::Kill(t) => net.revive(resolve(t)),
-                    Fault::Isolate(_) => net.heal(),
-                    Fault::DropSpike(_) => net.set_drop_rate(0.0),
-                }
-            }
-
-            let results = handles
-                .into_iter()
-                .map(|h| h.join().expect("workload thread"))
-                .collect();
-            let splits_ok = split_handle
-                .map(|h| h.join().expect("split thread"))
-                .unwrap_or(0);
-            (results, splits_ok)
+                ok
+            })
         });
+
+        // The nemesis itself: walk the schedule on this thread.
+        let net = cluster.network();
+        let resolve = |tgt: Target| {
+            if tgt.taf {
+                cluster.taf_groups()[tgt.group].raft().nodes()[tgt.replica].id()
+            } else {
+                cluster.fs_groups()[tgt.group].raft().nodes()[tgt.replica].id()
+            }
+        };
+        let all_raft_nodes = || {
+            let mut ids = Vec::new();
+            for g in cluster.taf_groups() {
+                ids.extend(g.raft().nodes().iter().map(|n| n.id()));
+            }
+            for g in cluster.fs_groups() {
+                ids.extend(g.raft().nodes().iter().map(|n| n.id()));
+            }
+            ids
+        };
+        for w in &schedule.windows {
+            sleep_until(start, w.start_ms);
+            match w.fault {
+                Fault::Kill(t) => net.kill(resolve(t)),
+                Fault::Isolate(t) => {
+                    let victim = resolve(t);
+                    let rest: Vec<_> = all_raft_nodes()
+                        .into_iter()
+                        .filter(|&n| n != victim)
+                        .collect();
+                    net.partition(vec![vec![victim], rest]);
+                }
+                Fault::DropSpike(ppm) => net.set_drop_rate(ppm as f64 / 1e6),
+            }
+            sleep_until(start, w.end_ms);
+            match w.fault {
+                Fault::Kill(t) => net.revive(resolve(t)),
+                Fault::Isolate(_) => net.heal(),
+                Fault::DropSpike(_) => net.set_drop_rate(0.0),
+            }
+        }
+
+        let outcomes = handles
+            .into_iter()
+            .map(|h| h.join().expect("workload thread"))
+            .collect();
+        let splits_ok = split_handle
+            .map(|h| h.join().expect("split thread"))
+            .unwrap_or(0);
+        (outcomes, splits_ok)
+    });
+    let results: Vec<Vec<Result<(), FsError>>> = outcomes
+        .iter()
+        .map(|res| res.iter().map(|(r, _)| r.clone()).collect())
+        .collect();
+    let trace_ids: Vec<Vec<u64>> = outcomes
+        .iter()
+        .map(|res| res.iter().map(|(_, tid)| *tid).collect())
+        .collect();
 
     // Belt and braces: revert every fault class, then wait for re-election so
     // the final read runs against a healthy cluster.
@@ -717,13 +740,69 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
         }
     }
 
+    // Drain this run's spans either way (the sink is process-global); on a
+    // divergence, write the forensic dump before the evidence is lost.
+    let spans = cfs_obs::trace::drain();
+    let net_stats = format!("{:?}", cluster.network().stats().snapshot());
+    let dump_path = divergence
+        .as_ref()
+        .and_then(|d| write_divergence_dump(seed, d, &canonical, &trace_ids, &spans, &net_stats));
+
     NemesisReport {
         seed,
         results,
         splits_ok,
         divergence,
+        dump_path,
         canonical,
     }
+}
+
+/// Writes `nemesis_dump_seed_<seed>.txt` (into `CFS_NEMESIS_DUMP_DIR`, or the
+/// working directory): the seed, the divergence, the diverging operation's
+/// cross-node trace tree, per-node metrics snapshots, and network stats.
+fn write_divergence_dump(
+    seed: u64,
+    d: &Divergence,
+    canonical: &str,
+    trace_ids: &[Vec<u64>],
+    spans: &[cfs_obs::trace::SpanRecord],
+    net_stats: &str,
+) -> Option<PathBuf> {
+    let dir = std::env::var("CFS_NEMESIS_DUMP_DIR").unwrap_or_else(|_| ".".to_string());
+    let path = PathBuf::from(dir).join(format!("nemesis_dump_seed_{seed}.txt"));
+
+    let mut out = String::new();
+    out.push_str(&format!("seed={seed}\ndivergence: {d}\n\n"));
+    out.push_str("trace of the diverging operation:\n");
+    match d.op_index.and_then(|i| trace_ids.get(d.thread)?.get(i)) {
+        Some(&tid) if tid != 0 => {
+            let rendered = cfs_obs::trace::render_trace(spans, tid);
+            if rendered.is_empty() {
+                out.push_str(&format!(
+                    "  (trace {tid} not found: spans evicted from the ring buffer)\n"
+                ));
+            } else {
+                out.push_str(&rendered);
+            }
+        }
+        _ => out.push_str("  (final-state mismatch: no single diverging op to trace)\n"),
+    }
+    out.push_str("\nper-node metrics snapshots:\n");
+    out.push_str(&cfs_obs::metrics::snapshot_all().to_text());
+    out.push_str("\n\nnetwork stats:\n");
+    out.push_str(net_stats);
+    out.push('\n');
+    out.push_str(&format!(
+        "\nspans captured: {} (evicted: {})\n",
+        spans.len(),
+        cfs_obs::trace::evicted()
+    ));
+    out.push_str("\ncanonical op history:\n");
+    out.push_str(canonical);
+
+    std::fs::write(&path, out).ok()?;
+    Some(path)
 }
 
 fn sleep_until(start: Instant, ms: u64) {
@@ -888,6 +967,53 @@ mod tests {
         fin.insert("/nem/c0".to_string(), true);
         fin.insert("/nem/c0/d0".to_string(), true);
         check_thread_history(0, &ops, &results, &fin).unwrap();
+    }
+
+    #[test]
+    fn divergence_dump_contains_seed_metrics_and_trace() {
+        use cfs_obs::trace::SpanRecord;
+        let d = Divergence {
+            thread: 1,
+            op_index: Some(2),
+            detail: "test divergence".into(),
+        };
+        // A two-node trace for thread 1's op #2: client root + remote child.
+        let spans = vec![
+            SpanRecord {
+                trace_id: 77,
+                span_id: 1,
+                parent: 0,
+                node: 1_000_001,
+                name: "fs.create",
+                start_ns: 0,
+                end_ns: 900,
+            },
+            SpanRecord {
+                trace_id: 77,
+                span_id: 2,
+                parent: 1,
+                node: 100,
+                name: "rpc.handle",
+                start_ns: 100,
+                end_ns: 800,
+            },
+        ];
+        let trace_ids = vec![vec![0; 3], vec![0, 0, 77]];
+        let dir = std::env::temp_dir().join(format!("cfs_dump_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("CFS_NEMESIS_DUMP_DIR", &dir);
+        let path = write_divergence_dump(42, &d, "seed=42\n", &trace_ids, &spans, "net{}")
+            .expect("dump written");
+        std::env::remove_var("CFS_NEMESIS_DUMP_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(path.ends_with("nemesis_dump_seed_42.txt"));
+        assert!(text.contains("seed=42"));
+        assert!(text.contains("test divergence"));
+        assert!(text.contains("fs.create"));
+        assert!(text.contains("rpc.handle"));
+        assert!(text.contains("per-node metrics snapshots:"));
+        assert!(text.contains("net{}"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -349,17 +349,25 @@ impl KvStore {
         if st.mem.is_empty() {
             return;
         }
+        // The write lock is held throughout, so this duration is a stall
+        // every concurrent reader and writer of the store experiences.
+        let stall_started = std::time::Instant::now();
         let mem = std::mem::take(&mut st.mem);
         let generation = st.next_generation;
         st.next_generation += 1;
         let table = SsTable::from_sorted(mem.into_sorted_entries(), generation);
         st.tables.insert(0, table);
+        cfs_obs::profiler::record_local_ns(
+            "kv_flush_ns",
+            stall_started.elapsed().as_nanos() as u64,
+        );
     }
 
     fn compact_locked(st: &mut State) {
         if st.tables.len() <= 1 {
             return;
         }
+        let stall_started = std::time::Instant::now();
         let generation = st.next_generation;
         st.next_generation += 1;
         let merged = merge_tables(&st.tables, generation, true);
@@ -367,6 +375,10 @@ impl KvStore {
         if !merged.is_empty() {
             st.tables.push(merged);
         }
+        cfs_obs::profiler::record_local_ns(
+            "kv_compact_ns",
+            stall_started.elapsed().as_nanos() as u64,
+        );
     }
 }
 

@@ -1,0 +1,464 @@
+//! Metrics: per-node counters, gauges, and log2-bucket histograms.
+//!
+//! Recording is lock-free — a counter bump or histogram observation is one
+//! or three relaxed atomic adds; the registry's lock is touched only when a
+//! handle is first created (callers cache handles) and when snapshotting.
+//!
+//! Handles are `Arc`s into a [`Registry`]. Process-global per-node
+//! registries live in a hub keyed by rpc node id — [`node`] fetches one,
+//! [`local`] resolves the node from the tracing layer's thread-local
+//! attribution (see `trace::node_scope`), so deep layers like the lock
+//! manager record against the right node without threading ids everywhere.
+//!
+//! Histograms are monotonic; consumers that need interval measurements
+//! (benches comparing systems booted in one process) take before/after
+//! [`HistogramSnapshot`]s and [`HistogramSnapshot::delta`] them.
+
+use crate::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (e.g. a queue length).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucket histogram: values land in bucket `⌈log2(v)⌉ + 1` (zero in
+/// bucket 0), covering the full `u64` range in 65 buckets. Recording is
+/// three relaxed atomic adds plus a max update.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Bucket index: 0 for zero, otherwise the bit-length of `v`, so bucket
+/// `i >= 1` covers `[2^(i-1), 2^i - 1]`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Representative value for a bucket (midpoint of its range).
+fn bucket_mid(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1 => 1,
+        _ => (1u64 << (i - 1)) + (1u64 << (i - 2)),
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], supporting interval deltas,
+/// merging across nodes, and quantile estimation.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Observations accumulated since `earlier` (histograms are monotonic,
+    /// so a bucket-wise saturating subtraction is exact).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max, // max is not invertible; keep the lifetime max
+        }
+    }
+
+    /// Merges `other` in (e.g. the same histogram across shard nodes).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for i in 0..BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Estimated `q`-quantile (0.0..=1.0) using bucket midpoints; 0 when
+    /// empty. Log2 buckets bound the relative error by ~±50%.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_mid(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of observed values; 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Serializes to JSON: count/sum/max/mean/p50/p99 plus the non-empty
+    /// buckets as `[bucket_midpoint, count]` pairs.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::Int(self.count)),
+            ("sum", Json::Int(self.sum)),
+            ("max", Json::Int(self.max)),
+            ("mean", Json::Num(self.mean())),
+            ("p50", Json::Int(self.quantile(0.50))),
+            ("p99", Json::Int(self.quantile(0.99))),
+            (
+                "buckets",
+                Json::Arr(
+                    self.buckets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &c)| c > 0)
+                        .map(|(i, &c)| Json::Arr(vec![Json::Int(bucket_mid(i)), Json::Int(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of instruments. Handles are created once and cached
+/// by callers; recording through a handle never touches the registry lock.
+#[derive(Default)]
+pub struct Registry {
+    by_name: RwLock<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(Instrument::Counter(c)) = self.by_name.read().unwrap().get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.by_name.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Arc::new(Counter::default())))
+        {
+            Instrument::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(Instrument::Gauge(g)) = self.by_name.read().unwrap().get(name) {
+            return Arc::clone(g);
+        }
+        let mut map = self.by_name.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Arc::new(Gauge::default())))
+        {
+            Instrument::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Returns the histogram named `name`, creating it if absent.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(Instrument::Histogram(h)) = self.by_name.read().unwrap().get(name) {
+            return Arc::clone(h);
+        }
+        let mut map = self.by_name.write().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Arc::new(Histogram::default())))
+        {
+            Instrument::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different type"),
+        }
+    }
+
+    /// Snapshot of a histogram by name, or an empty snapshot if absent.
+    /// Useful for before/after interval deltas without creating metrics
+    /// that the system under test may never record.
+    pub fn histogram_snapshot(&self, name: &str) -> HistogramSnapshot {
+        match self.by_name.read().unwrap().get(name) {
+            Some(Instrument::Histogram(h)) => h.snapshot(),
+            _ => HistogramSnapshot::default(),
+        }
+    }
+
+    /// Serializes every instrument: counters/gauges as integers,
+    /// histograms via [`HistogramSnapshot::to_json`].
+    pub fn snapshot(&self) -> Json {
+        let map = self.by_name.read().unwrap();
+        Json::Obj(
+            map.iter()
+                .map(|(name, inst)| {
+                    let v = match inst {
+                        Instrument::Counter(c) => Json::Int(c.get()),
+                        Instrument::Gauge(g) => Json::Num(g.get() as f64),
+                        Instrument::Histogram(h) => h.snapshot().to_json(),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-node hub
+// ---------------------------------------------------------------------------
+
+fn hub() -> &'static Mutex<BTreeMap<u64, Arc<Registry>>> {
+    static HUB: OnceLock<Mutex<BTreeMap<u64, Arc<Registry>>>> = OnceLock::new();
+    HUB.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The process-global registry for rpc node `id`, created on first use.
+pub fn node(id: u64) -> Arc<Registry> {
+    Arc::clone(
+        hub()
+            .lock()
+            .unwrap()
+            .entry(id)
+            .or_insert_with(|| Arc::new(Registry::new())),
+    )
+}
+
+/// The registry for the node currently attributed to this thread (see
+/// `trace::node_scope`); node 0 collects unattributed records.
+pub fn local() -> Arc<Registry> {
+    node(crate::trace::current_node())
+}
+
+/// Snapshot of a named histogram merged across every node in the hub.
+/// Benches use before/after merged snapshots and delta them.
+pub fn merged_histogram(name: &str) -> HistogramSnapshot {
+    let regs: Vec<Arc<Registry>> = hub().lock().unwrap().values().cloned().collect();
+    let mut out = HistogramSnapshot::default();
+    for r in regs {
+        out.merge(&r.histogram_snapshot(name));
+    }
+    out
+}
+
+/// Serializes every node's registry: `{ "<node-id>": { ...snapshot } }`.
+pub fn snapshot_all() -> Json {
+    let regs: Vec<(u64, Arc<Registry>)> = hub()
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, v)| (*k, Arc::clone(v)))
+        .collect();
+    Json::Obj(
+        regs.iter()
+            .map(|(id, r)| (id.to_string(), r.snapshot()))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("ops");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(r.counter("ops").get(), 5, "same handle by name");
+        let g = r.gauge("depth");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+
+        let h = Histogram::default();
+        for v in [100u64, 100, 100, 100, 100, 100, 100, 100, 100, 100_000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.max, 100_000);
+        let p50 = s.quantile(0.50);
+        assert!((64..=128).contains(&p50), "p50 {p50} should bracket 100");
+        let p99 = s.quantile(0.99);
+        assert!(p99 > 10_000, "p99 {p99} should land in the outlier bucket");
+        assert!((s.mean() - 10090.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn snapshot_delta_and_merge() {
+        let h = Histogram::default();
+        h.observe(10);
+        let before = h.snapshot();
+        h.observe(1000);
+        h.observe(1000);
+        let d = h.snapshot().delta(&before);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 2000);
+
+        let mut m = HistogramSnapshot::default();
+        m.merge(&d);
+        m.merge(&before);
+        assert_eq!(m.count, 3);
+        assert_eq!(m.sum, 2010);
+    }
+
+    #[test]
+    fn registry_snapshot_serializes_everything() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.gauge("g").set(-2);
+        r.histogram("h").observe(5);
+        let text = r.snapshot().to_text();
+        assert!(text.contains("\"c\": 3"));
+        assert!(text.contains("\"g\": -2"));
+        assert!(text.contains("\"count\": 1"));
+        assert!(text.contains("\"p99\""));
+    }
+
+    #[test]
+    fn hub_routes_by_thread_node_scope() {
+        let _scope = crate::trace::node_scope(777_001);
+        local().counter("routed").inc();
+        assert_eq!(node(777_001).counter("routed").get(), 1);
+        let merged = {
+            node(777_002).histogram("shared_h").observe(8);
+            node(777_003).histogram("shared_h").observe(16);
+            merged_histogram("shared_h")
+        };
+        assert!(merged.count >= 2);
+    }
+
+    #[test]
+    fn missing_histogram_snapshot_is_empty() {
+        let r = Registry::new();
+        let s = r.histogram_snapshot("nope");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.quantile(0.99), 0);
+    }
+}

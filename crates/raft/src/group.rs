@@ -215,6 +215,30 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_log_growth_is_observable() {
+        // Snapshots were replaced by state-machine rebuilds, so the in-memory
+        // log only ever grows; this guards that the growth is at least
+        // visible — through accessors and through the exported gauges.
+        let net = Network::new(NetConfig::default());
+        let group = RaftGroup::spawn(&net, &ids(910, 1), fast_config(), |_| RecorderSm::new());
+        let leader = group.leader().expect("single node leads instantly");
+        for i in 0..50u32 {
+            leader.propose(i.to_be_bytes().to_vec()).unwrap();
+        }
+        assert_eq!(leader.log_len(), 50, "every proposal stays in the log");
+        assert_eq!(leader.apply_lag(), 0, "single replica applies at commit");
+
+        let reg = cfs_obs::metrics::node(leader.id().0 as u64);
+        assert_eq!(reg.gauge("raft_log_len").get(), 50);
+        assert_eq!(reg.gauge("raft_apply_lag").get(), 0);
+        let propose = reg.histogram_snapshot("raft_propose_apply_ns");
+        assert_eq!(propose.count, 50, "propose→apply latency recorded per op");
+        assert!(propose.quantile(0.99) > 0);
+        assert_eq!(reg.histogram_snapshot("raft_apply_ns").count, 50);
+        group.shutdown();
+    }
+
+    #[test]
     fn leader_failover_preserves_committed_entries() {
         let net = Network::new(NetConfig::default());
         let group = RaftGroup::spawn(&net, &ids(30, 3), fast_config(), |_| RecorderSm::new());

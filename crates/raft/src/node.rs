@@ -4,6 +4,8 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cfs_obs::metrics::{Gauge, Histogram};
+use cfs_obs::{metrics, trace};
 use cfs_rpc::mux::{frame, CH_RAFT};
 use cfs_rpc::{Network, Service};
 use cfs_types::codec::{Decode, Encode};
@@ -126,6 +128,34 @@ pub struct RaftNode<S: StateMachine> {
     st: Mutex<NodeState>,
     wake: Condvar,
     config: RaftConfig,
+    obs: Obs,
+}
+
+/// Cached handles into this node's metrics registry (handle creation takes
+/// the registry lock; recording through a cached handle does not).
+struct Obs {
+    /// Proposal latency from entry append to state-machine apply.
+    propose_apply_ns: Arc<Histogram>,
+    /// Duration of each `StateMachine::apply` call.
+    apply_ns: Arc<Histogram>,
+    /// Current in-memory log length. Snapshots were replaced by state-machine
+    /// rebuilds in this reproduction, so the log grows without bound — this
+    /// gauge is the visibility that leaves behind.
+    log_len: Arc<Gauge>,
+    /// `commit - applied`: how far the apply loop trails the commit point.
+    apply_lag: Arc<Gauge>,
+}
+
+impl Obs {
+    fn for_node(id: NodeId) -> Obs {
+        let reg = metrics::node(id.0 as u64);
+        Obs {
+            propose_apply_ns: reg.histogram("raft_propose_apply_ns"),
+            apply_ns: reg.histogram("raft_apply_ns"),
+            log_len: reg.gauge("raft_log_len"),
+            apply_lag: reg.gauge("raft_apply_lag"),
+        }
+    }
 }
 
 impl<S: StateMachine> RaftNode<S> {
@@ -172,6 +202,7 @@ impl<S: StateMachine> RaftNode<S> {
             }),
             wake: Condvar::new(),
             config,
+            obs: Obs::for_node(id),
         });
         if !single {
             let pump = Arc::clone(&node);
@@ -213,6 +244,18 @@ impl<S: StateMachine> RaftNode<S> {
         self.st.lock().leader_hint
     }
 
+    /// Current length of the in-memory log (also exported as the
+    /// `raft_log_len` gauge of this node's metrics registry).
+    pub fn log_len(&self) -> u64 {
+        self.st.lock().log.len() as u64
+    }
+
+    /// How far apply trails commit (also the `raft_apply_lag` gauge).
+    pub fn apply_lag(&self) -> u64 {
+        let st = self.st.lock();
+        st.commit - st.applied
+    }
+
     /// Stops the pump thread; the node no longer participates.
     pub fn stop(&self) {
         let mut st = self.st.lock();
@@ -233,6 +276,8 @@ impl<S: StateMachine> RaftNode<S> {
     /// Fails with [`FsError::NotLeader`] (carrying a redirect hint) when this
     /// node is not the leader.
     pub fn propose(&self, cmd: Vec<u8>) -> FsResult<Vec<u8>> {
+        let _span = trace::span("raft.propose");
+        let started = Instant::now();
         let (tx, rx) = bounded(1);
         {
             let mut st = self.st.lock();
@@ -246,12 +291,20 @@ impl<S: StateMachine> RaftNode<S> {
             st.log.push(LogEntry { term, cmd });
             let index = st.log.len() as u64;
             st.waiters.insert(index, (term, tx));
+            self.obs.log_len.set(st.log.len() as i64);
             self.advance_commit(&mut st);
             self.apply_committed(&mut st);
         }
         self.wake.notify_all();
-        rx.recv_timeout(self.config.propose_timeout)
-            .map_err(|_| FsError::Timeout)?
+        let result = rx
+            .recv_timeout(self.config.propose_timeout)
+            .map_err(|_| FsError::Timeout)?;
+        if result.is_ok() {
+            self.obs
+                .propose_apply_ns
+                .observe(started.elapsed().as_nanos() as u64);
+        }
+        result
     }
 
     /// Runs a read closure against the state machine iff this node currently
@@ -341,6 +394,9 @@ impl<S: StateMachine> RaftNode<S> {
     }
 
     fn run(self: Arc<Self>) {
+        // Attribute everything the pump does (appends applied on followers,
+        // state-machine work) to this node's registry.
+        let _scope = trace::node_scope(self.id.0 as u64);
         loop {
             let mut st = self.st.lock();
             if st.stopped {
@@ -826,7 +882,12 @@ impl<S: StateMachine> RaftNode<S> {
             let resp = if entry.cmd.is_empty() {
                 Vec::new()
             } else {
-                self.sm.apply(index, &entry.cmd)
+                let apply_started = Instant::now();
+                let resp = self.sm.apply(index, &entry.cmd);
+                self.obs
+                    .apply_ns
+                    .observe(apply_started.elapsed().as_nanos() as u64);
+                resp
             };
             if let Some((term, tx)) = st.waiters.remove(&index) {
                 let result = if term == entry.term {
@@ -837,6 +898,8 @@ impl<S: StateMachine> RaftNode<S> {
                 let _ = tx.send(result);
             }
         }
+        self.obs.log_len.set(st.log.len() as i64);
+        self.obs.apply_lag.set((st.commit - st.applied) as i64);
         if st.applied > applied_before {
             // ReadIndex readers block on the applied index; wake them.
             self.wake.notify_all();

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use cfs_obs::trace;
 use cfs_types::{FsError, FsResult, NodeId};
 
 use parking_lot::{Mutex, RwLock};
@@ -263,9 +264,17 @@ impl Network {
     ///
     /// Applies one hop of latency for the request, runs the destination's
     /// handler on the calling thread, applies one hop for the response.
+    ///
+    /// When tracing is enabled and the caller has a trace context, the
+    /// context rides the wire as a `cfs_obs::trace` envelope: the payload is
+    /// wrapped before the request hop and unwrapped at the destination, so
+    /// the handler's spans attach under the caller's span even though (in
+    /// this simulator) it happens to run on the caller's thread. Traffic
+    /// counters always observe the *inner* payload, so hop/byte figures are
+    /// identical with tracing on or off.
     pub fn call(&self, from: NodeId, to: NodeId, payload: &[u8]) -> FsResult<Vec<u8>> {
         if !self.reachable(from, to) {
-            self.inner.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.unreachable.inc();
             return Err(FsError::Timeout);
         }
         let svc = {
@@ -273,46 +282,66 @@ impl Network {
             services.get(&to).cloned()
         };
         let Some(svc) = svc else {
-            self.inner.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.unreachable.inc();
             return Err(FsError::Timeout);
+        };
+        let wire = match trace::current() {
+            Some(ctx) if trace::enabled() => Some(trace::wire_wrap(ctx, payload)),
+            _ => None,
         };
         let lat = *self.inner.hop_latency.read();
         lat.wait(self.conn_entropy(from, to));
-        let resp = svc.handle(from, payload);
+        let resp = {
+            // Attribute the handler's metrics (and spans) to the destination.
+            let _node = trace::node_scope(to.0 as u64);
+            match wire.as_deref().and_then(trace::wire_unwrap) {
+                Some((ctx, inner)) => {
+                    let _ctx = trace::ctx_scope(Some(ctx));
+                    let _span = trace::span("rpc.handle");
+                    svc.handle(from, inner)
+                }
+                None => svc.handle(from, payload),
+            }
+        };
         // The destination may have been killed while the handler ran; in that
         // case the response is lost.
         if !self.reachable(from, to) {
-            self.inner.stats.unreachable.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.unreachable.inc();
             return Err(FsError::Timeout);
         }
         lat.wait(self.conn_entropy(from, to));
-        self.inner.stats.calls.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.calls.inc();
         self.inner.stats.count_call_class(payload);
         self.inner
             .stats
             .bytes
-            .fetch_add((payload.len() + resp.len()) as u64, Ordering::Relaxed);
+            .add((payload.len() + resp.len()) as u64);
         Ok(resp)
     }
 
     /// One-way asynchronous message (fire and forget).
+    ///
+    /// Delivery happens on a worker thread, so here the trace envelope is
+    /// genuinely load-bearing: without it the caller's context could not
+    /// reach the handler at all. Byte counters observe the inner payload.
     pub fn send(&self, from: NodeId, to: NodeId, payload: Vec<u8>) {
         let drop_rate = self.inner.drop_rate_millionths.load(Ordering::Relaxed);
         if drop_rate > 0 && self.conn_entropy(from, to) % 1_000_000 < drop_rate {
-            self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.dropped.inc();
             return;
         }
         if !self.reachable(from, to) {
-            self.inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            self.inner.stats.dropped.inc();
             return;
         }
         let lat = *self.inner.hop_latency.read();
         let delay = lat.sample(self.conn_entropy(from, to));
-        self.inner.stats.oneways.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .bytes
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.inner.stats.oneways.inc();
+        self.inner.stats.bytes.add(payload.len() as u64);
+        let payload = match trace::current() {
+            Some(ctx) if trace::enabled() => trace::wire_wrap(ctx, &payload),
+            _ => payload,
+        };
         let seq = self.inner.oneway_seq.fetch_add(1, Ordering::Relaxed);
         self.inner.queue.lock().push(OnewayMsg {
             from,
@@ -360,7 +389,7 @@ fn oneway_worker(inner: Arc<Inner>) {
         // the message was in flight cuts it off.
         let dead = inner.dead.read().contains(&msg.to);
         if dead {
-            inner.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            inner.stats.dropped.inc();
             continue;
         }
         let svc = {
@@ -368,7 +397,15 @@ fn oneway_worker(inner: Arc<Inner>) {
             services.get(&msg.to).cloned()
         };
         if let Some(svc) = svc {
-            svc.handle_oneway(msg.from, &msg.payload);
+            let _node = trace::node_scope(msg.to.0 as u64);
+            match trace::wire_unwrap(&msg.payload) {
+                Some((ctx, stripped)) => {
+                    let _ctx = trace::ctx_scope(Some(ctx));
+                    let _span = trace::span("rpc.oneway");
+                    svc.handle_oneway(msg.from, stripped);
+                }
+                None => svc.handle_oneway(msg.from, &msg.payload),
+            }
         }
     }
 }
@@ -523,6 +560,67 @@ mod tests {
             busy.push(net.stats().snapshot().dropped > before);
         }
         assert_eq!(quiet, busy);
+    }
+
+    /// Drains only `tid`'s spans, returning everything else to the shared
+    /// sink so concurrently running trace tests keep their spans.
+    fn drain_trace(tid: u64) -> Vec<cfs_obs::trace::SpanRecord> {
+        let (mine, others): (Vec<_>, Vec<_>) =
+            trace::drain().into_iter().partition(|s| s.trace_id == tid);
+        for s in others {
+            trace::requeue(s);
+        }
+        mine
+    }
+
+    #[test]
+    fn trace_envelope_is_transparent_to_handlers_and_counters() {
+        trace::enable();
+        let net = Network::new(NetConfig::default());
+        net.register(NodeId(7), Arc::new(Echo));
+        let root = trace::root_span("test.op");
+        let tid = root.trace_id();
+        // The handler must see the inner payload even though the wire
+        // carried a trace envelope, and byte counters must match it.
+        let resp = net.call(NodeId(0), NodeId(7), b"inner").unwrap();
+        assert_eq!(resp, b"inner");
+        assert_eq!(net.stats().snapshot().bytes, 10);
+        drop(root);
+        let spans = drain_trace(tid);
+        assert!(trace::validate_spans(&spans).is_empty());
+        let handle = spans.iter().find(|s| s.name == "rpc.handle").unwrap();
+        assert_eq!(handle.node, 7, "handler span attributed to destination");
+        let op = spans.iter().find(|s| s.name == "test.op").unwrap();
+        assert_eq!(handle.parent, op.span_id);
+    }
+
+    #[test]
+    fn trace_ctx_rides_oneway_messages_across_threads() {
+        trace::enable();
+        let net = Network::new(NetConfig::default());
+        let counter = Arc::new(Counter(AtomicUsize::new(0)));
+        net.register(NodeId(8), counter.clone());
+        let root = trace::root_span("test.oneway");
+        let tid = root.trace_id();
+        net.send(NodeId(0), NodeId(8), vec![9, 9]);
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while counter.0.load(Ordering::SeqCst) < 1 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(counter.0.load(Ordering::SeqCst), 1);
+        drop(root);
+        // The worker records its span just after the handler returns; poll
+        // until it lands in the sink.
+        let mut spans = drain_trace(tid);
+        while !spans.iter().any(|s| s.name == "rpc.oneway") && Instant::now() < deadline {
+            std::thread::yield_now();
+            spans.extend(drain_trace(tid));
+        }
+        assert!(trace::validate_spans(&spans).is_empty());
+        let hop = spans.iter().find(|s| s.name == "rpc.oneway").unwrap();
+        assert_eq!(hop.node, 8);
+        let op = spans.iter().find(|s| s.name == "test.oneway").unwrap();
+        assert_eq!(hop.parent, op.span_id);
     }
 
     #[test]

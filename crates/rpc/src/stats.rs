@@ -1,6 +1,17 @@
-//! Network traffic counters.
+//! Network traffic counters, backed by the `cfs-obs` metrics registry.
+//!
+//! [`NetStats`] used to carry its own ad-hoc `AtomicU64` fields; they are
+//! now handles into a per-[`Network`] [`Registry`], making the registry the
+//! single source of truth while keeping the [`NetSnapshot`] reporting
+//! surface (and therefore every `BENCH_*.json` field) byte-compatible.
+//! The registry is per-network, not process-global, because one test
+//! process routinely boots several clusters whose traffic must not blend.
+//!
+//! [`Network`]: crate::network::Network
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cfs_obs::metrics::Counter;
+use cfs_obs::Registry;
+use std::sync::Arc;
 
 /// Monotonic counters describing all traffic that crossed a [`Network`].
 ///
@@ -9,27 +20,52 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// metadata proxy layer saves one round trip per request, paper §5.7).
 ///
 /// [`Network`]: crate::network::Network
-#[derive(Debug, Default)]
 pub struct NetStats {
+    registry: Arc<Registry>,
     /// Completed synchronous calls.
-    pub calls: AtomicU64,
+    pub(crate) calls: Arc<Counter>,
     /// One-way messages accepted for delivery.
-    pub oneways: AtomicU64,
+    pub(crate) oneways: Arc<Counter>,
     /// One-way messages dropped by fault injection.
-    pub dropped: AtomicU64,
+    pub(crate) dropped: Arc<Counter>,
     /// Calls that failed because the destination was dead or partitioned.
-    pub unreachable: AtomicU64,
+    pub(crate) unreachable: Arc<Counter>,
     /// Total payload bytes moved (requests + responses + one-ways).
-    pub bytes: AtomicU64,
+    pub(crate) bytes: Arc<Counter>,
     /// Completed calls on the Raft channel ([`crate::mux::CH_RAFT`]).
-    pub calls_raft: AtomicU64,
+    pub(crate) calls_raft: Arc<Counter>,
     /// Completed calls on the application channel ([`crate::mux::CH_APP`]).
-    /// Application reads/resolves travel here, so an `calls_app` delta over a
+    /// Application reads/resolves travel here, so a `calls_app` delta over a
     /// measurement window divided by the operation count is the hops-per-op
     /// figure the resolution benches report.
-    pub calls_app: AtomicU64,
+    pub(crate) calls_app: Arc<Counter>,
     /// Completed calls on the transaction channel ([`crate::mux::CH_TXN`]).
-    pub calls_txn: AtomicU64,
+    pub(crate) calls_txn: Arc<Counter>,
+}
+
+impl std::fmt::Debug for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetStats")
+            .field("snapshot", &self.snapshot())
+            .finish()
+    }
+}
+
+impl Default for NetStats {
+    fn default() -> NetStats {
+        let registry = Arc::new(Registry::new());
+        NetStats {
+            calls: registry.counter("net_calls"),
+            oneways: registry.counter("net_oneways"),
+            dropped: registry.counter("net_dropped"),
+            unreachable: registry.counter("net_unreachable"),
+            bytes: registry.counter("net_bytes"),
+            calls_raft: registry.counter("net_calls_raft"),
+            calls_app: registry.counter("net_calls_app"),
+            calls_txn: registry.counter("net_calls_txn"),
+            registry,
+        }
+    }
 }
 
 /// A point-in-time copy of [`NetStats`].
@@ -54,18 +90,24 @@ pub struct NetSnapshot {
 }
 
 impl NetStats {
-    /// Takes a consistent-enough snapshot for reporting (individual loads are
-    /// relaxed; exactness across counters is not required).
+    /// The registry holding these counters (names are `net_*`), for callers
+    /// that want to serialize them alongside other observability output.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Takes a consistent-enough snapshot for reporting (individual loads
+    /// are relaxed; exactness across counters is not required).
     pub fn snapshot(&self) -> NetSnapshot {
         NetSnapshot {
-            calls: self.calls.load(Ordering::Relaxed),
-            oneways: self.oneways.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
-            unreachable: self.unreachable.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            calls_raft: self.calls_raft.load(Ordering::Relaxed),
-            calls_app: self.calls_app.load(Ordering::Relaxed),
-            calls_txn: self.calls_txn.load(Ordering::Relaxed),
+            calls: self.calls.get(),
+            oneways: self.oneways.get(),
+            dropped: self.dropped.get(),
+            unreachable: self.unreachable.get(),
+            bytes: self.bytes.get(),
+            calls_raft: self.calls_raft.get(),
+            calls_app: self.calls_app.get(),
+            calls_txn: self.calls_txn.get(),
         }
     }
 
@@ -73,11 +115,11 @@ impl NetStats {
     /// mux channel byte leading `payload` (see [`crate::mux::frame`]).
     pub(crate) fn count_call_class(&self, payload: &[u8]) {
         match payload.first() {
-            Some(&crate::mux::CH_RAFT) => self.calls_raft.fetch_add(1, Ordering::Relaxed),
-            Some(&crate::mux::CH_APP) => self.calls_app.fetch_add(1, Ordering::Relaxed),
-            Some(&crate::mux::CH_TXN) => self.calls_txn.fetch_add(1, Ordering::Relaxed),
-            _ => return,
-        };
+            Some(&crate::mux::CH_RAFT) => self.calls_raft.inc(),
+            Some(&crate::mux::CH_APP) => self.calls_app.inc(),
+            Some(&crate::mux::CH_TXN) => self.calls_txn.inc(),
+            _ => {}
+        }
     }
 }
 
@@ -104,11 +146,11 @@ mod tests {
     #[test]
     fn snapshot_delta() {
         let stats = NetStats::default();
-        stats.calls.store(10, Ordering::Relaxed);
-        stats.bytes.store(100, Ordering::Relaxed);
+        stats.calls.add(10);
+        stats.bytes.add(100);
         let a = stats.snapshot();
-        stats.calls.store(15, Ordering::Relaxed);
-        stats.bytes.store(180, Ordering::Relaxed);
+        stats.calls.add(5);
+        stats.bytes.add(80);
         let b = stats.snapshot();
         let d = b.delta(&a);
         assert_eq!(d.calls, 5);
@@ -131,5 +173,15 @@ mod tests {
         assert_eq!(s.calls_txn, 1);
         let d = s.delta(&NetSnapshot::default());
         assert_eq!(d.calls_app, 2);
+    }
+
+    #[test]
+    fn registry_is_the_source_of_truth() {
+        let stats = NetStats::default();
+        stats.calls.add(3);
+        stats.count_call_class(&[crate::mux::CH_APP]);
+        let text = stats.registry().snapshot().to_text();
+        assert!(text.contains("\"net_calls\": 3"));
+        assert!(text.contains("\"net_calls_app\": 1"));
     }
 }

@@ -36,10 +36,14 @@ impl TafBackendGroup {
         });
         let mut locks = Vec::new();
         for (i, node) in group.nodes().iter().enumerate() {
-            let lm = Arc::new(LockManager::new(Arc::clone(node.state_machine().metrics())));
+            let lm = Arc::new(LockManager::for_node(
+                Arc::clone(node.state_machine().metrics()),
+                node.id().0 as u64,
+            ));
             let app = Arc::new(AppService {
                 node: Arc::clone(node),
                 locks: Arc::clone(&lm),
+                prim_wait_ns: cfs_obs::metrics::node(node.id().0 as u64).histogram("prim_wait_ns"),
             });
             let txn = Arc::new(TxnService::new(Arc::clone(node), Arc::clone(&lm)));
             group.mux(i).mount(CH_APP, app as Arc<dyn Service>);
@@ -108,6 +112,11 @@ impl TafBackendGroup {
 struct AppService {
     node: Arc<RaftNode<TafShard>>,
     locks: Arc<LockManager>,
+    /// How long Execute primitives wait for in-flight distributed
+    /// transactions before entering the Raft log — the "wait" side of CFS's
+    /// pruned critical section (the "hold" side is `prim_hold_ns`, recorded
+    /// around the applied primitive in the shard state machine).
+    prim_wait_ns: Arc<cfs_obs::metrics::Histogram>,
 }
 
 /// Evaluates one read-only request against the shard state machine. Shared
@@ -174,9 +183,15 @@ impl AppService {
                     .collect();
                 keys.sort();
                 keys.dedup();
+                let _span = cfs_obs::trace::span("taf.execute");
+                let wait_started = std::time::Instant::now();
                 if let Err(e) = self.locks.wait_until_free(&keys) {
+                    self.prim_wait_ns
+                        .observe(wait_started.elapsed().as_nanos() as u64);
                     return TafResponse::Err(e);
                 }
+                self.prim_wait_ns
+                    .observe(wait_started.elapsed().as_nanos() as u64);
                 self.propose(ShardCmd::Execute(prim))
             }
             TafRequest::Put(key, rec) => self.propose(ShardCmd::Put(key, rec)),

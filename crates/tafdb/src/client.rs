@@ -46,6 +46,12 @@ pub struct TafDbClient {
 }
 
 impl TafDbClient {
+    /// The node id this client sends as (observability attributes client
+    /// spans to it).
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
     /// Creates a client identified as `me` on the network.
     pub fn new(net: Arc<Network>, me: NodeId, pmap: Arc<PartitionMap>) -> TafDbClient {
         TafDbClient {

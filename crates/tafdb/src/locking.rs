@@ -17,6 +17,8 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use cfs_obs::metrics::Histogram;
+use cfs_obs::{metrics as obs_metrics, trace};
 use cfs_rpc::Service;
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{FsError, FsResult, Key, NodeId};
@@ -44,14 +46,28 @@ pub struct LockManager {
     table: Mutex<LockTable>,
     released: Condvar,
     metrics: Arc<ShardMetrics>,
+    /// Per-acquisition wait-time distribution (`lock_wait_ns` histogram of
+    /// the owning node's registry; the `ShardMetrics` sums above only give
+    /// means, the histograms give p50/p99).
+    wait_hist: Arc<Histogram>,
+    /// Per-transaction hold-time distribution (`lock_hold_ns`).
+    hold_hist: Arc<Histogram>,
     /// Give up on a lock after this long (a deadlock-safety net; the ordered
     /// acquisition protocol should never hit it).
     pub wait_timeout: Duration,
 }
 
 impl LockManager {
-    /// Creates a lock manager reporting into `metrics`.
+    /// Creates a lock manager reporting into `metrics` (histograms land in
+    /// the unattributed node-0 registry; prefer [`LockManager::for_node`]).
     pub fn new(metrics: Arc<ShardMetrics>) -> LockManager {
+        LockManager::for_node(metrics, 0)
+    }
+
+    /// Creates a lock manager whose histograms report into `node`'s
+    /// registry (the shard replica the manager lives on).
+    pub fn for_node(metrics: Arc<ShardMetrics>, node: u64) -> LockManager {
+        let reg = obs_metrics::node(node);
         LockManager {
             table: Mutex::new(LockTable {
                 owners: HashMap::new(),
@@ -59,6 +75,8 @@ impl LockManager {
             }),
             released: Condvar::new(),
             metrics,
+            wait_hist: reg.histogram("lock_wait_ns"),
+            hold_hist: reg.histogram("lock_hold_ns"),
             wait_timeout: Duration::from_secs(10),
         }
     }
@@ -88,29 +106,29 @@ impl LockManager {
                             .lock_contentions
                             .fetch_add(1, Ordering::Relaxed);
                     }
-                    self.metrics
-                        .lock_wait_ns
-                        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.record_wait(start);
                     return Ok(());
                 }
                 Some(&owner) if owner == txn => {
-                    self.metrics
-                        .lock_wait_ns
-                        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    self.record_wait(start);
                     return Ok(());
                 }
                 Some(_) => {
                     contended = true;
                     if Instant::now() >= deadline {
-                        self.metrics
-                            .lock_wait_ns
-                            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        self.record_wait(start);
                         return Err(FsError::Busy);
                     }
                     self.released.wait_until(&mut table, deadline);
                 }
             }
         }
+    }
+
+    fn record_wait(&self, start: Instant) {
+        let ns = start.elapsed().as_nanos() as u64;
+        self.metrics.lock_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        self.wait_hist.observe(ns);
     }
 
     /// Releases every lock held by `txn` and credits the hold time.
@@ -125,9 +143,9 @@ impl LockManager {
         }
         drop(table);
         if let Some(since) = held_since {
-            self.metrics
-                .lock_hold_ns
-                .fetch_add(since.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let ns = since.elapsed().as_nanos() as u64;
+            self.metrics.lock_hold_ns.fetch_add(ns, Ordering::Relaxed);
+            self.hold_hist.observe(ns);
         }
         self.released.notify_all();
     }
@@ -169,15 +187,23 @@ pub struct TxnService {
     locks: Arc<LockManager>,
     /// Lock acquisition time per transaction, for hold-time accounting.
     txn_starts: Mutex<HashMap<u64, Instant>>,
+    /// 2PC phase duration histograms (this replica's registry).
+    lock_phase_ns: Arc<Histogram>,
+    prepare_phase_ns: Arc<Histogram>,
+    commit_phase_ns: Arc<Histogram>,
 }
 
 impl TxnService {
     /// Creates the transaction service for one shard replica.
     pub fn new(node: Arc<cfs_raft::RaftNode<TafShard>>, locks: Arc<LockManager>) -> TxnService {
+        let reg = obs_metrics::node(node.id().0 as u64);
         TxnService {
             node,
             locks,
             txn_starts: Mutex::new(HashMap::new()),
+            lock_phase_ns: reg.histogram("txn_lock_ns"),
+            prepare_phase_ns: reg.histogram("txn_prepare_ns"),
+            commit_phase_ns: reg.histogram("txn_commit_ns"),
         }
     }
 
@@ -209,6 +235,8 @@ impl TxnService {
                         self.node.leader_hint().map(|n| n.0),
                     ));
                 }
+                let _span = trace::span("txn.lock");
+                let _sw = cfs_obs::Stopwatch::start(Arc::clone(&self.lock_phase_ns));
                 self.note_txn(txn);
                 match self.locks.acquire(txn, &key) {
                     Ok(()) => TxnResponse::Locked(self.node.state_machine().get(&key)),
@@ -221,6 +249,8 @@ impl TxnService {
                         self.node.leader_hint().map(|n| n.0),
                     ));
                 }
+                let _span = trace::span("txn.lock");
+                let _sw = cfs_obs::Stopwatch::start(Arc::clone(&self.lock_phase_ns));
                 self.note_txn(txn);
                 match self.locks.acquire(txn, &key) {
                     Ok(()) => TxnResponse::Ok,
@@ -228,18 +258,24 @@ impl TxnService {
                 }
             }
             TxnRequest::Prepare { txn, writes } => {
+                let _span = trace::span("txn.prepare");
+                let _sw = cfs_obs::Stopwatch::start(Arc::clone(&self.prepare_phase_ns));
                 match self.propose(ShardCmd::Prepare { txn, writes }) {
                     Ok(()) => TxnResponse::Ok,
                     Err(e) => TxnResponse::Err(e),
                 }
             }
             TxnRequest::PreparePrim { txn, prim } => {
+                let _span = trace::span("txn.prepare");
+                let _sw = cfs_obs::Stopwatch::start(Arc::clone(&self.prepare_phase_ns));
                 match self.propose(ShardCmd::PreparePrim { txn, prim }) {
                     Ok(()) => TxnResponse::Ok,
                     Err(e) => TxnResponse::Err(e),
                 }
             }
             TxnRequest::CommitPrepared { txn } => {
+                let _span = trace::span("txn.commit");
+                let _sw = cfs_obs::Stopwatch::start(Arc::clone(&self.commit_phase_ns));
                 let res = self.propose(ShardCmd::CommitPrepared { txn });
                 let since = self.finish_txn(txn);
                 self.locks.release_all(txn, since);
@@ -249,6 +285,8 @@ impl TxnService {
                 }
             }
             TxnRequest::Commit { txn, writes } => {
+                let _span = trace::span("txn.commit");
+                let _sw = cfs_obs::Stopwatch::start(Arc::clone(&self.commit_phase_ns));
                 let res = self.propose(ShardCmd::CommitWrites { writes });
                 let since = self.finish_txn(txn);
                 self.locks.release_all(txn, since);
@@ -258,6 +296,7 @@ impl TxnService {
                 }
             }
             TxnRequest::Abort { txn } => {
+                let _span = trace::span("txn.abort");
                 let _ = self.propose(ShardCmd::Abort { txn });
                 let since = self.finish_txn(txn);
                 self.locks.release_all(txn, since);

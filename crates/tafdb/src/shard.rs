@@ -544,7 +544,16 @@ impl TafShard {
                 if let Some(e) = prim_kids(&prim).find_map(|kid| self.check_owner(kid).err()) {
                     return TafResponse::Err(e);
                 }
-                match self.execute_primitive(&prim) {
+                // The primitive executes atomically inside the state machine
+                // — this duration IS the pruned critical section the paper
+                // contrasts with baseline lock-hold times.
+                let hold_started = std::time::Instant::now();
+                let result = self.execute_primitive(&prim);
+                cfs_obs::profiler::record_local_ns(
+                    "prim_hold_ns",
+                    hold_started.elapsed().as_nanos() as u64,
+                );
+                match result {
                     Ok(res) => {
                         self.metrics.primitives.fetch_add(1, Ordering::Relaxed);
                         TafResponse::Executed(res)

@@ -659,4 +659,135 @@ mod tests {
         let wal = Wal::new_in_memory();
         assert!(wal.append_batch(Vec::<Vec<u8>>::new()).is_err());
     }
+
+    // ---- CDC cursor semantics (consumed by `cfs_core::gc`) ---------------
+
+    #[test]
+    fn watcher_delivers_a_group_commit_as_one_atomic_batch() {
+        // The GC's change stream must never observe half a group commit: the
+        // batch is appended under one lock acquisition, so a single wake
+        // delivers the whole batch in order.
+        let wal = Arc::new(Wal::new_in_memory());
+        let mut w = wal.watch();
+        let wal2 = Arc::clone(&wal);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            wal2.append_batch(vec![b"g1".to_vec(), b"g2".to_vec(), b"g3".to_vec()])
+                .unwrap();
+        });
+        let got = w.wait_next(Duration::from_secs(2));
+        t.join().unwrap();
+        assert_eq!(got.len(), 3, "one wake must return the whole batch");
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(w.position(), 4);
+        assert!(w.poll().is_empty(), "no re-delivery across the batch");
+    }
+
+    #[test]
+    fn watcher_straddling_a_group_commit_boundary_resumes_mid_batch() {
+        // A cursor positioned inside an already-appended batch (e.g. the GC
+        // restarted from a persisted position) picks up the batch's suffix.
+        let wal = Wal::new_in_memory();
+        wal.append_batch(vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
+            .unwrap();
+        let mut w = wal.watch_from_start();
+        w.next = 2; // resume mid-batch
+        let got = w.poll();
+        assert_eq!(got.iter().map(|e| e.seq).collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(w.position(), 4);
+    }
+
+    #[test]
+    fn watcher_skips_prefix_truncated_history() {
+        // Compaction racing the cursor: entries the log dropped before the
+        // cursor reached them are gone — the cursor lands on the retained
+        // suffix instead of blocking on sequences that will never return.
+        let wal = Wal::new_in_memory();
+        for i in 1..=10u8 {
+            wal.append(vec![i]).unwrap();
+        }
+        let mut w = wal.watch_from_start();
+        wal.truncate_prefix(5);
+        let got = w.poll();
+        assert_eq!(
+            got.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9, 10]
+        );
+        assert_eq!(w.position(), 11);
+    }
+
+    #[test]
+    fn watcher_does_not_redeliver_sequences_reused_after_suffix_truncation() {
+        // Raft conflict resolution rewinds the log tail and reuses the cut
+        // sequence numbers. A cursor that already consumed the old tail must
+        // not see the replacement entries as "new" (their seqs are below its
+        // position) — the replicated state machine re-delivers them through
+        // the apply path instead.
+        let wal = Wal::new_in_memory();
+        for i in 1..=5u8 {
+            wal.append(vec![i]).unwrap();
+        }
+        let mut w = wal.watch_from_start();
+        assert_eq!(w.poll().len(), 5);
+        assert_eq!(w.position(), 6);
+        wal.truncate_suffix(4); // drop 4, 5
+        wal.append(b"new4".to_vec()).unwrap();
+        wal.append(b"new5".to_vec()).unwrap();
+        assert!(w.poll().is_empty(), "reused seqs 4,5 are behind the cursor");
+        wal.append(b"six".to_vec()).unwrap();
+        let got = w.poll();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 6);
+        assert_eq!(got[0].payload, b"six");
+    }
+
+    #[test]
+    fn saved_cursor_position_resumes_correctly_across_torn_tail_recovery() {
+        // A consumer persists `position()` and crashes together with the log;
+        // the tail entry is torn and recovery truncates it. Resuming at the
+        // saved position must deliver the *re-written* entry at the reused
+        // sequence, not skip it.
+        let path = tmp("cursor-torn");
+        let saved_pos;
+        {
+            let wal = Wal::with_config(WalConfig {
+                path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            wal.append(b"one".to_vec()).unwrap();
+            wal.append(b"two".to_vec()).unwrap();
+            let mut w = wal.watch_from_start();
+            assert_eq!(w.poll().len(), 2);
+            saved_pos = w.position(); // 3: next expected sequence
+            wal.append(b"three-torn".to_vec()).unwrap();
+            wal.sync().unwrap();
+        }
+        // Tear the last entry.
+        let full = path.metadata().unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 2).unwrap();
+        drop(f);
+
+        let wal = Wal::with_config(WalConfig {
+            path: Some(path.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(wal.last_seq(), 2, "torn entry truncated on recovery");
+        // The writer retries; sequence 3 is reused for different content.
+        assert_eq!(wal.append(b"three-retry".to_vec()).unwrap(), 3);
+        let resumed = wal.read_from(saved_pos);
+        assert_eq!(resumed.len(), 1);
+        assert_eq!(resumed[0].seq, 3);
+        assert_eq!(
+            resumed[0].payload, b"three-retry",
+            "resumed cursor must see the surviving write at the reused seq"
+        );
+        // A fresh tail watcher starts after the retried entry.
+        let mut w = wal.watch();
+        assert_eq!(w.position(), 4);
+        assert!(w.poll().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
 }

@@ -27,10 +27,15 @@ fn check_seed_with(seed: u64, opts: NemesisOptions) -> usize {
                 observed.push_str(&format!("  t{t}#{i} {r:?}\n"));
             }
         }
+        let dump = report
+            .dump_path
+            .as_ref()
+            .map(|p| format!("forensic dump (metrics + trace tree): {}\n", p.display()))
+            .unwrap_or_default();
         panic!(
             "divergence at seed {seed}: {d}\n\
              reproduce with: CFS_SIM_SEED={seed} cargo test --test nemesis single_seed_from_env -- --ignored\n\
-             canonical op history:\n{}observed results (wall-clock dependent):\n{observed}",
+             {dump}canonical op history:\n{}observed results (wall-clock dependent):\n{observed}",
             report.canonical_log()
         );
     }
