@@ -1,0 +1,184 @@
+//! Crash-restart recovery — kill −9 a TafDB replica and rebuild it from disk.
+//!
+//! Not a paper figure: CFS §4 keeps each shard's authoritative state in a
+//! Raft group whose replicas must survive process death, and this bench
+//! drives that durability loop end to end. A deployment is populated under
+//! a contended create mix until every shard has taken at least one
+//! snapshot, then a follower of shard 0 is crashed (volatile state dropped
+//! on the floor, exactly what `kill -9` leaves behind) and rebuilt from its
+//! snapshot + log WAL while the same mix keeps running. The bench reports
+//! how long the rebuild took, how far behind the rebuilt replica came up,
+//! and how long it took to re-join the quorum's applied frontier.
+//!
+//! Knobs: `CFS_RESTART_CATCHUP_MS` (catch-up deadline, default 10000ms),
+//! plus the usual `CFS_BENCH_SCALE`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cfs_bench::{
+    banner, bench_cfs_config, cell_duration, default_clients, expectation, write_bench_json, Json,
+};
+use cfs_core::CfsCluster;
+use cfs_harness::metrics::fmt_ops;
+use cfs_harness::workload::{prepare_op_workload, run_op_bench, MetaOp, WorkloadOptions};
+
+/// Snapshot threshold for this bench: low enough that the populate phase
+/// compacts several times, so the rebuilt replica genuinely recovers from
+/// snapshot + log tail rather than replaying the whole history.
+const SNAPSHOT_THRESHOLD: u64 = 64;
+
+fn main() {
+    let clients = default_clients();
+    let catchup_ms: u64 = std::env::var("CFS_RESTART_CATCHUP_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000);
+    banner(
+        "Restart",
+        "kill -9 a TafDB replica and rebuild it from snapshot + log WAL",
+        &format!("clients={clients}, 2 shards x3, snapshot-threshold={SNAPSHOT_THRESHOLD}"),
+    );
+    expectation(&[
+        "populate: snapshots compact each replica's log below the threshold",
+        "rebuild: bounded by snapshot restore + log tail replay, not full history",
+        "catch-up: the rebuilt follower re-joins the applied frontier in-flight",
+    ]);
+
+    let mut config = bench_cfs_config(2, 2);
+    config.raft.snapshot_threshold = SNAPSHOT_THRESHOLD;
+    let cluster = Arc::new(CfsCluster::start(config).expect("boot cfs"));
+    let opts = WorkloadOptions {
+        clients,
+        duration: cell_duration(),
+        contention: 0.1,
+        files_per_client: 0,
+        ..Default::default()
+    };
+    prepare_op_workload(&cluster.client(), MetaOp::Create, &opts).expect("prepare");
+    let populate = run_op_bench(|_| cluster.client(), MetaOp::Create, &opts).throughput();
+
+    let group = cluster.taf_groups()[0].clone();
+    let leader = group.raft().leader().expect("shard 0 has a leader");
+    let victim = group
+        .raft()
+        .nodes()
+        .into_iter()
+        .find(|n| n.id() != leader.id())
+        .expect("shard 0 has a follower");
+    let victim_id = victim.id();
+    let pre_snap = victim.snapshot_index();
+    let pre_log = victim.log_len();
+    assert!(
+        pre_snap > 0,
+        "populate phase must have produced at least one snapshot"
+    );
+    drop(victim);
+
+    // Crash + rebuild while the mix keeps running, so recovery is measured
+    // under the same interference a production restart would see.
+    let mut during_opts = opts.clone();
+    during_opts.seed = opts.seed + 1;
+    let (rebuild, catchup, came_up_behind) = std::thread::scope(|scope| {
+        let c = Arc::clone(&cluster);
+        let g = Arc::clone(&group);
+        let restarter = scope.spawn(move || {
+            c.crash_node(victim_id).expect("crash taf follower");
+            let t0 = Instant::now();
+            c.restart_node(victim_id).expect("rebuild taf follower");
+            let rebuild = t0.elapsed();
+            let target = g
+                .raft()
+                .leader()
+                .map(|l| l.commit_index())
+                .unwrap_or_default();
+            let node = g
+                .raft()
+                .nodes()
+                .into_iter()
+                .find(|n| n.id() == victim_id)
+                .expect("rebuilt replica is registered");
+            let behind = target.saturating_sub(node.applied_index());
+            let t1 = Instant::now();
+            while node.applied_index() < target {
+                assert!(
+                    t1.elapsed() < Duration::from_millis(catchup_ms),
+                    "rebuilt replica stuck {} entries behind after {catchup_ms}ms",
+                    target.saturating_sub(node.applied_index())
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            (rebuild, t1.elapsed(), behind)
+        });
+        run_op_bench(|_| cluster.client(), MetaOp::Create, &during_opts);
+        restarter.join().expect("restarter thread")
+    });
+
+    let node = group
+        .raft()
+        .nodes()
+        .into_iter()
+        .find(|n| n.id() == victim_id)
+        .expect("rebuilt replica");
+    let post_snap = node.snapshot_index();
+    let post_log = node.log_len();
+
+    let mut post_opts = opts.clone();
+    post_opts.seed = opts.seed + 2;
+    let post = run_op_bench(|_| cluster.client(), MetaOp::Create, &post_opts).throughput();
+
+    println!(
+        "{:>14} {:>14} {:>14} {:>14}",
+        "populate", "rebuild", "catch-up", "post-restart"
+    );
+    println!(
+        "{:>14} {:>14} {:>14} {:>14}",
+        fmt_ops(populate),
+        format!("{:.2}ms", rebuild.as_secs_f64() * 1e3),
+        format!("{:.2}ms", catchup.as_secs_f64() * 1e3),
+        fmt_ops(post),
+    );
+    println!();
+    println!(
+        "  victim before crash: snapshot_index={pre_snap} log_len={pre_log} \
+         (threshold={SNAPSHOT_THRESHOLD})"
+    );
+    println!(
+        "  rebuilt replica: came up {came_up_behind} entries behind the commit frontier, \
+         now snapshot_index={post_snap} log_len={post_log}"
+    );
+
+    write_bench_json(
+        "fig_restart",
+        &Json::obj(vec![
+            ("figure", Json::Str("fig_restart".to_string())),
+            (
+                "op_mix",
+                Json::Str(
+                    "contended creates (contention=0.1) across a follower kill -9".to_string(),
+                ),
+            ),
+            ("clients", Json::Int(clients as u64)),
+            ("snapshot_threshold", Json::Int(SNAPSHOT_THRESHOLD)),
+            (
+                "throughput_ops_s",
+                Json::obj(vec![
+                    ("populate", Json::Num(populate)),
+                    ("post_restart", Json::Num(post)),
+                ]),
+            ),
+            (
+                "recovery",
+                Json::obj(vec![
+                    ("rebuild_ms", Json::Num(rebuild.as_secs_f64() * 1e3)),
+                    ("catchup_ms", Json::Num(catchup.as_secs_f64() * 1e3)),
+                    ("came_up_behind_entries", Json::Int(came_up_behind)),
+                    ("pre_crash_snapshot_index", Json::Int(pre_snap)),
+                    ("pre_crash_log_len", Json::Int(pre_log)),
+                    ("post_recovery_snapshot_index", Json::Int(post_snap)),
+                    ("post_recovery_log_len", Json::Int(post_log)),
+                ]),
+            ),
+        ]),
+    );
+}

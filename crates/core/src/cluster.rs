@@ -12,7 +12,7 @@ use cfs_renamer::{RenamerClient, RenamerService};
 use cfs_rpc::{NetConfig, Network};
 use cfs_tafdb::router::{PartitionMap, ShardInfo};
 use cfs_tafdb::{ReadConsistency, TafBackendGroup, TafDbClient, TimeService, TsClient};
-use cfs_types::{FsResult, NodeId, Record, ShardId, Timestamp, ROOT_INODE};
+use cfs_types::{FsError, FsResult, NodeId, Record, ShardId, Timestamp, ROOT_INODE};
 use parking_lot::RwLock;
 
 use crate::client::CfsClient;
@@ -65,6 +65,7 @@ impl Default for CfsConfig {
                 election_timeout_min: Duration::from_millis(100),
                 election_timeout_max: Duration::from_millis(250),
                 heartbeat_interval: Duration::from_millis(25),
+                snapshot_threshold: 256,
                 ..Default::default()
             },
             kv: KvConfig::default(),
@@ -88,6 +89,8 @@ impl CfsConfig {
                 election_timeout_min: Duration::from_millis(50),
                 election_timeout_max: Duration::from_millis(120),
                 heartbeat_interval: Duration::from_millis(15),
+                // Low enough that nemesis-length runs actually compact.
+                snapshot_threshold: 48,
                 ..Default::default()
             },
             ..Default::default()
@@ -281,6 +284,38 @@ impl CfsCluster {
     /// The FileStore groups.
     pub fn fs_groups(&self) -> &[FileStoreGroup] {
         &self.fs_groups
+    }
+
+    /// Simulates kill −9 of the TafDB replica at `id`: the node object and
+    /// every piece of in-flight state it held (proposals, ReadIndex rounds,
+    /// lock-manager waits) are dropped; only its durable [`cfs_raft::RaftStorage`]
+    /// survives, playing the disk.
+    pub fn crash_node(&self, id: NodeId) -> FsResult<()> {
+        let (g, i) = self.find_taf_replica(id)?;
+        g.crash_replica(i);
+        Ok(())
+    }
+
+    /// Brings a crashed TafDB replica back from WAL + snapshot: a fresh
+    /// state machine is restored from the persisted image and log tail,
+    /// registry gauges are re-derived, services are remounted, and the
+    /// replica rejoins its Raft group.
+    pub fn restart_node(&self, id: NodeId) -> FsResult<()> {
+        let (g, i) = self.find_taf_replica(id)?;
+        g.restart_replica(i);
+        Ok(())
+    }
+
+    fn find_taf_replica(&self, id: NodeId) -> FsResult<(Arc<TafBackendGroup>, usize)> {
+        for g in self.taf_groups.read().iter() {
+            if let Some(i) = g.raft().nodes().iter().position(|n| n.id() == id) {
+                return Ok((Arc::clone(g), i));
+            }
+        }
+        Err(FsError::Invalid(format!(
+            "no TafDB replica at node {}",
+            id.0
+        )))
     }
 
     /// Creates a new client with a unique address. Each client caches its

@@ -84,6 +84,16 @@ pub enum Fault {
     Isolate(Target),
     /// Raise the one-way drop rate, in millionths (cleared at window end).
     DropSpike(u32),
+    /// kill −9 one TafDB replica at window start, then rebuild it from its
+    /// durable state (snapshot + log WAL tail) at window end. Unlike
+    /// [`Fault::Kill`] — where the same node object comes back with all its
+    /// volatile state — everything in flight on the replica dies and
+    /// recovery must reconstruct the state machine from disk.
+    Restart(Target),
+    /// Stall every TafDB replica's log-WAL fsync by this many microseconds
+    /// (cleared at window end): commit latency climbs toward the client
+    /// timeout without any message ever being dropped.
+    SlowFsync(u64),
 }
 
 impl fmt::Display for Fault {
@@ -92,6 +102,8 @@ impl fmt::Display for Fault {
             Fault::Kill(t) => write!(f, "kill {t}"),
             Fault::Isolate(t) => write!(f, "isolate {t}"),
             Fault::DropSpike(m) => write!(f, "drop-spike {m}ppm"),
+            Fault::Restart(t) => write!(f, "restart {t}"),
+            Fault::SlowFsync(us) => write!(f, "slow-fsync {us}us"),
         }
     }
 }
@@ -119,19 +131,52 @@ impl NemesisSchedule {
     /// Derives the fault plan for `seed` against a `taf_shards`×/`fs_groups`×
     /// `replication` deployment. Pure: same inputs, same schedule.
     pub fn generate(seed: u64, taf_shards: usize, fs_groups: usize, replication: usize) -> Self {
+        Self::generate_with(
+            seed,
+            taf_shards,
+            fs_groups,
+            replication,
+            &NemesisOptions::default(),
+        )
+    }
+
+    /// Like [`NemesisSchedule::generate`], but options can widen the fault
+    /// family: `restarts` adds kill −9 + rebuild-from-disk windows,
+    /// `slow_fsync` adds log-WAL fsync stalls. With default options the plan
+    /// is identical to [`NemesisSchedule::generate`]'s. Pure in all inputs.
+    pub fn generate_with(
+        seed: u64,
+        taf_shards: usize,
+        fs_groups: usize,
+        replication: usize,
+        opts: &NemesisOptions,
+    ) -> Self {
         let mut rng = SimRng::from_seed(seed).split(LBL_SCHEDULE);
         let mut windows = Vec::new();
         let count = 3 + rng.below(3); // 3..=5 windows
         let mut cursor = 60u64;
+        // Opted-in fault classes widen the bucket die; the base classes keep
+        // buckets 0..10 so a default-options plan is byte-identical to the
+        // historical one.
+        let buckets = 10 + u64::from(opts.restarts) * 3 + u64::from(opts.slow_fsync) * 2;
         for _ in 0..count {
             let start_ms = cursor + 20 + rng.below(70);
             let dur = 80 + rng.below(170); // 80..250 ms
-            let fault = match rng.below(10) {
+            let fault = match rng.below(buckets) {
                 0..=3 => Fault::Kill(pick_target(&mut rng, taf_shards, fs_groups, replication)),
                 4..=6 => Fault::Isolate(pick_target(&mut rng, taf_shards, fs_groups, replication)),
                 // 10%..40% one-way drop: disruptive but recoverable within
                 // the Raft heartbeat/resend cycle.
-                _ => Fault::DropSpike(100_000 + rng.below(300_000) as u32),
+                7..=9 => Fault::DropSpike(100_000 + rng.below(300_000) as u32),
+                // Restarts target the durable (TafDB) replicas only — the
+                // whole point is recovering a state machine from disk.
+                b if opts.restarts && b < 13 => Fault::Restart(Target {
+                    taf: true,
+                    group: rng.below(taf_shards as u64) as usize,
+                    replica: rng.below(replication as u64) as usize,
+                }),
+                // 500µs..3ms of extra fsync latency per log append.
+                _ => Fault::SlowFsync(500 + rng.below(2500)),
             };
             windows.push(FaultWindow {
                 start_ms,
@@ -477,6 +522,13 @@ pub struct NemesisOptions {
     /// follower reads are still linearizable, so acknowledged writes must
     /// never be lost and the final namespace must match a candidate.
     pub read_index: bool,
+    /// Add [`Fault::Restart`] windows to the schedule: a TafDB replica is
+    /// kill −9'd and later rebuilt from its snapshot + log WAL — the
+    /// crash-restart recovery nemesis.
+    pub restarts: bool,
+    /// Add [`Fault::SlowFsync`] windows: every TafDB replica's log fsync
+    /// stalls for the window, squeezing commit latency without drops.
+    pub slow_fsync: bool,
 }
 
 impl Default for NemesisOptions {
@@ -488,6 +540,8 @@ impl Default for NemesisOptions {
                 .unwrap_or(50),
             splits: 0,
             read_index: false,
+            restarts: false,
+            slow_fsync: false,
         }
     }
 }
@@ -501,6 +555,11 @@ pub struct NemesisReport {
     /// Splits that completed their cutover (≤ `NemesisOptions::splits`; the
     /// rest aborted against a fault window, which is also a valid outcome).
     pub splits_ok: usize,
+    /// Largest Raft log length across all TafDB replicas after the post-run
+    /// quiesce. With snapshots enabled ([`cfs_raft::RaftConfig::snapshot_threshold`])
+    /// this stays bounded near the threshold no matter how many ops ran —
+    /// the compaction half of the durability loop, asserted by the sweeps.
+    pub max_taf_log_len: u64,
     /// First divergence found, if any.
     pub divergence: Option<Divergence>,
     /// Forensic dump written on divergence: per-node metrics snapshots and
@@ -551,11 +610,12 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
     if opts.read_index {
         config.read_consistency = cfs_core::ReadConsistency::ReadIndex;
     }
-    let schedule = NemesisSchedule::generate(
+    let schedule = NemesisSchedule::generate_with(
         seed,
         config.taf_shards,
         config.filestore_nodes,
         config.replication,
+        &opts,
     );
     let canonical = canonical_log_for(seed, &opts, &schedule);
 
@@ -655,12 +715,26 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
                     net.partition(vec![vec![victim], rest]);
                 }
                 Fault::DropSpike(ppm) => net.set_drop_rate(ppm as f64 / 1e6),
+                Fault::Restart(t) => cluster.crash_node(resolve(t)).expect("crash taf replica"),
+                Fault::SlowFsync(us) => {
+                    for g in cluster.taf_groups() {
+                        g.set_fsync_latency(Duration::from_micros(us));
+                    }
+                }
             }
             sleep_until(start, w.end_ms);
             match w.fault {
                 Fault::Kill(t) => net.revive(resolve(t)),
                 Fault::Isolate(_) => net.heal(),
                 Fault::DropSpike(_) => net.set_drop_rate(0.0),
+                Fault::Restart(t) => cluster
+                    .restart_node(resolve(t))
+                    .expect("restart taf replica"),
+                Fault::SlowFsync(_) => {
+                    for g in cluster.taf_groups() {
+                        g.set_fsync_latency(Duration::ZERO);
+                    }
+                }
             }
         }
 
@@ -688,6 +762,7 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
     net.heal();
     net.set_drop_rate(0.0);
     for g in cluster.taf_groups() {
+        g.set_fsync_latency(Duration::ZERO);
         for n in g.raft().nodes() {
             net.revive(n.id());
         }
@@ -711,6 +786,17 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
             .wait_quiescent(Duration::from_secs(30))
             .expect("fs quiesce");
     }
+
+    // The compaction oracle's input: with snapshots on, no TafDB replica's
+    // log may have grown past the snapshot threshold (plus the entries
+    // applied since the last compaction point).
+    let max_taf_log_len = cluster
+        .taf_groups()
+        .iter()
+        .flat_map(|g| g.raft().nodes())
+        .map(|n| n.log_len())
+        .max()
+        .unwrap_or(0);
 
     // If any op was abandoned at an indeterminate result, its proposal may
     // still be in flight (bounded by the raft propose timeout, plus a
@@ -752,6 +838,7 @@ pub fn run_nemesis(seed: u64, opts: NemesisOptions) -> NemesisReport {
         seed,
         results,
         splits_ok,
+        max_taf_log_len,
         divergence,
         dump_path,
         canonical,
@@ -858,6 +945,44 @@ mod tests {
         for w in a.windows.windows(2) {
             assert!(w[0].end_ms <= w[1].start_ms);
         }
+    }
+
+    #[test]
+    fn extended_schedule_is_pure_and_restarts_target_taf_only() {
+        let opts = NemesisOptions {
+            restarts: true,
+            slow_fsync: true,
+            ..NemesisOptions::default()
+        };
+        let a = NemesisSchedule::generate_with(7, 2, 2, 3, &opts);
+        assert_eq!(a, NemesisSchedule::generate_with(7, 2, 2, 3, &opts));
+        // Default options reproduce the base plan exactly.
+        assert_eq!(
+            NemesisSchedule::generate(7, 2, 2, 3),
+            NemesisSchedule::generate_with(7, 2, 2, 3, &NemesisOptions::default())
+        );
+        // Over many seeds: restarts only ever hit durable TafDB replicas,
+        // fsync stalls stay in their stated band, and both classes actually
+        // occur in the family.
+        let (mut restarts, mut stalls) = (0, 0);
+        for seed in 0..64 {
+            for w in NemesisSchedule::generate_with(seed, 2, 2, 3, &opts).windows {
+                match w.fault {
+                    Fault::Restart(t) => {
+                        assert!(t.taf, "restart must target a TafDB replica");
+                        assert!(t.group < 2 && t.replica < 3);
+                        restarts += 1;
+                    }
+                    Fault::SlowFsync(us) => {
+                        assert!((500..3000).contains(&us), "stall out of band: {us}");
+                        stalls += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert!(restarts > 0, "no Restart windows in 64 seeds");
+        assert!(stalls > 0, "no SlowFsync windows in 64 seeds");
     }
 
     #[test]

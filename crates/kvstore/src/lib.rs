@@ -19,4 +19,4 @@ pub mod memtable;
 pub mod sstable;
 pub mod store;
 
-pub use store::{KvConfig, KvStore, RangeSnapshot, WriteOp};
+pub use store::{CheckpointInfo, KvConfig, KvStore, RangeSnapshot, WriteOp};

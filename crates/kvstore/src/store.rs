@@ -1,9 +1,11 @@
 //! The concurrent LSM store facade.
 
+use std::io::Write as _;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use cfs_types::codec::{Decode, DecodeError, Encode, EncodeListItem};
-use cfs_types::FsResult;
+use cfs_types::{FsError, FsResult};
 use cfs_wal::{Wal, WalConfig};
 use parking_lot::RwLock;
 
@@ -92,11 +94,54 @@ struct State {
     next_generation: u64,
 }
 
+/// Metadata of a durable checkpoint (the sidecar file a file-backed store
+/// writes next to its WAL). Recovery loads the newest valid checkpoint and
+/// replays only WAL entries *after* [`CheckpointInfo::wal_cursor`], so
+/// restart cost is bounded by the data written since the last checkpoint —
+/// not by the full history.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CheckpointInfo {
+    /// The last applied Raft index the owning state machine tagged the
+    /// checkpoint with (0 when unreplicated).
+    pub applied_index: u64,
+    /// The shard's partition-map epoch at checkpoint time (0 when the store
+    /// backs no shard).
+    pub epoch: u64,
+    /// Highest WAL sequence whose effects the checkpoint contains.
+    pub wal_cursor: u64,
+    /// Live entries serialized into the checkpoint.
+    pub entries: u64,
+}
+
+/// Simulated kill −9 points inside [`KvStore::checkpoint`], used by the
+/// crash-point matrix test: whichever step the crash lands on, a reopen must
+/// observe either the previous checkpoint or the new one — never a torn mix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CrashPoint {
+    /// Crash before any checkpoint byte reaches the temp file.
+    BeforeTmpWrite,
+    /// Crash mid-write: the temp file holds a torn prefix.
+    TornTmpWrite,
+    /// Crash after the temp file is complete but before the atomic rename.
+    BeforeRename,
+    /// Crash immediately after the rename (the checkpoint is installed).
+    AfterRename,
+}
+
+const CKPT_MAGIC: &[u8; 4] = b"CFSC";
+const CKPT_VERSION: u8 = 1;
+
 /// A thread-safe LSM key-value store.
 pub struct KvStore {
     state: RwLock<State>,
     wal: Option<Wal>,
     config: KvConfig,
+    /// Checkpoint loaded at open (if any); updated by [`KvStore::checkpoint`].
+    last_checkpoint: RwLock<Option<CheckpointInfo>>,
+    /// WAL entries replayed at open — the count-based (timing-insensitive)
+    /// witness that recovery honored the checkpoint cursor instead of
+    /// replaying from offset 0.
+    recovered_entries: usize,
 }
 
 impl KvStore {
@@ -105,15 +150,35 @@ impl KvStore {
         KvStore::with_config(KvConfig::default()).expect("in-memory store cannot fail")
     }
 
-    /// Creates a store, replaying the WAL if one is configured and present.
+    /// Creates a store, recovering durable state if a file-backed WAL is
+    /// configured: the newest valid checkpoint sidecar is loaded first, then
+    /// the WAL is replayed strictly *after* the checkpoint's cursor. A
+    /// missing, torn, or corrupt checkpoint falls back to full WAL replay,
+    /// so a crash at any point of checkpoint creation leaves the store
+    /// recoverable to the pre-checkpoint state.
     pub fn with_config(config: KvConfig) -> FsResult<KvStore> {
         let wal = match &config.wal {
             Some(wal_cfg) => Some(Wal::with_config(wal_cfg.clone())?),
             None => None,
         };
         let mut mem = Memtable::new();
+        let mut loaded_ckpt = None;
+        let mut replay_from = 1u64;
+        if let Some(path) = Self::checkpoint_path(&config) {
+            // A stale temp file is a crashed checkpoint attempt that never
+            // got installed; it must not influence recovery.
+            let _ = std::fs::remove_file(Self::tmp_path(&path));
+            if let Some((info, entries)) = load_checkpoint(&path) {
+                for (k, v) in entries {
+                    mem.put(k, v);
+                }
+                replay_from = info.wal_cursor + 1;
+                loaded_ckpt = Some(info);
+            }
+        }
+        let mut recovered_entries = 0usize;
         if let Some(wal) = &wal {
-            for entry in wal.read_from(1) {
+            for entry in wal.read_from(replay_from) {
                 let batch = Vec::<WriteOp>::from_bytes(&entry.payload)?;
                 for op in batch {
                     match op {
@@ -121,6 +186,7 @@ impl KvStore {
                         WriteOp::Delete(k) => mem.delete(k),
                     }
                 }
+                recovered_entries += 1;
             }
         }
         Ok(KvStore {
@@ -131,7 +197,121 @@ impl KvStore {
             }),
             wal,
             config,
+            last_checkpoint: RwLock::new(loaded_ckpt),
+            recovered_entries,
         })
+    }
+
+    fn checkpoint_path(config: &KvConfig) -> Option<PathBuf> {
+        let wal_path = config.wal.as_ref()?.path.as_ref()?;
+        let mut os = wal_path.clone().into_os_string();
+        os.push(".ckpt");
+        Some(PathBuf::from(os))
+    }
+
+    fn tmp_path(ckpt: &std::path::Path) -> PathBuf {
+        let mut os = ckpt.to_path_buf().into_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    }
+
+    /// Writes a durable checkpoint tagged with the owning state machine's
+    /// last applied Raft index and partition-map epoch.
+    ///
+    /// The checkpoint is the LSM analogue of "hardlink the immutable levels,
+    /// flush the sealed memtable": the memtable is sealed and flushed into
+    /// an immutable run, the current runs are pinned via `Arc` (our
+    /// zero-copy stand-in for hardlinks), and the resulting live set is
+    /// serialized to a sidecar written atomically (temp file + rename).
+    /// Requires a file-backed WAL; the WAL cursor recorded in the sidecar is
+    /// where the next recovery resumes replay.
+    pub fn checkpoint(&self, applied_index: u64, epoch: u64) -> FsResult<CheckpointInfo> {
+        self.checkpoint_at(applied_index, epoch, None)
+    }
+
+    fn checkpoint_at(
+        &self,
+        applied_index: u64,
+        epoch: u64,
+        crash: Option<CrashPoint>,
+    ) -> FsResult<CheckpointInfo> {
+        let Some(path) = Self::checkpoint_path(&self.config) else {
+            return Err(FsError::Invalid(
+                "checkpoint requires a file-backed WAL".into(),
+            ));
+        };
+        let wal = self.wal.as_ref().expect("file-backed wal present");
+        // Cursor first, snapshot second: any batch racing this ordering is
+        // both in the snapshot and replayed after the cursor, and replay is
+        // order-preserving, so re-applying it converges to the same state.
+        let wal_cursor = wal.last_seq();
+        // Seal and flush the memtable so the checkpoint serializes from
+        // immutable runs only.
+        self.flush();
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = self.range_snapshot(&[], None).collect();
+        let info = CheckpointInfo {
+            applied_index,
+            epoch,
+            wal_cursor,
+            entries: entries.len() as u64,
+        };
+
+        let crashed = |p: CrashPoint| -> FsResult<()> {
+            if crash == Some(p) {
+                return Err(FsError::Corrupted(format!("simulated crash at {p:?}")));
+            }
+            Ok(())
+        };
+
+        let started = std::time::Instant::now();
+        let body = encode_checkpoint(&info, &entries);
+        let tmp = Self::tmp_path(&path);
+        crashed(CrashPoint::BeforeTmpWrite)?;
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            if crash == Some(CrashPoint::TornTmpWrite) {
+                f.write_all(&body[..body.len() / 2])?;
+                f.sync_data()?;
+                return Err(FsError::Corrupted("simulated crash at TornTmpWrite".into()));
+            }
+            f.write_all(&body)?;
+            f.sync_data()?;
+        }
+        crashed(CrashPoint::BeforeRename)?;
+        std::fs::rename(&tmp, &path)?;
+        // The install point: everything before the rename recovers to the
+        // old checkpoint, everything after it to the new one.
+        let result = crashed(CrashPoint::AfterRename);
+        // Entries at or below the cursor are now covered by the checkpoint;
+        // drop them from WAL memory (the file is append-only — bounding
+        // *replay* is the cursor's job, bounding memory is this one's).
+        wal.truncate_prefix(wal_cursor);
+        *self.last_checkpoint.write() = Some(info);
+        cfs_obs::profiler::record_local_ns("kv_checkpoint_ns", started.elapsed().as_nanos() as u64);
+        result?;
+        Ok(info)
+    }
+
+    /// The newest checkpoint this store loaded at open or wrote since.
+    pub fn last_checkpoint(&self) -> Option<CheckpointInfo> {
+        *self.last_checkpoint.read()
+    }
+
+    /// WAL entries replayed when this store was opened. With a checkpoint at
+    /// cursor `c` and `n` batches appended after it, recovery replays exactly
+    /// `n` entries — the regression guard against replay-from-offset-0.
+    pub fn recovered_entries(&self) -> usize {
+        self.recovered_entries
+    }
+
+    /// Discards all in-memory state (memtable and tables), returning the
+    /// store to empty. Snapshot installation uses this to replace contents
+    /// wholesale; durability of the new contents is the caller's concern
+    /// (a Raft snapshot subsumes the replaced log).
+    pub fn reset(&self) {
+        let mut st = self.state.write();
+        st.mem = Memtable::new();
+        st.tables.clear();
     }
 
     /// Returns the WAL, if configured (the GC watches it).
@@ -380,6 +560,79 @@ impl KvStore {
             stall_started.elapsed().as_nanos() as u64,
         );
     }
+}
+
+/// Serializes a checkpoint sidecar: magic, version, tags, cursor, entries,
+/// then a trailing CRC over everything after the magic. The CRC is what
+/// makes a torn sidecar (crash mid-write, cut file) detectably invalid
+/// rather than silently half-loaded.
+fn encode_checkpoint(info: &CheckpointInfo, entries: &[(Vec<u8>, Vec<u8>)]) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(CKPT_MAGIC);
+    body.push(CKPT_VERSION);
+    cfs_types::codec::write_varint(info.applied_index, &mut body);
+    cfs_types::codec::write_varint(info.epoch, &mut body);
+    cfs_types::codec::write_varint(info.wal_cursor, &mut body);
+    cfs_types::codec::write_varint(entries.len() as u64, &mut body);
+    for (k, v) in entries {
+        cfs_types::codec::write_varint(k.len() as u64, &mut body);
+        body.extend_from_slice(k);
+        cfs_types::codec::write_varint(v.len() as u64, &mut body);
+        body.extend_from_slice(v);
+    }
+    let crc = cfs_wal::crc32::crc32(&body[CKPT_MAGIC.len()..]);
+    body.extend_from_slice(&crc.to_le_bytes());
+    body
+}
+
+/// Loads and validates a checkpoint sidecar; `None` on missing, torn, or
+/// corrupt files (recovery then falls back to full WAL replay).
+#[allow(clippy::type_complexity)]
+fn load_checkpoint(path: &std::path::Path) -> Option<(CheckpointInfo, Vec<(Vec<u8>, Vec<u8>)>)> {
+    let data = std::fs::read(path).ok()?;
+    let rest = data.strip_prefix(CKPT_MAGIC.as_slice())?;
+    if rest.len() < 4 {
+        return None;
+    }
+    let (body, crc_bytes) = rest.split_at(rest.len() - 4);
+    let expect = u32::from_le_bytes(crc_bytes.try_into().ok()?);
+    if cfs_wal::crc32::crc32(body) != expect {
+        return None;
+    }
+    let mut input = body;
+    let take = |input: &mut &[u8], n: usize| -> Option<Vec<u8>> {
+        if input.len() < n {
+            return None;
+        }
+        let (head, tail) = input.split_at(n);
+        let out = head.to_vec();
+        *input = tail;
+        Some(out)
+    };
+    if take(&mut input, 1)? != [CKPT_VERSION] {
+        return None;
+    }
+    let applied_index = cfs_types::codec::read_varint(&mut input).ok()?;
+    let epoch = cfs_types::codec::read_varint(&mut input).ok()?;
+    let wal_cursor = cfs_types::codec::read_varint(&mut input).ok()?;
+    let count = cfs_types::codec::read_varint(&mut input).ok()?;
+    let mut entries = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let klen = cfs_types::codec::read_varint(&mut input).ok()? as usize;
+        let k = take(&mut input, klen)?;
+        let vlen = cfs_types::codec::read_varint(&mut input).ok()? as usize;
+        let v = take(&mut input, vlen)?;
+        entries.push((k, v));
+    }
+    Some((
+        CheckpointInfo {
+            applied_index,
+            epoch,
+            wal_cursor,
+            entries: count,
+        },
+        entries,
+    ))
 }
 
 /// A consistent point-in-time iterator over one key range of a [`KvStore`],
@@ -708,6 +961,235 @@ mod tests {
         assert_eq!(kv.get(b"persist"), Some(b"me".to_vec()));
         assert_eq!(kv.get(b"gone"), None);
         let _ = std::fs::remove_file(&path);
+    }
+
+    fn file_cfg(name: &str) -> (KvConfig, PathBuf) {
+        let dir = std::env::temp_dir().join("cfs-kv-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(
+            KvStore::checkpoint_path(&KvConfig {
+                wal: Some(WalConfig {
+                    path: Some(path.clone()),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            })
+            .unwrap(),
+        );
+        (
+            KvConfig {
+                wal: Some(WalConfig {
+                    path: Some(path.clone()),
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+            path,
+        )
+    }
+
+    fn cleanup(path: &PathBuf) {
+        let _ = std::fs::remove_file(path);
+        let mut ckpt = path.clone().into_os_string();
+        ckpt.push(".ckpt");
+        let _ = std::fs::remove_file(PathBuf::from(ckpt.clone()));
+        ckpt.push(".tmp");
+        let _ = std::fs::remove_file(PathBuf::from(ckpt));
+    }
+
+    #[test]
+    fn recovery_replays_only_entries_after_the_checkpoint_cursor() {
+        let (cfg, path) = file_cfg("ckpt-cursor");
+        {
+            let kv = KvStore::with_config(cfg.clone()).unwrap();
+            for i in 0..100u32 {
+                kv.put(i.to_be_bytes().to_vec(), vec![1]).unwrap();
+            }
+            kv.sync().unwrap();
+            let info = kv.checkpoint(7, 3).unwrap();
+            assert_eq!(info.wal_cursor, 100);
+            assert_eq!((info.applied_index, info.epoch), (7, 3));
+            // Five more batches after the checkpoint.
+            for i in 100..105u32 {
+                kv.put(i.to_be_bytes().to_vec(), vec![2]).unwrap();
+            }
+            kv.sync().unwrap();
+        }
+        let kv = KvStore::with_config(cfg).unwrap();
+        // The count-based regression guard: replay must cover exactly the
+        // post-checkpoint suffix, not the full 105-entry history.
+        assert_eq!(kv.recovered_entries(), 5);
+        assert_eq!(kv.last_checkpoint().unwrap().wal_cursor, 100);
+        assert_eq!(kv.approx_live_entries(), 105);
+        assert_eq!(kv.get(&0u32.to_be_bytes()), Some(vec![1]));
+        assert_eq!(kv.get(&104u32.to_be_bytes()), Some(vec![2]));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn recovery_without_checkpoint_replays_everything() {
+        let (cfg, path) = file_cfg("ckpt-none");
+        {
+            let kv = KvStore::with_config(cfg.clone()).unwrap();
+            for i in 0..10u32 {
+                kv.put(i.to_be_bytes().to_vec(), vec![1]).unwrap();
+            }
+            kv.sync().unwrap();
+        }
+        let kv = KvStore::with_config(cfg).unwrap();
+        assert_eq!(kv.recovered_entries(), 10);
+        assert!(kv.last_checkpoint().is_none());
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_deletes_survive_recovery() {
+        // A delete recorded *before* the checkpoint must not resurrect: the
+        // checkpoint serializes live entries only, and replay starts after
+        // its cursor.
+        let (cfg, path) = file_cfg("ckpt-del");
+        {
+            let kv = KvStore::with_config(cfg.clone()).unwrap();
+            kv.put(b"keep".to_vec(), b"v".to_vec()).unwrap();
+            kv.put(b"gone".to_vec(), b"v".to_vec()).unwrap();
+            kv.delete(b"gone".to_vec()).unwrap();
+            kv.sync().unwrap();
+            kv.checkpoint(1, 0).unwrap();
+            kv.delete(b"keep2-not-there".to_vec()).unwrap();
+            kv.sync().unwrap();
+        }
+        let kv = KvStore::with_config(cfg).unwrap();
+        assert_eq!(kv.get(b"keep"), Some(b"v".to_vec()));
+        assert_eq!(kv.get(b"gone"), None);
+        assert_eq!(kv.recovered_entries(), 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_point_matrix_recovers_old_or_new_checkpoint_never_torn() {
+        // Simulated kill −9 at every step of checkpoint creation and
+        // installation. The invariant at each point: reopening recovers the
+        // exact logical state (old checkpoint + WAL tail, or new
+        // checkpoint), never a torn mix and never data loss.
+        for crash in [
+            CrashPoint::BeforeTmpWrite,
+            CrashPoint::TornTmpWrite,
+            CrashPoint::BeforeRename,
+            CrashPoint::AfterRename,
+        ] {
+            let (cfg, path) = file_cfg(&format!("ckpt-crash-{crash:?}"));
+            {
+                let kv = KvStore::with_config(cfg.clone()).unwrap();
+                // An initial installed checkpoint (the "old" one).
+                for i in 0..20u32 {
+                    kv.put(i.to_be_bytes().to_vec(), b"old".to_vec()).unwrap();
+                }
+                kv.sync().unwrap();
+                kv.checkpoint(1, 0).unwrap();
+                // More writes, then a checkpoint attempt that crashes.
+                for i in 20..30u32 {
+                    kv.put(i.to_be_bytes().to_vec(), b"new".to_vec()).unwrap();
+                }
+                kv.sync().unwrap();
+                let err = kv.checkpoint_at(2, 0, Some(crash)).unwrap_err();
+                assert!(
+                    format!("{err:?}").contains("simulated crash"),
+                    "{crash:?} must surface the injected crash, got {err:?}"
+                );
+            }
+            let kv = KvStore::with_config(cfg).unwrap();
+            let ckpt = kv.last_checkpoint().expect("some checkpoint survives");
+            match crash {
+                CrashPoint::AfterRename => {
+                    // The rename happened: recovery sees the new checkpoint.
+                    assert_eq!(ckpt.applied_index, 2, "{crash:?}");
+                    assert_eq!(kv.recovered_entries(), 0, "{crash:?}");
+                }
+                _ => {
+                    // The rename never happened: the old checkpoint plus WAL
+                    // tail reconstruct the state.
+                    assert_eq!(ckpt.applied_index, 1, "{crash:?}");
+                    assert_eq!(kv.recovered_entries(), 10, "{crash:?}");
+                }
+            }
+            // Either way the logical state is complete.
+            assert_eq!(kv.approx_live_entries(), 30, "{crash:?}");
+            for i in 0..30u32 {
+                let want = if i < 20 {
+                    b"old".to_vec()
+                } else {
+                    b"new".to_vec()
+                };
+                assert_eq!(kv.get(&i.to_be_bytes()), Some(want), "{crash:?} key {i}");
+            }
+            cleanup(&path);
+        }
+    }
+
+    #[test]
+    fn torn_checkpoint_sidecar_is_rejected_and_wal_replay_covers() {
+        // Extension of the WAL torn-tail tests to the snapshot boundary: a
+        // checkpoint file cut mid-entry (or bit-flipped) must fail its CRC
+        // and recovery must fall back to full WAL replay.
+        let (cfg, path) = file_cfg("ckpt-torn");
+        {
+            let kv = KvStore::with_config(cfg.clone()).unwrap();
+            for i in 0..25u32 {
+                kv.put(i.to_be_bytes().to_vec(), vec![9]).unwrap();
+            }
+            kv.sync().unwrap();
+            kv.checkpoint(1, 0).unwrap();
+        }
+        let ckpt_path = KvStore::checkpoint_path(&cfg).unwrap();
+        let full = std::fs::read(&ckpt_path).unwrap();
+        // Torn: cut the file mid-body.
+        std::fs::write(&ckpt_path, &full[..full.len() / 2]).unwrap();
+        {
+            let kv = KvStore::with_config(cfg.clone()).unwrap();
+            assert!(kv.last_checkpoint().is_none(), "torn sidecar must not load");
+            assert_eq!(kv.recovered_entries(), 25, "full replay must cover");
+            assert_eq!(kv.approx_live_entries(), 25);
+        }
+        // Corrupt: flip one byte in the middle.
+        let mut flipped = full.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0xFF;
+        std::fs::write(&ckpt_path, &flipped).unwrap();
+        {
+            let kv = KvStore::with_config(cfg.clone()).unwrap();
+            assert!(
+                kv.last_checkpoint().is_none(),
+                "corrupt sidecar must not load"
+            );
+            assert_eq!(kv.approx_live_entries(), 25);
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_preserves_tags_and_entries() {
+        let entries = vec![
+            (b"a".to_vec(), b"1".to_vec()),
+            (b"bb".to_vec(), Vec::new()),
+            (Vec::new(), b"root".to_vec()),
+        ];
+        let info = CheckpointInfo {
+            applied_index: 42,
+            epoch: 7,
+            wal_cursor: 99,
+            entries: entries.len() as u64,
+        };
+        let body = encode_checkpoint(&info, &entries);
+        let dir = std::env::temp_dir().join("cfs-kv-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("ckpt-rt-{}", std::process::id()));
+        std::fs::write(&p, &body).unwrap();
+        let (got_info, got_entries) = load_checkpoint(&p).unwrap();
+        assert_eq!(got_info, info);
+        assert_eq!(got_entries, entries);
+        let _ = std::fs::remove_file(&p);
     }
 
     #[test]

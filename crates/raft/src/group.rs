@@ -6,56 +6,163 @@ use std::time::{Duration, Instant};
 use cfs_rpc::mux::{MuxService, CH_RAFT};
 use cfs_rpc::Network;
 use cfs_types::{FsError, FsResult, NodeId};
+use parking_lot::RwLock;
 
 use crate::node::{RaftConfig, RaftNode, Role, StateMachine};
+use crate::storage::RaftStorage;
 
 /// A set of [`RaftNode`]s forming one replication group.
 ///
 /// Each node gets a [`MuxService`] registered at its address with the Raft
 /// channel mounted; the owning component can mount additional channels
 /// (application RPC handlers) via [`RaftGroup::mux`].
+///
+/// Groups spawned with [`RaftGroup::spawn_durable`] also support the
+/// crash-restart cycle: [`RaftGroup::crash_replica`] simulates kill −9 (the
+/// node object is dropped; only its [`RaftStorage`] survives, playing the
+/// disk) and [`RaftGroup::restart_replica`] builds a replacement node that
+/// recovers from that storage and rejoins the group.
 pub struct RaftGroup<S: StateMachine> {
-    nodes: Vec<Arc<RaftNode<S>>>,
-    muxes: Vec<Arc<MuxService>>,
+    net: Arc<Network>,
+    ids: Vec<NodeId>,
+    config: RaftConfig,
+    storages: Vec<Option<Arc<RaftStorage>>>,
+    nodes: RwLock<Vec<Arc<RaftNode<S>>>>,
+    muxes: RwLock<Vec<Arc<MuxService>>>,
 }
 
 impl<S: StateMachine> RaftGroup<S> {
     /// Spawns one node per id in `ids`, building each node's state machine
-    /// with `make_sm`.
+    /// with `make_sm`. Nodes are memory-only (no durable storage, no
+    /// restart support).
     pub fn spawn(
         net: &Arc<Network>,
         ids: &[NodeId],
         config: RaftConfig,
+        make_sm: impl FnMut(usize) -> Arc<S>,
+    ) -> RaftGroup<S> {
+        Self::spawn_inner(net, ids, config, make_sm, vec![None; ids.len()])
+    }
+
+    /// Like [`RaftGroup::spawn`], but each replica writes through to its own
+    /// [`RaftStorage`] (one per id, in id order), enabling crash-restart.
+    pub fn spawn_durable(
+        net: &Arc<Network>,
+        ids: &[NodeId],
+        config: RaftConfig,
+        make_sm: impl FnMut(usize) -> Arc<S>,
+        storages: &[Arc<RaftStorage>],
+    ) -> RaftGroup<S> {
+        assert_eq!(storages.len(), ids.len(), "one storage per replica");
+        let storages = storages.iter().cloned().map(Some).collect();
+        Self::spawn_inner(net, ids, config, make_sm, storages)
+    }
+
+    fn spawn_inner(
+        net: &Arc<Network>,
+        ids: &[NodeId],
+        config: RaftConfig,
         mut make_sm: impl FnMut(usize) -> Arc<S>,
+        storages: Vec<Option<Arc<RaftStorage>>>,
     ) -> RaftGroup<S> {
         assert!(!ids.is_empty(), "a raft group needs at least one node");
         let mut nodes = Vec::new();
         let mut muxes = Vec::new();
         for (i, &id) in ids.iter().enumerate() {
             let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p != id).collect();
-            let node = RaftNode::spawn(Arc::clone(net), id, peers, make_sm(i), config.clone());
+            let node = RaftNode::spawn_with_storage(
+                Arc::clone(net),
+                id,
+                peers,
+                make_sm(i),
+                config.clone(),
+                storages[i].clone(),
+            );
             let mux = MuxService::new();
             mux.mount(CH_RAFT, node.service());
             net.register(id, Arc::clone(&mux) as Arc<dyn cfs_rpc::Service>);
             nodes.push(node);
             muxes.push(mux);
         }
-        RaftGroup { nodes, muxes }
+        RaftGroup {
+            net: Arc::clone(net),
+            ids: ids.to_vec(),
+            config,
+            storages,
+            nodes: RwLock::new(nodes),
+            muxes: RwLock::new(muxes),
+        }
     }
 
-    /// The group's nodes, in id order.
-    pub fn nodes(&self) -> &[Arc<RaftNode<S>>] {
-        &self.nodes
+    /// The group's nodes, in id order (a snapshot: a concurrent restart may
+    /// replace a slot after this returns).
+    pub fn nodes(&self) -> Vec<Arc<RaftNode<S>>> {
+        self.nodes.read().clone()
     }
 
     /// The mux registered for node `i`, for mounting application channels.
-    pub fn mux(&self, i: usize) -> &Arc<MuxService> {
-        &self.muxes[i]
+    pub fn mux(&self, i: usize) -> Arc<MuxService> {
+        Arc::clone(&self.muxes.read()[i])
+    }
+
+    /// The network this group communicates over.
+    pub fn net(&self) -> &Arc<Network> {
+        &self.net
+    }
+
+    /// Replica `i`'s durable storage, if the group was spawned durable.
+    pub fn storage(&self, i: usize) -> Option<&Arc<RaftStorage>> {
+        self.storages[i].as_ref()
+    }
+
+    /// Simulates kill −9 of replica `i`: the node is stopped and marked dead
+    /// on the network; every in-flight proposal and ReadIndex round it held
+    /// is dropped on the floor. Only the replica's [`RaftStorage`] survives.
+    pub fn crash_replica(&self, i: usize) {
+        let node = Arc::clone(&self.nodes.read()[i]);
+        self.net.kill(node.id());
+        node.stop();
+    }
+
+    /// Rebuilds replica `i` from its storage after [`RaftGroup::crash_replica`]:
+    /// spawns a fresh node (with a caller-built, empty state machine that
+    /// recovery will restore) and a fresh mux with the Raft channel mounted.
+    ///
+    /// The new mux is returned *unregistered* so the caller can mount its
+    /// application channels first; call [`Network::register`] (which also
+    /// revives the address) to complete the rejoin. [`RaftGroup::restart_and_register`]
+    /// does both for raft-only groups.
+    pub fn restart_replica(&self, i: usize, sm: Arc<S>) -> (Arc<RaftNode<S>>, Arc<MuxService>) {
+        let id = self.ids[i];
+        let peers: Vec<NodeId> = self.ids.iter().copied().filter(|&p| p != id).collect();
+        let node = RaftNode::spawn_with_storage(
+            Arc::clone(&self.net),
+            id,
+            peers,
+            sm,
+            self.config.clone(),
+            self.storages[i].clone(),
+        );
+        let mux = MuxService::new();
+        mux.mount(CH_RAFT, node.service());
+        self.nodes.write()[i] = Arc::clone(&node);
+        self.muxes.write()[i] = Arc::clone(&mux);
+        (node, mux)
+    }
+
+    /// [`RaftGroup::restart_replica`] plus immediate network registration,
+    /// for groups with no application channels.
+    pub fn restart_and_register(&self, i: usize, sm: Arc<S>) -> Arc<RaftNode<S>> {
+        let (node, mux) = self.restart_replica(i, sm);
+        self.net
+            .register(node.id(), mux as Arc<dyn cfs_rpc::Service>);
+        node
     }
 
     /// Returns the current leader node, if any member believes it leads.
     pub fn leader(&self) -> Option<Arc<RaftNode<S>>> {
         self.nodes
+            .read()
             .iter()
             .find(|n| n.role() == Role::Leader)
             .cloned()
@@ -81,13 +188,13 @@ impl<S: StateMachine> RaftGroup<S> {
         let deadline = Instant::now() + timeout;
         let mut target = 0usize;
         loop {
-            let node = &self.nodes[target % self.nodes.len()];
+            // Re-snapshot each attempt so a restarted replica is picked up.
+            let nodes = self.nodes();
+            let node = &nodes[target % nodes.len()];
             match node.propose(cmd.clone()) {
                 Ok(resp) => return Ok(resp),
                 Err(FsError::NotLeader(hint)) => {
-                    if let Some(h) =
-                        hint.and_then(|h| self.nodes.iter().position(|n| n.id().0 == h))
-                    {
+                    if let Some(h) = hint.and_then(|h| nodes.iter().position(|n| n.id().0 == h)) {
                         target = h;
                     } else {
                         target += 1;
@@ -118,6 +225,7 @@ impl<S: StateMachine> RaftGroup<S> {
             if self.propose(Vec::new(), step).is_ok() {
                 let claimants = self
                     .nodes
+                    .read()
                     .iter()
                     .filter(|n| n.role() == Role::Leader)
                     .count();
@@ -134,7 +242,7 @@ impl<S: StateMachine> RaftGroup<S> {
 
     /// Stops every node in the group.
     pub fn shutdown(&self) {
-        for n in &self.nodes {
+        for n in self.nodes.read().iter() {
             n.stop();
         }
     }
@@ -214,28 +322,453 @@ mod tests {
         group.shutdown();
     }
 
+    /// Snapshot-capable test state machine: counts applied commands and folds
+    /// (index, cmd) into an order-sensitive digest, so two machines are
+    /// replay-equivalent iff `(count, digest)` match. The snapshot is exactly
+    /// that pair — tiny, but it exercises every code path a real image does.
+    struct CountSm {
+        state: Mutex<(u64, u64)>,
+    }
+
+    impl CountSm {
+        fn new() -> Arc<CountSm> {
+            Arc::new(CountSm {
+                state: Mutex::new((0, 0)),
+            })
+        }
+
+        fn count(&self) -> u64 {
+            self.state.lock().0
+        }
+
+        fn digest(&self) -> u64 {
+            self.state.lock().1
+        }
+    }
+
+    impl StateMachine for CountSm {
+        fn apply(&self, index: u64, cmd: &[u8]) -> Vec<u8> {
+            let mut st = self.state.lock();
+            st.0 += 1;
+            let mut h = st.1 ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            for &b in cmd {
+                h = h.wrapping_mul(1_099_511_628_211).wrapping_add(u64::from(b));
+            }
+            st.1 = h;
+            h.to_be_bytes().to_vec()
+        }
+
+        fn snapshot(&self) -> Option<Vec<u8>> {
+            let st = self.state.lock();
+            let mut buf = st.0.to_be_bytes().to_vec();
+            buf.extend_from_slice(&st.1.to_be_bytes());
+            Some(buf)
+        }
+
+        fn restore(&self, snap: &[u8]) {
+            let mut st = self.state.lock();
+            st.0 = u64::from_be_bytes(snap[..8].try_into().unwrap());
+            st.1 = u64::from_be_bytes(snap[8..16].try_into().unwrap());
+        }
+    }
+
+    fn compacting_config(threshold: u64) -> RaftConfig {
+        RaftConfig {
+            snapshot_threshold: threshold,
+            ..fast_config()
+        }
+    }
+
     #[test]
-    fn unbounded_log_growth_is_observable() {
-        // Snapshots were replaced by state-machine rebuilds, so the in-memory
-        // log only ever grows; this guards that the growth is at least
-        // visible — through accessors and through the exported gauges.
+    fn log_compaction_bounds_growth_and_is_observable() {
+        // With a snapshot-capable state machine and a threshold, the log is
+        // truncated behind each snapshot: growth stays bounded and the
+        // compactions are visible through accessors and exported metrics.
         let net = Network::new(NetConfig::default());
-        let group = RaftGroup::spawn(&net, &ids(910, 1), fast_config(), |_| RecorderSm::new());
+        let group = RaftGroup::spawn(&net, &ids(910, 1), compacting_config(10), |_| {
+            CountSm::new()
+        });
         let leader = group.leader().expect("single node leads instantly");
         for i in 0..50u32 {
             leader.propose(i.to_be_bytes().to_vec()).unwrap();
+            assert!(
+                leader.log_len() <= 10,
+                "log must stay bounded by the snapshot threshold"
+            );
         }
-        assert_eq!(leader.log_len(), 50, "every proposal stays in the log");
+        assert_eq!(leader.snapshot_index(), 50, "last compaction at applied=50");
+        assert_eq!(leader.log_len(), 0);
         assert_eq!(leader.apply_lag(), 0, "single replica applies at commit");
+        assert_eq!(leader.state_machine().count(), 50);
 
         let reg = cfs_obs::metrics::node(leader.id().0 as u64);
-        assert_eq!(reg.gauge("raft_log_len").get(), 50);
+        assert_eq!(reg.gauge("raft_log_len").get(), 0);
         assert_eq!(reg.gauge("raft_apply_lag").get(), 0);
+        assert_eq!(reg.counter("raft_log_truncations").get(), 5);
+        assert_eq!(reg.histogram_snapshot("raft_snapshot_ns").count, 5);
         let propose = reg.histogram_snapshot("raft_propose_apply_ns");
         assert_eq!(propose.count, 50, "propose→apply latency recorded per op");
         assert!(propose.quantile(0.99) > 0);
         assert_eq!(reg.histogram_snapshot("raft_apply_ns").count, 50);
         group.shutdown();
+    }
+
+    #[test]
+    fn truncation_never_drops_unapplied_entries() {
+        // The compaction point is always the applied index, taken under the
+        // same lock as apply — so no replica can ever truncate an entry it
+        // has not applied, and all replicas converge to identical state.
+        let net = Network::new(NetConfig::default());
+        let group = RaftGroup::spawn(&net, &ids(920, 3), compacting_config(5), |_| CountSm::new());
+        let leader = group.wait_for_leader(Duration::from_secs(5)).unwrap();
+        for i in 0..40u32 {
+            leader.propose(i.to_be_bytes().to_vec()).unwrap();
+            for n in group.nodes() {
+                assert!(
+                    n.snapshot_index() <= n.applied_index(),
+                    "node {:?} compacted past its applied index",
+                    n.id()
+                );
+            }
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        let states: Vec<(u64, u64)> = group
+            .nodes()
+            .iter()
+            .map(|n| (n.state_machine().count(), n.state_machine().digest()))
+            .collect();
+        for (count, _) in &states {
+            assert_eq!(*count, 40, "every replica applies every command");
+        }
+        assert_eq!(states[0], states[1]);
+        assert_eq!(states[1], states[2]);
+        for n in group.nodes() {
+            assert!(n.snapshot_index() > 0, "compaction ran on {:?}", n.id());
+            assert!(n.log_len() <= 5 + 1, "log stayed bounded on {:?}", n.id());
+        }
+        group.shutdown();
+    }
+
+    #[test]
+    fn install_snapshot_converges_lagging_replica() {
+        // A follower that misses enough traffic for the leader to compact
+        // past it can no longer catch up entry-by-entry; the leader streams
+        // its snapshot instead and resumes normal append behind it.
+        let net = Network::new(NetConfig::default());
+        let group = RaftGroup::spawn(&net, &ids(930, 3), compacting_config(5), |_| CountSm::new());
+        let leader = group.wait_for_leader(Duration::from_secs(5)).unwrap();
+        let lagger = group
+            .nodes()
+            .into_iter()
+            .find(|n| n.id() != leader.id())
+            .unwrap();
+        net.kill(lagger.id());
+        for i in 0..30u32 {
+            leader.propose(i.to_be_bytes().to_vec()).unwrap();
+        }
+        assert!(
+            leader.snapshot_index() >= 25,
+            "leader compacted while peer lagged"
+        );
+        net.revive(lagger.id());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while lagger.state_machine().count() < 30 {
+            assert!(Instant::now() < deadline, "lagging replica never converged");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            lagger.state_machine().digest(),
+            leader.state_machine().digest()
+        );
+        assert!(
+            lagger.snapshot_index() > 0,
+            "catch-up went through InstallSnapshot, not replay from index 1"
+        );
+        group.shutdown();
+    }
+
+    #[test]
+    fn fresh_empty_replica_converges_via_install_snapshot() {
+        // A replica that crashes with empty storage and restarts after the
+        // leader compacted rejoins with *nothing* — recovery finds no
+        // snapshot and no log — and must be brought up by InstallSnapshot.
+        let net = Network::new(NetConfig::default());
+        let storages: Vec<_> = (0..3).map(|_| RaftStorage::new_in_memory()).collect();
+        let group = RaftGroup::spawn_durable(
+            &net,
+            &ids(940, 3),
+            compacting_config(5),
+            |_| CountSm::new(),
+            &storages,
+        );
+        let leader = group.wait_for_leader(Duration::from_secs(5)).unwrap();
+        let victim = group
+            .nodes()
+            .iter()
+            .position(|n| n.id() != leader.id())
+            .unwrap();
+        group.crash_replica(victim);
+        // Wipe the victim's disk: restart must behave like a brand-new node.
+        storages[victim].reset_to_snapshot(0, 0, Vec::new());
+        storages[victim].truncate_from(1);
+        for i in 0..30u32 {
+            leader.propose(i.to_be_bytes().to_vec()).unwrap();
+        }
+        let fresh = group.restart_and_register(victim, CountSm::new());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while fresh.state_machine().count() < 30 {
+            assert!(Instant::now() < deadline, "fresh replica never converged");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            fresh.state_machine().digest(),
+            leader.state_machine().digest()
+        );
+        assert!(
+            fresh.snapshot_index() >= 25,
+            "state arrived via InstallSnapshot"
+        );
+        group.shutdown();
+    }
+
+    #[test]
+    fn crash_restart_recovers_from_wal_and_snapshot() {
+        // Single-node durable group: kill −9 drops the node, restart rebuilds
+        // it from snapshot + WAL tail. The recovered machine must be
+        // replay-equivalent to the pre-crash one (digest-identical), resume
+        // at the same commit index, and keep serving proposals.
+        let net = Network::new(NetConfig::default());
+        let storages = vec![RaftStorage::new_in_memory()];
+        let group = RaftGroup::spawn_durable(
+            &net,
+            &ids(950, 1),
+            compacting_config(8),
+            |_| CountSm::new(),
+            &storages,
+        );
+        let leader = group.leader().expect("single node leads instantly");
+        for i in 0..20u32 {
+            leader.propose(i.to_be_bytes().to_vec()).unwrap();
+        }
+        let digest = leader.state_machine().digest();
+        let commit = leader.commit_index();
+        assert_eq!(leader.snapshot_index(), 16, "snapshots at 8 and 16");
+        group.crash_replica(0);
+
+        let node = group.restart_and_register(0, CountSm::new());
+        assert_eq!(
+            node.state_machine().count(),
+            20,
+            "snapshot + WAL tail replayed"
+        );
+        assert_eq!(
+            node.state_machine().digest(),
+            digest,
+            "replay-equivalent state"
+        );
+        assert_eq!(node.commit_index(), commit, "commit floor recovered");
+        assert_eq!(node.snapshot_index(), 16);
+        assert_eq!(
+            node.log_len(),
+            4,
+            "only the tail past the snapshot retained"
+        );
+        let reg = cfs_obs::metrics::node(node.id().0 as u64);
+        assert_eq!(
+            reg.gauge("raft_log_len").get(),
+            4,
+            "gauges re-derived at restart"
+        );
+        let resp = node.propose(b"after-restart".to_vec()).unwrap();
+        assert!(!resp.is_empty());
+        assert_eq!(node.state_machine().count(), 21);
+        group.shutdown();
+    }
+
+    #[test]
+    fn follower_crash_restart_rejoins_and_converges() {
+        // Three-replica crash-restart: a follower is killed mid-stream,
+        // restarts from its own storage, and re-learns the missed suffix
+        // from the leader (by append or snapshot, whichever the leader's
+        // compaction state requires).
+        let net = Network::new(NetConfig::default());
+        let storages: Vec<_> = (0..3).map(|_| RaftStorage::new_in_memory()).collect();
+        let group = RaftGroup::spawn_durable(
+            &net,
+            &ids(960, 3),
+            compacting_config(6),
+            |_| CountSm::new(),
+            &storages,
+        );
+        let leader = group.wait_for_leader(Duration::from_secs(5)).unwrap();
+        for i in 0..10u32 {
+            leader.propose(i.to_be_bytes().to_vec()).unwrap();
+        }
+        let victim = group
+            .nodes()
+            .iter()
+            .position(|n| n.id() != leader.id())
+            .unwrap();
+        group.crash_replica(victim);
+        for i in 10..25u32 {
+            leader.propose(i.to_be_bytes().to_vec()).unwrap();
+        }
+        let node = group.restart_and_register(victim, CountSm::new());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while node.state_machine().count() < 25 {
+            assert!(
+                Instant::now() < deadline,
+                "restarted follower never converged"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(
+            node.state_machine().digest(),
+            leader.state_machine().digest()
+        );
+        group.shutdown();
+    }
+
+    /// State machine whose restore transits an observable mid-restore
+    /// marker, modeling what a real image load (reset + bulk put) exposes:
+    /// any reader whose closure overlaps the restore would see the marker.
+    struct TornSm {
+        val: std::sync::atomic::AtomicU64,
+    }
+
+    const TORN: u64 = u64::MAX;
+
+    impl TornSm {
+        fn new() -> Arc<TornSm> {
+            Arc::new(TornSm {
+                val: std::sync::atomic::AtomicU64::new(0),
+            })
+        }
+
+        fn get(&self) -> u64 {
+            self.val.load(std::sync::atomic::Ordering::SeqCst)
+        }
+    }
+
+    impl StateMachine for TornSm {
+        fn apply(&self, index: u64, _cmd: &[u8]) -> Vec<u8> {
+            self.val.store(index, std::sync::atomic::Ordering::SeqCst);
+            Vec::new()
+        }
+
+        fn snapshot(&self) -> Option<Vec<u8>> {
+            Some(self.get().to_be_bytes().to_vec())
+        }
+
+        fn restore(&self, snap: &[u8]) {
+            let v = u64::from_be_bytes(snap[..8].try_into().unwrap());
+            self.val.store(TORN, std::sync::atomic::Ordering::SeqCst);
+            // Widen the wipe-to-reload window the way a bulk reload does.
+            std::thread::sleep(Duration::from_millis(2));
+            self.val.store(v, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn readers_never_observe_a_torn_snapshot_restore() {
+        // The divergence this pins down: a killed leader revives still
+        // believing it leads, a leader-local read passes the role check,
+        // and the new leader's InstallSnapshot restores the state machine
+        // *while the reader's closure is running* — without the sm_gate the
+        // reader observes the half-restored machine. Cycle leadership with
+        // compaction enabled and hammer leader-local reads throughout; no
+        // read may ever return the mid-restore marker.
+        let net = Network::new(NetConfig::default());
+        let group = RaftGroup::spawn(&net, &ids(980, 3), compacting_config(5), |_| TornSm::new());
+        group.wait_for_leader(Duration::from_secs(5)).unwrap();
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let nodes = group.nodes();
+        std::thread::scope(|scope| {
+            for node in &nodes {
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        // The sleep inside the closure models a long resolve
+                        // walk (and the OS preemption that widens the race).
+                        if let Ok((a, b)) = node.read(|sm| {
+                            let a = sm.get();
+                            std::thread::sleep(Duration::from_millis(2));
+                            (a, sm.get())
+                        }) {
+                            assert_ne!(a, TORN, "reader saw a half-restored machine");
+                            assert_ne!(b, TORN, "reader saw a half-restored machine");
+                        }
+                    }
+                });
+            }
+
+            for _ in 0..3 {
+                let leader = group.wait_for_leader(Duration::from_secs(5)).unwrap();
+                net.kill(leader.id());
+                let deadline = Instant::now() + Duration::from_secs(10);
+                let successor = loop {
+                    assert!(Instant::now() < deadline, "no successor elected");
+                    if let Some(l) = nodes
+                        .iter()
+                        .find(|n| n.id() != leader.id() && n.role() == Role::Leader)
+                    {
+                        break l.clone();
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                };
+                // Outrun the dead leader by more than the snapshot threshold
+                // so its revival is served by InstallSnapshot, then revive it
+                // into the readers' crossfire.
+                for i in 0..20u32 {
+                    if successor.propose(i.to_be_bytes().to_vec()).is_err() {
+                        // A re-election mid-burst is fine; the cycle only
+                        // needs the group to compact past the dead leader.
+                        break;
+                    }
+                }
+                net.revive(leader.id());
+                let deadline = Instant::now() + Duration::from_secs(10);
+                while leader.snapshot_index() < successor.snapshot_index() {
+                    assert!(Instant::now() < deadline, "revived leader never caught up");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        });
+        group.shutdown();
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        /// Property: for any (threshold, op count), a compacting single-node
+        /// group ends in exactly the state a non-compacting replay produces.
+        #[test]
+        fn compaction_is_replay_equivalent_to_full_replay(
+            threshold in 1u64..12,
+            ops in 1u64..60,
+        ) {
+            let reference = CountSm::new();
+            for i in 0..ops {
+                reference.apply(i + 1, &(i as u32).to_be_bytes());
+            }
+            let net = Network::new(NetConfig::default());
+            let group =
+                RaftGroup::spawn(&net, &ids(970, 1), compacting_config(threshold), |_| {
+                    CountSm::new()
+                });
+            let leader = group.leader().unwrap();
+            for i in 0..ops {
+                leader.propose((i as u32).to_be_bytes().to_vec()).unwrap();
+            }
+            let sm = leader.state_machine();
+            prop_assert_eq!(sm.count(), reference.count());
+            prop_assert_eq!(sm.digest(), reference.digest());
+            prop_assert!(leader.log_len() < threshold.max(1));
+            group.shutdown();
+        }
     }
 
     #[test]

@@ -10,14 +10,20 @@
 //! under) partitions, drops, and node kills.
 //!
 //! Scope notes: membership is static per group (matching the paper's fixed
-//! three-way replication), and snapshots are replaced by the state machine's
-//! own persistence (each shard already WALs its mutations); the Raft log is
-//! prefix-truncated once applied entries are durable in the state machine.
+//! three-way replication). State-machine snapshots bound the log: once
+//! [`RaftConfig::snapshot_threshold`] entries have applied since the last
+//! snapshot, the node serializes the machine ([`StateMachine::snapshot`]),
+//! truncates the log behind it, and streams `InstallSnapshot` to any peer
+//! whose next needed entry was compacted away. Each replica can be backed by
+//! a [`RaftStorage`] — a write-through log WAL plus hard state and snapshot
+//! — that survives a (simulated) kill −9 and drives crash-restart recovery.
 
 pub mod group;
 pub mod msg;
 pub mod node;
+pub mod storage;
 
 pub use group::RaftGroup;
 pub use msg::{LogEntry, RaftMsg};
 pub use node::{RaftConfig, RaftNode, Role, StateMachine};
+pub use storage::{HardState, RaftStorage, Recovered, SnapshotBlob};

@@ -110,6 +110,29 @@ pub enum RaftMsg {
         /// True when the responder's term matched the probe's.
         ok: bool,
     },
+    /// Leader streams its latest durable snapshot to a peer whose next
+    /// needed entry was compacted away (or that joined empty). The peer
+    /// installs the state-machine image and resumes normal append from
+    /// `index + 1`.
+    InstallSnapshot {
+        /// Leader's term.
+        term: u64,
+        /// Last log index the snapshot covers (the peer's new applied/commit
+        /// floor).
+        index: u64,
+        /// Term of the entry at `index`.
+        snap_term: u64,
+        /// Serialized state-machine image ([`crate::StateMachine::snapshot`]).
+        data: Vec<u8>,
+    },
+    /// Response to [`RaftMsg::InstallSnapshot`].
+    InstallSnapshotResp {
+        /// Responder's current term.
+        term: u64,
+        /// The responder's applied index after installation (its new match
+        /// index from the leader's point of view).
+        index: u64,
+    },
 }
 
 impl Encode for RaftMsg {
@@ -181,6 +204,23 @@ impl Encode for RaftMsg {
                 round.encode(buf);
                 ok.encode(buf);
             }
+            RaftMsg::InstallSnapshot {
+                term,
+                index,
+                snap_term,
+                data,
+            } => {
+                buf.push(8);
+                term.encode(buf);
+                index.encode(buf);
+                snap_term.encode(buf);
+                data.encode(buf);
+            }
+            RaftMsg::InstallSnapshotResp { term, index } => {
+                buf.push(9);
+                term.encode(buf);
+                index.encode(buf);
+            }
         }
     }
 }
@@ -226,6 +266,16 @@ impl Decode for RaftMsg {
                 term: u64::decode(input)?,
                 round: u64::decode(input)?,
                 ok: bool::decode(input)?,
+            },
+            8 => RaftMsg::InstallSnapshot {
+                term: u64::decode(input)?,
+                index: u64::decode(input)?,
+                snap_term: u64::decode(input)?,
+                data: Vec::<u8>::decode(input)?,
+            },
+            9 => RaftMsg::InstallSnapshotResp {
+                term: u64::decode(input)?,
+                index: u64::decode(input)?,
             },
             t => return Err(DecodeError::InvalidTag(t)),
         })
@@ -314,6 +364,16 @@ mod tests {
                 term: 7,
                 round: 3,
                 ok: true,
+            },
+            RaftMsg::InstallSnapshot {
+                term: 9,
+                index: 120,
+                snap_term: 8,
+                data: b"state-image".to_vec(),
+            },
+            RaftMsg::InstallSnapshotResp {
+                term: 9,
+                index: 120,
             },
         ];
         for msg in msgs {

@@ -4,16 +4,17 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cfs_obs::metrics::{Gauge, Histogram};
+use cfs_obs::metrics::{Counter, Gauge, Histogram};
 use cfs_obs::{metrics, trace};
 use cfs_rpc::mux::{frame, CH_RAFT};
 use cfs_rpc::{Network, Service};
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{FsError, FsResult, NodeId};
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::msg::{Envelope, LogEntry, RaftMsg};
+use crate::storage::RaftStorage;
 
 /// The state machine replicated by a Raft group.
 ///
@@ -26,6 +27,18 @@ pub trait StateMachine: Send + Sync + 'static {
     /// Applies one committed command and returns the response payload that
     /// the proposing client will receive.
     fn apply(&self, index: u64, cmd: &[u8]) -> Vec<u8>;
+
+    /// Serializes the full state as of the last applied entry, or `None` if
+    /// this machine does not support snapshots (its group then never compacts
+    /// its log). Called under the Raft state lock immediately after an apply,
+    /// so the image is exactly the prefix through `applied`.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Replaces the entire state with a [`StateMachine::snapshot`] image
+    /// (InstallSnapshot on a lagging replica, or recovery at restart).
+    fn restore(&self, _snap: &[u8]) {}
 }
 
 /// A node's current role.
@@ -52,6 +65,11 @@ pub struct RaftConfig {
     pub max_batch: usize,
     /// How long a proposer waits for commit before timing out.
     pub propose_timeout: Duration,
+    /// Once `applied - snapshot_index` reaches this, take a state-machine
+    /// snapshot and truncate the log behind it. `0` disables compaction, and
+    /// state machines whose [`StateMachine::snapshot`] returns `None` never
+    /// compact regardless.
+    pub snapshot_threshold: u64,
 }
 
 impl Default for RaftConfig {
@@ -62,6 +80,7 @@ impl Default for RaftConfig {
             heartbeat_interval: Duration::from_millis(40),
             max_batch: 512,
             propose_timeout: Duration::from_secs(5),
+            snapshot_threshold: 0,
         }
     }
 }
@@ -87,7 +106,17 @@ struct NodeState {
     role: Role,
     term: u64,
     voted_for: Option<NodeId>,
+    /// In-memory log suffix: entry at Raft index `i` lives at
+    /// `log[i - snap_index - 1]`. Entries at or below `snap_index` are
+    /// covered by the snapshot and gone.
     log: Vec<LogEntry>,
+    /// Last log index covered by the latest snapshot (0 = none).
+    snap_index: u64,
+    /// Term of the entry at `snap_index`.
+    snap_term: u64,
+    /// The latest snapshot image, kept in memory so a leader can stream
+    /// InstallSnapshot to a lagging or fresh peer without re-serializing.
+    snap_data: Vec<u8>,
     commit: u64,
     applied: u64,
     votes: HashSet<NodeId>,
@@ -129,6 +158,17 @@ pub struct RaftNode<S: StateMachine> {
     wake: Condvar,
     config: RaftConfig,
     obs: Obs,
+    /// Durable state written through before replies are sent; `None` runs the
+    /// node memory-only (state dies with it, as before storage existed).
+    storage: Option<Arc<RaftStorage>>,
+    /// Serializes `StateMachine::restore` against reader closures. Normal
+    /// applies mutate one key at a time on internally-synchronized state, so
+    /// concurrent readers see at worst a slightly stale value — but restore
+    /// rebuilds the whole state machine (reset + bulk load), and a reader
+    /// overlapping that wipe would observe an empty or half-loaded machine.
+    /// Readers hold this shared for the duration of their closure; an
+    /// incoming `InstallSnapshot` takes it exclusively around the restore.
+    sm_gate: RwLock<()>,
 }
 
 /// Cached handles into this node's metrics registry (handle creation takes
@@ -138,12 +178,18 @@ struct Obs {
     propose_apply_ns: Arc<Histogram>,
     /// Duration of each `StateMachine::apply` call.
     apply_ns: Arc<Histogram>,
-    /// Current in-memory log length. Snapshots were replaced by state-machine
-    /// rebuilds in this reproduction, so the log grows without bound — this
-    /// gauge is the visibility that leaves behind.
+    /// Current in-memory log length (the suffix past the latest snapshot).
+    /// With `snapshot_threshold` set and a snapshot-capable state machine
+    /// this stays bounded by roughly `threshold + max_batch`.
     log_len: Arc<Gauge>,
     /// `commit - applied`: how far the apply loop trails the commit point.
     apply_lag: Arc<Gauge>,
+    /// Duration of taking a snapshot (serialize + persist + truncate).
+    snapshot_ns: Arc<Histogram>,
+    /// Duration of installing a leader-streamed snapshot.
+    restore_ns: Arc<Histogram>,
+    /// Log compactions performed (snapshots taken).
+    truncations: Arc<Counter>,
 }
 
 impl Obs {
@@ -154,6 +200,9 @@ impl Obs {
             apply_ns: reg.histogram("raft_apply_ns"),
             log_len: reg.gauge("raft_log_len"),
             apply_lag: reg.gauge("raft_apply_lag"),
+            snapshot_ns: reg.histogram("raft_snapshot_ns"),
+            restore_ns: reg.histogram("raft_restore_ns"),
+            truncations: reg.counter("raft_log_truncations"),
         }
     }
 }
@@ -170,9 +219,49 @@ impl<S: StateMachine> RaftNode<S> {
         sm: Arc<S>,
         config: RaftConfig,
     ) -> Arc<RaftNode<S>> {
+        Self::spawn_with_storage(net, id, peers, sm, config, None)
+    }
+
+    /// Like [`RaftNode::spawn`], but backed by durable storage.
+    ///
+    /// Every log append, term/vote change, and snapshot is written through to
+    /// `storage` before the corresponding reply leaves the node. At spawn the
+    /// node *recovers* from whatever the storage holds: the state machine is
+    /// restored from the latest snapshot, the log tail is reloaded behind it,
+    /// and `commit`/`applied` restart at the snapshot index — committed
+    /// entries past it are re-learned from the group (or, for a single-node
+    /// group, re-applied immediately, which is safe because every persisted
+    /// entry of a single-node group is committed).
+    pub fn spawn_with_storage(
+        net: Arc<Network>,
+        id: NodeId,
+        peers: Vec<NodeId>,
+        sm: Arc<S>,
+        config: RaftConfig,
+        storage: Option<Arc<RaftStorage>>,
+    ) -> Arc<RaftNode<S>> {
         assert!(!peers.contains(&id), "peer list must exclude self");
         let single = peers.is_empty();
         let now = Instant::now();
+        let (mut term, mut voted_for) = (u64::from(single), None);
+        let (mut log, mut snap_index, mut snap_term, mut snap_data) =
+            (Vec::new(), 0, 0, Vec::new());
+        if let Some(storage) = &storage {
+            let rec = storage.recover();
+            term = rec.hard.term.max(term);
+            voted_for = rec.hard.voted_for;
+            if let Some(snap) = rec.snapshot {
+                if snap.index > 0 {
+                    // Restore before any apply so replayed entries land on
+                    // the state the snapshot captured.
+                    sm.restore(&snap.data);
+                    snap_index = snap.index;
+                    snap_term = snap.term;
+                    snap_data = snap.data;
+                }
+            }
+            log = rec.entries;
+        }
         let node = Arc::new(RaftNode {
             id,
             peers,
@@ -180,11 +269,14 @@ impl<S: StateMachine> RaftNode<S> {
             sm,
             st: Mutex::new(NodeState {
                 role: if single { Role::Leader } else { Role::Follower },
-                term: u64::from(single),
-                voted_for: None,
-                log: Vec::new(),
-                commit: 0,
-                applied: 0,
+                term,
+                voted_for,
+                log,
+                snap_index,
+                snap_term,
+                snap_data,
+                commit: snap_index,
+                applied: snap_index,
                 votes: HashSet::new(),
                 next_index: HashMap::new(),
                 match_index: HashMap::new(),
@@ -203,7 +295,21 @@ impl<S: StateMachine> RaftNode<S> {
             wake: Condvar::new(),
             config,
             obs: Obs::for_node(id),
+            storage,
+            sm_gate: RwLock::new(()),
         });
+        {
+            // Re-derive the registry gauges from recovered state (a restarted
+            // node must not inherit its predecessor's readings).
+            let mut st = node.st.lock();
+            if single {
+                // A single-node group's persisted log is entirely committed.
+                st.commit = last_index(&st);
+                node.apply_committed(&mut st);
+            }
+            node.obs.log_len.set(st.log.len() as i64);
+            node.obs.apply_lag.set((st.commit - st.applied) as i64);
+        }
         if !single {
             let pump = Arc::clone(&node);
             std::thread::Builder::new()
@@ -244,10 +350,26 @@ impl<S: StateMachine> RaftNode<S> {
         self.st.lock().leader_hint
     }
 
-    /// Current length of the in-memory log (also exported as the
-    /// `raft_log_len` gauge of this node's metrics registry).
+    /// Current length of the in-memory log suffix past the latest snapshot
+    /// (also exported as the `raft_log_len` gauge of this node's metrics
+    /// registry). Bounded when compaction is enabled.
     pub fn log_len(&self) -> u64 {
         self.st.lock().log.len() as u64
+    }
+
+    /// Last log index covered by the latest snapshot (0 when none).
+    pub fn snapshot_index(&self) -> u64 {
+        self.st.lock().snap_index
+    }
+
+    /// Last applied log index.
+    pub fn applied_index(&self) -> u64 {
+        self.st.lock().applied
+    }
+
+    /// The durable storage backing this node, if any.
+    pub fn storage(&self) -> Option<&Arc<RaftStorage>> {
+        self.storage.as_ref()
     }
 
     /// How far apply trails commit (also the `raft_apply_lag` gauge).
@@ -288,8 +410,12 @@ impl<S: StateMachine> RaftNode<S> {
                 return Err(FsError::NotLeader(st.leader_hint.map(|n| n.0)));
             }
             let term = st.term;
-            st.log.push(LogEntry { term, cmd });
-            let index = st.log.len() as u64;
+            let entry = LogEntry { term, cmd };
+            st.log.push(entry.clone());
+            let index = last_index(&st);
+            if let Some(storage) = &self.storage {
+                storage.append(index, &[entry]);
+            }
             st.waiters.insert(index, (term, tx));
             self.obs.log_len.set(st.log.len() as i64);
             self.advance_commit(&mut st);
@@ -321,6 +447,7 @@ impl<S: StateMachine> RaftNode<S> {
                 return Err(FsError::NotLeader(st.leader_hint.map(|n| n.0)));
             }
         }
+        let _gate = self.sm_gate.read();
         Ok(f(&self.sm))
     }
 
@@ -383,6 +510,7 @@ impl<S: StateMachine> RaftNode<S> {
             }
         }
         drop(st);
+        let _gate = self.sm_gate.read();
         Ok(f(&self.sm))
     }
 
@@ -409,13 +537,13 @@ impl<S: StateMachine> RaftNode<S> {
                     if heartbeat_due {
                         st.next_heartbeat = now + self.config.heartbeat_interval;
                     }
-                    let log_len = st.log.len() as u64;
+                    let last = last_index(&st);
                     for peer in self.peers.clone() {
                         let next = *st.next_index.get(&peer).unwrap_or(&1);
                         let sent = *st.sent_to.get(&peer).unwrap_or(&0);
                         // Ship new entries immediately; heartbeats double as
                         // the retransmission safety net for lost messages.
-                        let have_new = log_len >= next && sent < log_len;
+                        let have_new = last >= next && sent < last;
                         if heartbeat_due || have_new {
                             self.send_append(&mut st, peer, now);
                         }
@@ -435,10 +563,21 @@ impl<S: StateMachine> RaftNode<S> {
         }
     }
 
+    /// Writes the current term and vote through to storage. Must run before
+    /// any reply that promises them (handlers run to completion before the
+    /// RPC response is sent, so calling this anywhere in the handler
+    /// suffices).
+    fn persist_hard(&self, st: &NodeState) {
+        if let Some(storage) = &self.storage {
+            storage.save_hard_state(st.term, st.voted_for);
+        }
+    }
+
     fn start_election(&self, st: &mut NodeState, now: Instant) {
         st.role = Role::Candidate;
         st.term += 1;
         st.voted_for = Some(self.id);
+        self.persist_hard(st);
         st.votes.clear();
         st.votes.insert(self.id);
         st.election_deadline = now + rand_timeout(&self.config);
@@ -460,7 +599,7 @@ impl<S: StateMachine> RaftNode<S> {
         if st.role == Role::Candidate && st.votes.len() * 2 > cluster {
             st.role = Role::Leader;
             st.leader_hint = Some(self.id);
-            let next = st.log.len() as u64 + 1;
+            let next = last_index(st) + 1;
             for &p in &self.peers {
                 st.next_index.insert(p, next);
                 st.match_index.insert(p, 0);
@@ -468,10 +607,14 @@ impl<S: StateMachine> RaftNode<S> {
             st.sent_to.clear();
             // Commit a no-op from the new term to learn the commit index.
             let term = st.term;
-            st.log.push(LogEntry {
+            let entry = LogEntry {
                 term,
                 cmd: Vec::new(),
-            });
+            };
+            st.log.push(entry.clone());
+            if let Some(storage) = &self.storage {
+                storage.append(last_index(st), &[entry]);
+            }
             st.next_heartbeat = now;
         }
     }
@@ -492,12 +635,27 @@ impl<S: StateMachine> RaftNode<S> {
     fn send_append(&self, st: &mut NodeState, peer: NodeId, now: Instant) {
         let _ = now;
         let next = *st.next_index.get(&peer).unwrap_or(&1);
+        if next <= st.snap_index {
+            // The entry the peer needs was compacted away: stream the
+            // snapshot instead; append resumes past it on the response.
+            st.sent_to.insert(peer, st.snap_index);
+            self.send_one(
+                peer,
+                RaftMsg::InstallSnapshot {
+                    term: st.term,
+                    index: st.snap_index,
+                    snap_term: st.snap_term,
+                    data: st.snap_data.clone(),
+                },
+            );
+            return;
+        }
         let prev_index = next - 1;
         let prev_term = term_at(st, prev_index);
-        let from = (next - 1) as usize;
+        let from = (next - 1 - st.snap_index) as usize;
         let to = st.log.len().min(from + self.config.max_batch);
         let entries = st.log[from..to].to_vec();
-        st.sent_to.insert(peer, to as u64);
+        st.sent_to.insert(peer, st.snap_index + to as u64);
         self.send_one(
             peer,
             RaftMsg::AppendEntries {
@@ -516,6 +674,7 @@ impl<S: StateMachine> RaftNode<S> {
         if term > st.term {
             st.term = term;
             st.voted_for = None;
+            self.persist_hard(st);
         }
         if leader.is_some() {
             st.leader_hint = leader;
@@ -633,6 +792,7 @@ impl<S: StateMachine> RaftNode<S> {
                     && st.role != Role::Leader;
                 if granted {
                     st.voted_for = Some(from);
+                    self.persist_hard(&st);
                     st.election_deadline = now + rand_timeout(&self.config);
                 }
                 self.send_one(
@@ -674,7 +834,7 @@ impl<S: StateMachine> RaftNode<S> {
                     return;
                 }
                 self.become_follower(&mut st, term, Some(from));
-                let last = st.log.len() as u64;
+                let last = last_index(&st);
                 if prev_index > last {
                     self.send_one(
                         from,
@@ -686,7 +846,7 @@ impl<S: StateMachine> RaftNode<S> {
                     );
                     return;
                 }
-                if prev_index > 0 && term_at(&st, prev_index) != prev_term {
+                if prev_index > st.snap_index && term_at(&st, prev_index) != prev_term {
                     // Conflicting history: ask the leader to back up.
                     self.send_one(
                         from,
@@ -698,23 +858,49 @@ impl<S: StateMachine> RaftNode<S> {
                     );
                     return;
                 }
+                // `prev_index <= snap_index` needs no term check: everything
+                // at or below the snapshot is committed, so it matches any
+                // leader's log by leader completeness.
                 let mut idx = prev_index;
+                let mut fresh: Vec<LogEntry> = Vec::new();
+                let mut fresh_from = 0;
                 for entry in entries {
                     idx += 1;
-                    let pos = (idx - 1) as usize;
+                    if idx <= st.snap_index {
+                        // Covered by our snapshot; already committed here.
+                        continue;
+                    }
+                    let pos = (idx - st.snap_index - 1) as usize;
                     if pos < st.log.len() {
                         if st.log[pos].term != entry.term {
                             st.log.truncate(pos);
+                            if fresh.is_empty() {
+                                fresh_from = idx;
+                            }
+                            fresh.push(entry.clone());
                             st.log.push(entry);
                         }
                         // Same term at same index: identical entry, skip.
                     } else {
+                        if fresh.is_empty() {
+                            fresh_from = idx;
+                        }
+                        fresh.push(entry.clone());
                         st.log.push(entry);
                     }
                 }
-                let match_index = idx;
+                if let Some(storage) = &self.storage {
+                    if !fresh.is_empty() {
+                        // The first fresh entry either extends the tail or
+                        // overwrote a conflict; truncate-then-append covers
+                        // both, and the sync lands before the response.
+                        storage.truncate_from(fresh_from);
+                        storage.append(fresh_from, &fresh);
+                    }
+                }
+                let match_index = idx.max(st.snap_index);
                 if leader_commit > st.commit {
-                    st.commit = leader_commit.min(st.log.len() as u64);
+                    st.commit = leader_commit.min(last_index(&st));
                     self.apply_committed(&mut st);
                 }
                 self.send_one(
@@ -744,7 +930,7 @@ impl<S: StateMachine> RaftNode<S> {
                     st.next_index.insert(from, match_index + 1);
                     self.advance_commit(&mut st);
                     self.apply_committed(&mut st);
-                    if match_index < st.log.len() as u64 {
+                    if match_index < last_index(&st) {
                         // Peer still lagging: ship the next batch promptly.
                         st.sent_to.insert(from, match_index);
                         drop(st);
@@ -847,6 +1033,83 @@ impl<S: StateMachine> RaftNode<S> {
                     self.ri_try_complete(&mut st);
                 }
             }
+            RaftMsg::InstallSnapshot {
+                term,
+                index,
+                snap_term,
+                data,
+            } => {
+                if term < st.term {
+                    self.send_one(
+                        from,
+                        RaftMsg::InstallSnapshotResp {
+                            term: st.term,
+                            index: 0,
+                        },
+                    );
+                    return;
+                }
+                self.become_follower(&mut st, term, Some(from));
+                if index > st.applied {
+                    let started = Instant::now();
+                    {
+                        // Readers that passed their role/applied check but
+                        // have not finished their closure must not overlap
+                        // the wipe-and-reload; see `sm_gate`.
+                        let _gate = self.sm_gate.write();
+                        self.sm.restore(&data);
+                    }
+                    // The snapshot replaces our entire history: entries past
+                    // it (if any) came from an abandoned divergent tail.
+                    st.log.clear();
+                    st.snap_index = index;
+                    st.snap_term = snap_term;
+                    st.commit = index;
+                    st.applied = index;
+                    if let Some(storage) = &self.storage {
+                        storage.reset_to_snapshot(index, snap_term, data.clone());
+                    }
+                    st.snap_data = data;
+                    self.obs
+                        .restore_ns
+                        .observe(started.elapsed().as_nanos() as u64);
+                    self.obs.log_len.set(0);
+                    self.obs.apply_lag.set(0);
+                    // ReadIndex readers block on the applied index.
+                    self.wake.notify_all();
+                }
+                // Stale snapshots (index <= applied) are acked with our real
+                // applied index: the applied prefix is committed, hence
+                // present verbatim in the leader's log.
+                self.send_one(
+                    from,
+                    RaftMsg::InstallSnapshotResp {
+                        term: st.term,
+                        index: st.applied,
+                    },
+                );
+            }
+            RaftMsg::InstallSnapshotResp { term, index } => {
+                if term > st.term {
+                    self.become_follower(&mut st, term, None);
+                    return;
+                }
+                if st.role != Role::Leader || term != st.term || index == 0 {
+                    return;
+                }
+                let m = st.match_index.entry(from).or_insert(0);
+                *m = (*m).max(index);
+                let matched = *m;
+                st.next_index.insert(from, matched + 1);
+                self.advance_commit(&mut st);
+                self.apply_committed(&mut st);
+                if matched < last_index(&st) {
+                    // Resume normal append for the tail past the snapshot.
+                    st.sent_to.insert(from, matched);
+                    drop(st);
+                    self.wake.notify_all();
+                }
+            }
         }
     }
 
@@ -855,7 +1118,7 @@ impl<S: StateMachine> RaftNode<S> {
             return;
         }
         let cluster = self.peers.len() + 1;
-        let last = st.log.len() as u64;
+        let last = last_index(st);
         let mut n = last;
         while n > st.commit {
             if term_at(st, n) == st.term {
@@ -878,7 +1141,7 @@ impl<S: StateMachine> RaftNode<S> {
         while st.applied < st.commit {
             st.applied += 1;
             let index = st.applied;
-            let entry = st.log[(index - 1) as usize].clone();
+            let entry = st.log[(index - st.snap_index - 1) as usize].clone();
             let resp = if entry.cmd.is_empty() {
                 Vec::new()
             } else {
@@ -898,12 +1161,44 @@ impl<S: StateMachine> RaftNode<S> {
                 let _ = tx.send(result);
             }
         }
+        if st.applied > applied_before {
+            self.maybe_compact(st);
+        }
         self.obs.log_len.set(st.log.len() as i64);
         self.obs.apply_lag.set((st.commit - st.applied) as i64);
         if st.applied > applied_before {
             // ReadIndex readers block on the applied index; wake them.
             self.wake.notify_all();
         }
+    }
+
+    /// Takes a snapshot and truncates the log behind it once enough entries
+    /// have applied since the last one. Runs under the state lock right
+    /// after apply, so the image is exactly the prefix through `applied` —
+    /// no concurrent apply can slip in between serialize and truncate.
+    fn maybe_compact(&self, st: &mut NodeState) {
+        let threshold = self.config.snapshot_threshold;
+        if threshold == 0 || st.applied - st.snap_index < threshold {
+            return;
+        }
+        let started = Instant::now();
+        let Some(data) = self.sm.snapshot() else {
+            return;
+        };
+        let applied = st.applied;
+        let term = term_at(st, applied);
+        let drop_n = (applied - st.snap_index) as usize;
+        st.log.drain(..drop_n);
+        st.snap_index = applied;
+        st.snap_term = term;
+        st.snap_data = data.clone();
+        if let Some(storage) = &self.storage {
+            storage.save_snapshot(applied, term, data);
+        }
+        self.obs.truncations.add(1);
+        self.obs
+            .snapshot_ns
+            .observe(started.elapsed().as_nanos() as u64);
     }
 }
 
@@ -923,16 +1218,27 @@ impl<S: StateMachine> Service for RaftService<S> {
     }
 }
 
+/// Highest log index, counting entries compacted into the snapshot.
+fn last_index(st: &NodeState) -> u64 {
+    st.snap_index + st.log.len() as u64
+}
+
 fn last_log(st: &NodeState) -> (u64, u64) {
-    let lli = st.log.len() as u64;
+    let lli = last_index(st);
     (lli, term_at(st, lli))
 }
 
+/// Term of the entry at `index`; `snap_term` at the snapshot boundary.
+/// Callers never ask below the snapshot (those entries are gone).
 fn term_at(st: &NodeState, index: u64) -> u64 {
-    if index == 0 {
-        0
+    if index <= st.snap_index {
+        if index == st.snap_index {
+            st.snap_term
+        } else {
+            0
+        }
     } else {
-        st.log[(index - 1) as usize].term
+        st.log[(index - st.snap_index - 1) as usize].term
     }
 }
 

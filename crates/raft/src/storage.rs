@@ -1,0 +1,234 @@
+//! Durable per-replica Raft state: the log WAL, hard state, and the latest
+//! snapshot.
+//!
+//! A [`RaftStorage`] is "the disk" of one replica. It is created *outside*
+//! the [`crate::RaftNode`] and handed in at spawn, so it survives the node:
+//! a simulated kill −9 drops the node (in-flight proposals, role, commit
+//! knowledge, ReadIndex rounds) while the storage `Arc` — like a disk —
+//! persists. Restart spawns a fresh node from the same storage, which
+//! restores the state machine from the snapshot, reloads the log tail, and
+//! rejoins the group.
+//!
+//! Every mutation is written through synchronously ([`Wal::sync`] after each
+//! append), so an acked entry, a granted vote, or a bumped term is never
+//! forgotten across a crash — the property Raft's safety argument assumes of
+//! stable storage. The WAL sequence number *is* the Raft log index.
+
+use std::sync::Arc;
+
+use cfs_types::codec::{Decode, Encode};
+use cfs_types::NodeId;
+use cfs_wal::{Wal, WalConfig};
+use parking_lot::Mutex;
+
+use crate::msg::LogEntry;
+
+/// Term and vote — the state a replica must never roll back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HardState {
+    /// Highest term seen.
+    pub term: u64,
+    /// Vote cast in `term`, if any.
+    pub voted_for: Option<NodeId>,
+}
+
+/// The latest durable snapshot: a state-machine image and the log position
+/// it covers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SnapshotBlob {
+    /// Last log index the image covers.
+    pub index: u64,
+    /// Term of the entry at `index`.
+    pub term: u64,
+    /// Serialized state-machine image.
+    pub data: Vec<u8>,
+}
+
+/// Everything recovered from a [`RaftStorage`] at node spawn.
+pub struct Recovered {
+    /// Persisted term and vote.
+    pub hard: HardState,
+    /// Latest snapshot, if one was ever taken.
+    pub snapshot: Option<SnapshotBlob>,
+    /// Log entries after the snapshot, contiguous from
+    /// `snapshot.index + 1` (or from 1 without a snapshot).
+    pub entries: Vec<LogEntry>,
+}
+
+/// Durable state of one Raft replica (log + hard state + snapshot).
+pub struct RaftStorage {
+    wal: Wal,
+    hard: Mutex<HardState>,
+    snap: Mutex<Option<SnapshotBlob>>,
+}
+
+impl RaftStorage {
+    /// Creates storage whose log lives in memory. This is still "durable"
+    /// under the harness's simulated kill −9 — the storage `Arc` plays the
+    /// role of the disk and outlives the node — while staying deterministic
+    /// and fast for the seeded simulation.
+    pub fn new_in_memory() -> Arc<RaftStorage> {
+        Arc::new(RaftStorage {
+            wal: Wal::new_in_memory(),
+            hard: Mutex::new(HardState::default()),
+            snap: Mutex::new(None),
+        })
+    }
+
+    /// Creates storage over a file-backed WAL (the log survives process
+    /// death; hard state and snapshots survive the simulated kill only —
+    /// full-process snapshot durability is the kvstore checkpoint's job).
+    pub fn with_wal_config(config: WalConfig) -> cfs_types::FsResult<Arc<RaftStorage>> {
+        Ok(Arc::new(RaftStorage {
+            wal: Wal::with_config(config)?,
+            hard: Mutex::new(HardState::default()),
+            snap: Mutex::new(None),
+        }))
+    }
+
+    /// Reads everything back at node spawn. Entries below the snapshot index
+    /// are skipped; a gap in the remainder truncates recovery there (the
+    /// missing suffix is re-replicated by the leader).
+    pub fn recover(&self) -> Recovered {
+        let hard = *self.hard.lock();
+        let snapshot = self.snap.lock().clone();
+        let base = snapshot.as_ref().map_or(0, |s| s.index);
+        let mut entries = Vec::new();
+        for (expect, we) in (base + 1..).zip(self.wal.read_from(base + 1)) {
+            if we.seq != expect {
+                break;
+            }
+            let Ok(entry) = LogEntry::from_bytes(&we.payload) else {
+                break;
+            };
+            entries.push(entry);
+        }
+        Recovered {
+            hard,
+            snapshot,
+            entries,
+        }
+    }
+
+    /// Appends `entries` at `first_index` (contiguous with the retained log)
+    /// and syncs. The sync is where an injected `slow_fsync` stall bites.
+    pub fn append(&self, first_index: u64, entries: &[LogEntry]) {
+        if entries.is_empty() {
+            return;
+        }
+        debug_assert_eq!(self.wal.last_seq().max(first_index - 1), first_index - 1);
+        self.wal
+            .append_batch(entries.iter().map(Encode::to_bytes))
+            .expect("raft log append");
+        self.wal.sync().expect("raft log sync");
+    }
+
+    /// Drops persisted entries with index `>= from` (conflict resolution).
+    pub fn truncate_from(&self, from: u64) {
+        self.wal.truncate_suffix(from);
+    }
+
+    /// Persists the current term and vote (before any reply that promises
+    /// them).
+    pub fn save_hard_state(&self, term: u64, voted_for: Option<NodeId>) {
+        *self.hard.lock() = HardState { term, voted_for };
+    }
+
+    /// Records a snapshot taken locally at `index` and prefix-truncates the
+    /// persisted log behind it (leader/follower compaction: the tail after
+    /// `index` is kept).
+    pub fn save_snapshot(&self, index: u64, term: u64, data: Vec<u8>) {
+        *self.snap.lock() = Some(SnapshotBlob { index, term, data });
+        self.wal.truncate_prefix(index);
+    }
+
+    /// Installs a snapshot streamed from the leader: the entire retained log
+    /// is discarded (InstallSnapshot replaces the replica's history
+    /// wholesale).
+    pub fn reset_to_snapshot(&self, index: u64, term: u64, data: Vec<u8>) {
+        *self.snap.lock() = Some(SnapshotBlob { index, term, data });
+        self.wal.reset_to(index);
+    }
+
+    /// The latest snapshot, if any.
+    pub fn snapshot(&self) -> Option<SnapshotBlob> {
+        self.snap.lock().clone()
+    }
+
+    /// Highest persisted log index (0 when empty or fully compacted).
+    pub fn last_index(&self) -> u64 {
+        let last = self.wal.last_seq();
+        let snap = self.snap.lock().as_ref().map_or(0, |s| s.index);
+        last.max(snap)
+    }
+
+    /// Injects extra per-sync latency into the log WAL (the `slow_fsync`
+    /// nemesis fault); [`std::time::Duration::ZERO`] clears it.
+    pub fn set_extra_sync_latency(&self, extra: std::time::Duration) {
+        self.wal.set_extra_sync_latency(extra);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(term: u64, b: u8) -> LogEntry {
+        LogEntry { term, cmd: vec![b] }
+    }
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let s = RaftStorage::new_in_memory();
+        s.append(1, &[e(1, 1), e(1, 2)]);
+        s.append(3, &[e(2, 3)]);
+        s.save_hard_state(2, Some(NodeId(7)));
+        let r = s.recover();
+        assert_eq!(
+            r.hard,
+            HardState {
+                term: 2,
+                voted_for: Some(NodeId(7))
+            }
+        );
+        assert!(r.snapshot.is_none());
+        assert_eq!(r.entries, vec![e(1, 1), e(1, 2), e(2, 3)]);
+    }
+
+    #[test]
+    fn conflict_truncation_rewrites_the_tail() {
+        let s = RaftStorage::new_in_memory();
+        s.append(1, &[e(1, 1), e(1, 2), e(1, 3)]);
+        s.truncate_from(2);
+        s.append(2, &[e(2, 9)]);
+        let r = s.recover();
+        assert_eq!(r.entries, vec![e(1, 1), e(2, 9)]);
+    }
+
+    #[test]
+    fn snapshot_compacts_the_recovered_prefix() {
+        let s = RaftStorage::new_in_memory();
+        s.append(1, &[e(1, 1), e(1, 2), e(1, 3), e(1, 4)]);
+        s.save_snapshot(3, 1, b"image".to_vec());
+        let r = s.recover();
+        let snap = r.snapshot.unwrap();
+        assert_eq!((snap.index, snap.term), (3, 1));
+        assert_eq!(snap.data, b"image");
+        assert_eq!(r.entries, vec![e(1, 4)], "only the tail past the snapshot");
+        assert_eq!(s.last_index(), 4);
+    }
+
+    #[test]
+    fn install_discards_the_whole_log() {
+        let s = RaftStorage::new_in_memory();
+        s.append(1, &[e(1, 1), e(1, 2), e(1, 3)]);
+        s.reset_to_snapshot(10, 2, b"img".to_vec());
+        let r = s.recover();
+        assert_eq!(r.snapshot.unwrap().index, 10);
+        assert!(r.entries.is_empty());
+        assert_eq!(s.last_index(), 10);
+        // Appends resume after the snapshot index.
+        s.append(11, &[e(3, 9)]);
+        assert_eq!(s.recover().entries, vec![e(3, 9)]);
+    }
+}

@@ -3,11 +3,12 @@
 use std::sync::Arc;
 
 use cfs_kvstore::KvConfig;
-use cfs_raft::{RaftConfig, RaftGroup, RaftNode};
-use cfs_rpc::mux::{CH_APP, CH_TXN};
+use cfs_raft::{RaftConfig, RaftGroup, RaftNode, RaftStorage};
+use cfs_rpc::mux::{MuxService, CH_APP, CH_TXN};
 use cfs_rpc::{Network, Service};
 use cfs_types::codec::{Decode, Encode};
 use cfs_types::{FsError, NodeId, ShardId};
+use parking_lot::RwLock;
 
 use crate::api::{ShardCmd, TafRequest, TafResponse};
 use crate::locking::{LockManager, TxnService};
@@ -16,10 +17,15 @@ use crate::shard::TafShard;
 /// One shard's replicated deployment: a Raft group of [`TafShard`] state
 /// machines with the client (`CH_APP`) and transaction (`CH_TXN`) services
 /// mounted on every replica's mux.
+///
+/// Every replica writes through to a [`RaftStorage`], so a replica can be
+/// crash-killed ([`TafBackendGroup::crash_replica`]) and rebuilt from its
+/// snapshot and log tail ([`TafBackendGroup::restart_replica`]).
 pub struct TafBackendGroup {
     shard_id: ShardId,
     group: RaftGroup<TafShard>,
-    locks: Vec<Arc<LockManager>>,
+    kv_config: KvConfig,
+    locks: RwLock<Vec<Arc<LockManager>>>,
 }
 
 impl TafBackendGroup {
@@ -31,29 +37,79 @@ impl TafBackendGroup {
         raft_config: RaftConfig,
         kv_config: KvConfig,
     ) -> TafBackendGroup {
-        let group = RaftGroup::spawn(net, node_ids, raft_config, |_| {
-            Arc::new(TafShard::new(kv_config.clone()).expect("shard init"))
-        });
+        let storages: Vec<_> = node_ids
+            .iter()
+            .map(|_| RaftStorage::new_in_memory())
+            .collect();
+        let group = RaftGroup::spawn_durable(
+            net,
+            node_ids,
+            raft_config,
+            |_| Arc::new(TafShard::new(kv_config.clone()).expect("shard init")),
+            &storages,
+        );
         let mut locks = Vec::new();
         for (i, node) in group.nodes().iter().enumerate() {
-            let lm = Arc::new(LockManager::for_node(
-                Arc::clone(node.state_machine().metrics()),
-                node.id().0 as u64,
-            ));
-            let app = Arc::new(AppService {
-                node: Arc::clone(node),
-                locks: Arc::clone(&lm),
-                prim_wait_ns: cfs_obs::metrics::node(node.id().0 as u64).histogram("prim_wait_ns"),
-            });
-            let txn = Arc::new(TxnService::new(Arc::clone(node), Arc::clone(&lm)));
-            group.mux(i).mount(CH_APP, app as Arc<dyn Service>);
-            group.mux(i).mount(CH_TXN, txn as Arc<dyn Service>);
+            let lm = Self::mount_services(node, &group.mux(i));
             locks.push(lm);
         }
         TafBackendGroup {
             shard_id,
             group,
-            locks,
+            kv_config,
+            locks: RwLock::new(locks),
+        }
+    }
+
+    /// Builds replica services (lock manager, app, txn) for `node` and
+    /// mounts them on `mux`. Shared by spawn and restart.
+    fn mount_services(node: &Arc<RaftNode<TafShard>>, mux: &Arc<MuxService>) -> Arc<LockManager> {
+        let lm = Arc::new(LockManager::for_node(
+            Arc::clone(node.state_machine().metrics()),
+            node.id().0 as u64,
+        ));
+        let app = Arc::new(AppService {
+            node: Arc::clone(node),
+            locks: Arc::clone(&lm),
+            prim_wait_ns: cfs_obs::metrics::node(node.id().0 as u64).histogram("prim_wait_ns"),
+        });
+        let txn = Arc::new(TxnService::new(Arc::clone(node), Arc::clone(&lm)));
+        mux.mount(CH_APP, app as Arc<dyn Service>);
+        mux.mount(CH_TXN, txn as Arc<dyn Service>);
+        lm
+    }
+
+    /// Simulates kill −9 of replica `i`: the node and its services are torn
+    /// down with all in-flight state (proposals, ReadIndex rounds, staged
+    /// lock waits); only the replica's [`RaftStorage`] survives.
+    pub fn crash_replica(&self, i: usize) {
+        self.group.crash_replica(i);
+    }
+
+    /// Rebuilds replica `i` from its storage after a crash: a fresh, empty
+    /// [`TafShard`] is restored from the persisted snapshot and log tail, a
+    /// fresh lock manager and service stack are mounted, and the address
+    /// rejoins the network.
+    pub fn restart_replica(&self, i: usize) -> Arc<RaftNode<TafShard>> {
+        let sm = Arc::new(TafShard::new(self.kv_config.clone()).expect("shard init"));
+        let (node, mux) = self.group.restart_replica(i, sm);
+        let lm = Self::mount_services(&node, &mux);
+        self.locks.write()[i] = lm;
+        // Registration (which also revives the address) comes last, so the
+        // replica never serves a request before its services exist.
+        self.group
+            .net()
+            .register(node.id(), mux as Arc<dyn Service>);
+        node
+    }
+
+    /// Injects extra per-fsync latency into every replica's Raft log WAL
+    /// (the `slow_fsync` nemesis fault); `Duration::ZERO` clears it.
+    pub fn set_fsync_latency(&self, extra: std::time::Duration) {
+        for i in 0..self.group.nodes().len() {
+            if let Some(s) = self.group.storage(i) {
+                s.set_extra_sync_latency(extra);
+            }
         }
     }
 
@@ -68,8 +124,8 @@ impl TafBackendGroup {
     }
 
     /// Lock manager of replica `i` (tests and fault injection).
-    pub fn lock_manager(&self, i: usize) -> &Arc<LockManager> {
-        &self.locks[i]
+    pub fn lock_manager(&self, i: usize) -> Arc<LockManager> {
+        Arc::clone(&self.locks.read()[i])
     }
 
     /// Blocks until the group has a leader.

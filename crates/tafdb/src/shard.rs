@@ -139,6 +139,42 @@ enum Staged {
     Prim(Primitive),
 }
 
+impl Encode for Staged {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Staged::Writes(ws) => {
+                buf.push(0);
+                (ws.len() as u64).encode(buf);
+                for (k, r) in ws {
+                    k.encode(buf);
+                    r.encode(buf);
+                }
+            }
+            Staged::Prim(p) => {
+                buf.push(1);
+                p.encode(buf);
+            }
+        }
+    }
+}
+
+impl Decode for Staged {
+    fn decode(input: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(input)? {
+            0 => {
+                let n = u64::decode(input)?;
+                let mut ws = Vec::with_capacity((n as usize).min(1024));
+                for _ in 0..n {
+                    ws.push((Key::decode(input)?, Option::<Record>::decode(input)?));
+                }
+                Ok(Staged::Writes(ws))
+            }
+            1 => Ok(Staged::Prim(Primitive::decode(input)?)),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
 /// Phase of an in-flight outbound range migration.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum MigPhase {
@@ -220,6 +256,9 @@ pub struct TafShard {
     /// one read-capacity unit, so spreading reads over followers (ReadIndex)
     /// multiplies a group's aggregate read throughput.
     read_gate: Mutex<()>,
+    /// Raft index of the last applied command; tags kvstore checkpoints and
+    /// snapshot images with the log position they cover.
+    applied_index: AtomicU64,
 }
 
 impl TafShard {
@@ -237,7 +276,27 @@ impl TafShard {
             apply_cost,
             read_cost,
             read_gate: Mutex::new(()),
+            applied_index: AtomicU64::new(0),
         })
+    }
+
+    /// Raft index of the last command applied to this shard (0 before any).
+    pub fn applied_index(&self) -> u64 {
+        self.applied_index.load(Ordering::Relaxed)
+    }
+
+    /// The shard's partition-map epoch: the highest epoch at which one of
+    /// its ranges was donated away, or 0 before any migration completes.
+    pub fn epoch(&self) -> u64 {
+        let mig = self.mig.lock();
+        mig.moved.iter().map(|&(_, _, e)| e).max().unwrap_or(0)
+    }
+
+    /// Writes an on-demand kvstore checkpoint tagged with the last applied
+    /// Raft index and the shard's partition-map epoch. Requires the shard's
+    /// store to have a file-backed WAL (see [`KvStore::checkpoint`]).
+    pub fn checkpoint(&self) -> FsResult<cfs_kvstore::CheckpointInfo> {
+        self.kv.checkpoint(self.applied_index(), self.epoch())
     }
 
     /// Charges one simulated read service slot on this replica (no-op when
@@ -805,6 +864,161 @@ impl TafShard {
         self.commit_batch(ops)
     }
 
+    /// Serializes the shard's full replicated state: live kv entries,
+    /// directory generations, migration bookkeeping, and staged 2PC
+    /// transactions, headed by the applied index and partition-map epoch.
+    ///
+    /// The CDC stream is deliberately excluded — it is replica-local
+    /// plumbing to the garbage collector, not replicated state, and a
+    /// restored replica restarts it empty (the GC must drain a replica's
+    /// events before that replica is rebuilt from a snapshot).
+    fn encode_image(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.applied_index().encode(&mut buf);
+        self.epoch().encode(&mut buf);
+        // Live kv entries in key order (tombstones already resolved).
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = self.kv.range_snapshot(&[], None).collect();
+        (entries.len() as u64).encode(&mut buf);
+        for (k, v) in &entries {
+            k.encode(&mut buf);
+            v.encode(&mut buf);
+        }
+        // Directory generations, sorted so equal state yields equal bytes.
+        let mut gens: Vec<(u64, u64)> = self
+            .dir_gens
+            .lock()
+            .iter()
+            .map(|(&kid, &g)| (kid, g))
+            .collect();
+        gens.sort_unstable();
+        (gens.len() as u64).encode(&mut buf);
+        for (kid, g) in &gens {
+            kid.encode(&mut buf);
+            g.encode(&mut buf);
+        }
+        {
+            let mig = self.mig.lock();
+            (mig.moved.len() as u64).encode(&mut buf);
+            for &(lo, hi, epoch) in &mig.moved {
+                lo.encode(&mut buf);
+                hi.encode(&mut buf);
+                epoch.encode(&mut buf);
+            }
+            match &mig.active {
+                None => buf.push(0),
+                Some(m) => {
+                    buf.push(1);
+                    m.lo.encode(&mut buf);
+                    m.hi.encode(&mut buf);
+                    buf.push(match m.phase {
+                        MigPhase::Streaming => 0,
+                        MigPhase::Frozen => 1,
+                    });
+                    (m.tail.len() as u64).encode(&mut buf);
+                    for op in &m.tail {
+                        op.encode(&mut buf);
+                    }
+                }
+            }
+        }
+        {
+            let prepared = self.prepared.lock();
+            let mut txns: Vec<u64> = prepared.keys().copied().collect();
+            txns.sort_unstable();
+            (txns.len() as u64).encode(&mut buf);
+            for txn in txns {
+                txn.encode(&mut buf);
+                let items = &prepared[&txn];
+                (items.len() as u64).encode(&mut buf);
+                for item in items {
+                    item.encode(&mut buf);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Replaces the shard's state wholesale with a decoded image. Everything
+    /// is decoded before anything is mutated, so a corrupt image leaves the
+    /// shard untouched.
+    fn restore_image(&self, mut input: &[u8]) -> FsResult<()> {
+        let input = &mut input;
+        let applied = u64::decode(input)?;
+        // The epoch header is a tag for checkpoint tooling; the authoritative
+        // copy rides in `moved` below.
+        let _epoch = u64::decode(input)?;
+        let n = u64::decode(input)?;
+        let mut ops = Vec::with_capacity((n as usize).min(1 << 16));
+        for _ in 0..n {
+            let k = Vec::<u8>::decode(input)?;
+            let v = Vec::<u8>::decode(input)?;
+            ops.push(WriteOp::Put(k, v));
+        }
+        let n = u64::decode(input)?;
+        let mut gens = HashMap::with_capacity((n as usize).min(1 << 16));
+        for _ in 0..n {
+            let kid = u64::decode(input)?;
+            gens.insert(kid, u64::decode(input)?);
+        }
+        let n = u64::decode(input)?;
+        let mut moved = Vec::with_capacity((n as usize).min(1024));
+        for _ in 0..n {
+            moved.push((
+                u64::decode(input)?,
+                u64::decode(input)?,
+                u64::decode(input)?,
+            ));
+        }
+        let active = match u8::decode(input)? {
+            0 => None,
+            1 => {
+                let lo = u64::decode(input)?;
+                let hi = u64::decode(input)?;
+                let phase = match u8::decode(input)? {
+                    0 => MigPhase::Streaming,
+                    1 => MigPhase::Frozen,
+                    t => return Err(DecodeError::InvalidTag(t).into()),
+                };
+                let n = u64::decode(input)?;
+                let mut tail = Vec::with_capacity((n as usize).min(1 << 16));
+                for _ in 0..n {
+                    tail.push(WriteOp::decode(input)?);
+                }
+                Some(ActiveMigration {
+                    lo,
+                    hi,
+                    phase,
+                    tail,
+                    // The wall-clock freeze anchor is a local metrics aid;
+                    // a restored replica simply stops charging freeze_ns
+                    // for the window that predates it.
+                    frozen_at: None,
+                })
+            }
+            t => return Err(DecodeError::InvalidTag(t).into()),
+        };
+        let n = u64::decode(input)?;
+        let mut prepared: HashMap<u64, Vec<Staged>> =
+            HashMap::with_capacity((n as usize).min(1024));
+        for _ in 0..n {
+            let txn = u64::decode(input)?;
+            let m = u64::decode(input)?;
+            let mut items = Vec::with_capacity((m as usize).min(1024));
+            for _ in 0..m {
+                items.push(Staged::decode(input)?);
+            }
+            prepared.insert(txn, items);
+        }
+
+        self.kv.reset();
+        self.kv.write_batch(ops)?;
+        *self.dir_gens.lock() = gens;
+        *self.mig.lock() = MigState { active, moved };
+        *self.prepared.lock() = prepared;
+        self.applied_index.store(applied, Ordering::Relaxed);
+        Ok(())
+    }
+
     fn execute_primitive(&self, prim: &Primitive) -> FsResult<PrimResult> {
         let mut staging = StagingStore {
             kv: &self.kv,
@@ -857,12 +1071,24 @@ impl RecordStore for StagingStore<'_> {
 }
 
 impl StateMachine for TafShard {
-    fn apply(&self, _index: u64, cmd: &[u8]) -> Vec<u8> {
+    fn apply(&self, index: u64, cmd: &[u8]) -> Vec<u8> {
         let resp = match ShardCmd::from_bytes(cmd) {
             Ok(cmd) => self.apply_cmd(cmd),
             Err(e) => TafResponse::Err(FsError::from(e)),
         };
+        self.applied_index.store(index, Ordering::Relaxed);
         resp.to_bytes()
+    }
+
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(self.encode_image())
+    }
+
+    fn restore(&self, snap: &[u8]) {
+        // An undecodable image means the replication layer handed over a
+        // corrupt blob — there is no state to fall back to.
+        self.restore_image(snap)
+            .expect("valid shard snapshot image");
     }
 }
 
@@ -1304,6 +1530,117 @@ mod tests {
         // Deleting the entry bumps again.
         shard.apply_cmd(ShardCmd::Delete(Key::entry(cfs_types::ROOT_INODE, "x")));
         assert!(shard.gen_of(cfs_types::ROOT_INODE.raw()) > g1);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_full_state() {
+        let shard = chain_shard();
+        // Stage a 2PC transaction, leave a migration streaming with a tail,
+        // and record a donated range — all of it must survive the image.
+        // Donate an (empty) range at epoch 3, then leave a second migration
+        // streaming with a tail and a staged 2PC transaction outside it.
+        shard.apply_cmd(ShardCmd::MigStart { lo: 200, hi: 210 });
+        shard.apply_cmd(ShardCmd::MigFreeze { lo: 200, hi: 210 });
+        shard.apply_cmd(ShardCmd::MigFinish {
+            lo: 200,
+            hi: 210,
+            epoch: 3,
+        });
+        shard.apply(42, &ShardCmd::MigStart { lo: 20, hi: 25 }.to_bytes());
+        put_entry(&shard, InodeId(20), "tailme", 90, FileType::File);
+        shard.apply_cmd(ShardCmd::Prepare {
+            txn: 7,
+            writes: vec![(
+                Key::entry(InodeId(10), "staged"),
+                Some(Record::id_record(InodeId(70), FileType::File)),
+            )],
+        });
+        assert_eq!(shard.epoch(), 3);
+        assert_eq!(shard.applied_index(), 42);
+
+        let image = shard.snapshot().expect("taf shards are snapshottable");
+        let fresh = TafShard::new(KvConfig::default()).unwrap();
+        fresh.restore(&image);
+
+        assert_eq!(fresh.applied_index(), 42);
+        assert_eq!(fresh.epoch(), 3);
+        // Kv contents and directory generations carried over.
+        let r = fresh
+            .resolve_prefix(
+                cfs_types::ROOT_INODE,
+                &["a".into(), "b".into(), "f".into()],
+                0,
+                u64::MAX,
+            )
+            .unwrap();
+        assert_eq!(r.end, ResolveEnd::Done);
+        assert_eq!(
+            fresh.gen_of(cfs_types::ROOT_INODE.raw()),
+            shard.gen_of(cfs_types::ROOT_INODE.raw())
+        );
+        // Donated ranges still redirect with their epoch.
+        assert_eq!(fresh.check_owner(205), Err(FsError::WrongShard(3)));
+        // The streaming migration survived, tail included: freezing the
+        // restored replica returns the same tail as the original.
+        let (orig, restored) = (
+            shard.apply_cmd(ShardCmd::MigFreeze { lo: 20, hi: 25 }),
+            fresh.apply_cmd(ShardCmd::MigFreeze { lo: 20, hi: 25 }),
+        );
+        assert!(matches!(&orig, TafResponse::Tail(t) if !t.is_empty()));
+        assert_eq!(orig, restored);
+        // The staged transaction commits on the restored replica.
+        assert!(matches!(
+            fresh.apply_cmd(ShardCmd::CommitPrepared { txn: 7 }),
+            TafResponse::Executed(_)
+        ));
+        assert!(fresh.get(&Key::entry(InodeId(10), "staged")).is_some());
+    }
+
+    #[test]
+    fn restore_replaces_rather_than_merges() {
+        let shard = shard_with_root();
+        let image = shard.snapshot().unwrap();
+        let other = TafShard::new(KvConfig::default()).unwrap();
+        put_entry(&other, cfs_types::ROOT_INODE, "stale", 99, FileType::File);
+        other.apply_cmd(ShardCmd::Prepare {
+            txn: 1,
+            writes: Vec::new(),
+        });
+        other.restore(&image);
+        // Pre-restore state is gone, not merged under the image.
+        assert!(other
+            .get(&Key::entry(cfs_types::ROOT_INODE, "stale"))
+            .is_none());
+        assert!(matches!(
+            other.apply_cmd(ShardCmd::CommitPrepared { txn: 1 }),
+            TafResponse::Err(_)
+        ));
+        assert_eq!(other.gen_of(cfs_types::ROOT_INODE.raw()), 0);
+    }
+
+    #[test]
+    fn corrupt_image_is_rejected_without_mutation() {
+        let shard = shard_with_root();
+        let mut image = shard.snapshot().unwrap();
+        put_entry(&shard, cfs_types::ROOT_INODE, "keep", 50, FileType::File);
+        image.truncate(image.len() / 2);
+        assert!(shard.restore_image(&image).is_err());
+        // The failed restore left current state alone.
+        assert!(shard
+            .get(&Key::entry(cfs_types::ROOT_INODE, "keep"))
+            .is_some());
+    }
+
+    #[test]
+    fn apply_tracks_the_raft_index() {
+        let shard = shard_with_root();
+        assert_eq!(shard.applied_index(), 0);
+        let cmd = ShardCmd::Put(
+            Key::attr(InodeId(9)),
+            Record::dir_attr_record(0, Timestamp(1)),
+        );
+        shard.apply(17, &cmd.to_bytes());
+        assert_eq!(shard.applied_index(), 17);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! Knobs: `CFS_NEMESIS_SEEDS` (sweep width, default 20), `CFS_SIM_SEED`
 //! (sweep base / single-seed target), `CFS_NEMESIS_OPS` (ops per thread).
 
-use cfs_harness::nemesis::{canonical_log_for, run_nemesis, NemesisOptions, NemesisSchedule};
+use cfs_harness::nemesis::{
+    canonical_log_for, run_nemesis, NemesisOptions, NemesisReport, NemesisSchedule,
+};
 use cfs_rpc::seed_from_env;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -18,7 +20,7 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-fn check_seed_with(seed: u64, opts: NemesisOptions) -> usize {
+fn check_seed_with(seed: u64, opts: NemesisOptions) -> NemesisReport {
     let report = run_nemesis(seed, opts);
     if let Some(d) = &report.divergence {
         let mut observed = String::new();
@@ -39,7 +41,7 @@ fn check_seed_with(seed: u64, opts: NemesisOptions) -> usize {
             report.canonical_log()
         );
     }
-    report.splits_ok
+    report
 }
 
 fn check_seed(seed: u64) {
@@ -71,7 +73,7 @@ fn split_nemesis_sweep_passes_divergence_oracle() {
     };
     let mut splits_ok = 0;
     for seed in base..base + count {
-        splits_ok += check_seed_with(seed, opts);
+        splits_ok += check_seed_with(seed, opts).splits_ok;
     }
     assert!(
         splits_ok > 0,
@@ -95,6 +97,34 @@ fn read_index_nemesis_sweep_passes_divergence_oracle() {
     };
     for seed in base..base + count {
         check_seed_with(seed, opts);
+    }
+}
+
+/// The crash-restart recovery sweep: the base fault family extended with
+/// `restart` windows (a TafDB replica is kill −9'd and rebuilt from its
+/// snapshot + log WAL) and `slow_fsync` windows (every TafDB log fsync
+/// stalls). Acknowledged writes must survive replicas being reconstructed
+/// from disk mid-workload — zero oracle divergences — and because snapshots
+/// compact the log behind them, no TafDB replica's post-run log may have
+/// grown past the `test_small` snapshot threshold (48) plus one
+/// inter-compaction stride.
+#[test]
+fn restart_nemesis_sweep_passes_divergence_oracle() {
+    let base = seed_from_env().wrapping_add(0x08e5_7a87);
+    let count = env_usize("CFS_NEMESIS_SEEDS", 20) as u64;
+    let opts = NemesisOptions {
+        restarts: true,
+        slow_fsync: true,
+        ..NemesisOptions::default()
+    };
+    for seed in base..base + count {
+        let report = check_seed_with(seed, opts);
+        assert!(
+            report.max_taf_log_len < 96,
+            "seed {seed}: a TafDB replica's raft log grew to {} entries — \
+             compaction is not bounding the log",
+            report.max_taf_log_len
+        );
     }
 }
 
