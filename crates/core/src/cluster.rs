@@ -306,6 +306,37 @@ impl CfsCluster {
         Ok(())
     }
 
+    /// Caps the bytes the TafDB replica at `id` can still write to its log
+    /// volume before `ENOSPC` (`None` lifts the cap): the `disk_full`
+    /// nemesis fault.
+    pub fn set_disk_budget(&self, id: NodeId, budget: Option<u64>) -> FsResult<()> {
+        let (g, i) = self.find_taf_replica(id)?;
+        if let Some(f) = g.replica_faults(i) {
+            f.set_byte_budget(budget);
+        }
+        Ok(())
+    }
+
+    /// Arms a one-shot torn write on the TafDB replica at `id`'s log volume
+    /// (the device wedges after the tear; pair with [`CfsCluster::crash_node`]).
+    pub fn arm_torn_write(&self, id: NodeId, ppm: u32) -> FsResult<()> {
+        let (g, i) = self.find_taf_replica(id)?;
+        if let Some(f) = g.replica_faults(i) {
+            f.arm_torn_write(ppm);
+        }
+        Ok(())
+    }
+
+    /// Heals the TafDB replica at `id`'s simulated log volume (lifts the
+    /// byte budget, disarms tears, un-wedges).
+    pub fn clear_storage_faults(&self, id: NodeId) -> FsResult<()> {
+        let (g, i) = self.find_taf_replica(id)?;
+        if let Some(f) = g.replica_faults(i) {
+            f.clear();
+        }
+        Ok(())
+    }
+
     fn find_taf_replica(&self, id: NodeId) -> FsResult<(Arc<TafBackendGroup>, usize)> {
         for g in self.taf_groups.read().iter() {
             if let Some(i) = g.raft().nodes().iter().position(|n| n.id() == id) {

@@ -11,6 +11,7 @@ pub mod metrics;
 pub mod model;
 pub mod nemesis;
 pub mod runner;
+pub mod soak;
 pub mod traces;
 pub mod workload;
 
@@ -18,6 +19,7 @@ pub use metrics::{Histogram, Summary};
 pub use model::Model;
 pub use nemesis::{run_nemesis, Divergence, NemOp, NemesisOptions, NemesisReport, NemesisSchedule};
 pub use runner::{run_clients, BenchResult};
+pub use soak::{run_soak, SoakOptions, SoakReport};
 pub use traces::{Trace, TraceKind, TraceOp};
 pub use workload::{prepare_op_workload, MetaOp, WorkloadOptions};
 

@@ -240,7 +240,13 @@ impl KvStore {
                 "checkpoint requires a file-backed WAL".into(),
             ));
         };
-        let wal = self.wal.as_ref().expect("file-backed wal present");
+        // `checkpoint_path` returning `Some` implies a WAL was configured,
+        // but an injected fault must surface as a typed error, never a panic.
+        let Some(wal) = self.wal.as_ref() else {
+            return Err(FsError::Invalid(
+                "checkpoint requires a file-backed WAL".into(),
+            ));
+        };
         // Cursor first, snapshot second: any batch racing this ordering is
         // both in the snapshot and replayed after the cursor, and replay is
         // order-preserving, so re-applying it converges to the same state.
@@ -267,12 +273,30 @@ impl KvStore {
         let body = encode_checkpoint(&info, &entries);
         let tmp = Self::tmp_path(&path);
         crashed(CrashPoint::BeforeTmpWrite)?;
+        // The sidecar lives on the same simulated volume as the WAL: charge
+        // its bytes against the injected device before writing. A fault here
+        // leaves the previous checkpoint installed (the rename never runs);
+        // a torn verdict additionally leaves a partial temp file behind, the
+        // same debris `CrashPoint::TornTmpWrite` models.
+        let torn_at = match wal.faults().before_write(body.len() as u64) {
+            cfs_wal::WriteVerdict::Ok => None,
+            cfs_wal::WriteVerdict::NoSpace => return Err(FsError::NoSpace),
+            cfs_wal::WriteVerdict::Wedged => {
+                return Err(FsError::Io("simulated storage device is wedged".into()))
+            }
+            cfs_wal::WriteVerdict::Torn(keep) => Some(keep.min(body.len())),
+        };
         {
             let mut f = std::fs::File::create(&tmp)?;
             if crash == Some(CrashPoint::TornTmpWrite) {
                 f.write_all(&body[..body.len() / 2])?;
                 f.sync_data()?;
                 return Err(FsError::Corrupted("simulated crash at TornTmpWrite".into()));
+            }
+            if let Some(keep) = torn_at {
+                f.write_all(&body[..keep])?;
+                f.sync_data()?;
+                return Err(FsError::Io("simulated torn checkpoint write".into()));
             }
             f.write_all(&body)?;
             f.sync_data()?;
@@ -1164,6 +1188,48 @@ mod tests {
                 "corrupt sidecar must not load"
             );
             assert_eq!(kv.approx_live_entries(), 25);
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn injected_checkpoint_faults_are_typed_errors_and_keep_the_old_checkpoint() {
+        // The FaultFs analogue of the crash-point matrix: a checkpoint that
+        // hits a full or torn simulated volume must fail with a typed error
+        // (never a panic), leave the previously installed checkpoint in
+        // place, and succeed once the volume heals.
+        let (cfg, path) = file_cfg("ckpt-fault");
+        {
+            let kv = KvStore::with_config(cfg.clone()).unwrap();
+            for i in 0..20u32 {
+                kv.put(i.to_be_bytes().to_vec(), b"old".to_vec()).unwrap();
+            }
+            kv.sync().unwrap();
+            kv.checkpoint(1, 0).unwrap();
+            for i in 20..30u32 {
+                kv.put(i.to_be_bytes().to_vec(), b"new".to_vec()).unwrap();
+            }
+            kv.sync().unwrap();
+            let faults = kv.wal().unwrap().faults().clone();
+            faults.set_byte_budget(Some(0));
+            assert!(matches!(kv.checkpoint(2, 0), Err(FsError::NoSpace)));
+            faults.clear();
+            faults.arm_torn_write(400_000);
+            assert!(matches!(kv.checkpoint(2, 0), Err(FsError::Io(_))));
+            assert_eq!(
+                kv.last_checkpoint().unwrap().applied_index,
+                1,
+                "failed attempts must not install"
+            );
+            // Space returns (and the wedged device is replaced): full service.
+            faults.clear();
+            kv.checkpoint(3, 0).unwrap();
+        }
+        let kv = KvStore::with_config(cfg).unwrap();
+        assert_eq!(kv.last_checkpoint().unwrap().applied_index, 3);
+        assert_eq!(kv.approx_live_entries(), 30);
+        for i in 0..30u32 {
+            assert!(kv.get(&i.to_be_bytes()).is_some(), "key {i}");
         }
         cleanup(&path);
     }

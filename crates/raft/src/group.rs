@@ -509,7 +509,9 @@ mod tests {
             .unwrap();
         group.crash_replica(victim);
         // Wipe the victim's disk: restart must behave like a brand-new node.
-        storages[victim].reset_to_snapshot(0, 0, Vec::new());
+        storages[victim]
+            .reset_to_snapshot(0, 0, Vec::new())
+            .expect("wipe victim storage");
         storages[victim].truncate_from(1);
         for i in 0..30u32 {
             leader.propose(i.to_be_bytes().to_vec()).unwrap();
@@ -626,6 +628,143 @@ mod tests {
             node.state_machine().digest(),
             leader.state_machine().digest()
         );
+        group.shutdown();
+    }
+
+    /// Durable 3-node group with one follower kill −9'd and the leader
+    /// compacted well past it: the canonical setup for interrupting the
+    /// `InstallSnapshot` catch-up at a chosen protocol step. Returns the
+    /// group plus the leader's and the lagging follower's replica indexes.
+    fn interrupted_snapshot_setup(base: u32) -> (RaftGroup<CountSm>, usize, usize) {
+        let net = Network::new(NetConfig::default());
+        let storages: Vec<_> = (0..3).map(|_| RaftStorage::new_in_memory()).collect();
+        let group = RaftGroup::spawn_durable(
+            &net,
+            &ids(base, 3),
+            compacting_config(5),
+            |_| CountSm::new(),
+            &storages,
+        );
+        let leader = group.wait_for_leader(Duration::from_secs(5)).unwrap();
+        let leader_idx = group
+            .nodes()
+            .iter()
+            .position(|n| n.id() == leader.id())
+            .unwrap();
+        let victim_idx = (leader_idx + 1) % 3;
+        group.crash_replica(victim_idx);
+        for i in 0..30u32 {
+            leader.propose(i.to_be_bytes().to_vec()).unwrap();
+        }
+        assert!(
+            leader.snapshot_index() >= 25,
+            "leader compacted while the follower was down"
+        );
+        (group, leader_idx, victim_idx)
+    }
+
+    /// Blocks until every replica applied exactly `want` commands with
+    /// identical digests — the "no lost entries" convergence oracle for the
+    /// interruption tests.
+    fn wait_converged(group: &RaftGroup<CountSm>, want: u64) {
+        let deadline = Instant::now() + Duration::from_secs(15);
+        loop {
+            let nodes = group.nodes();
+            if nodes.iter().all(|n| n.state_machine().count() == want) {
+                let d0 = nodes[0].state_machine().digest();
+                for n in &nodes {
+                    assert_eq!(
+                        n.state_machine().digest(),
+                        d0,
+                        "replica {:?} diverged after the interruption",
+                        n.id()
+                    );
+                }
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "group never converged to {want} applied commands (got {:?})",
+                nodes
+                    .iter()
+                    .map(|n| n.state_machine().count())
+                    .collect::<Vec<_>>()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn install_snapshot_interrupted_before_send_converges() {
+        // The leader dies before the lagging follower ever revives: the
+        // interruption lands before any InstallSnapshot is sent, so the
+        // catch-up must start from scratch under whichever leader emerges.
+        let (group, leader_idx, victim_idx) = interrupted_snapshot_setup(600);
+        group.crash_replica(leader_idx);
+        group.restart_and_register(leader_idx, CountSm::new());
+        group.restart_and_register(victim_idx, CountSm::new());
+        group.wait_for_leader(Duration::from_secs(10)).unwrap();
+        for i in 30..33u32 {
+            group
+                .propose(i.to_be_bytes().to_vec(), Duration::from_secs(10))
+                .unwrap();
+        }
+        wait_converged(&group, 33);
+        assert!(
+            group.nodes()[victim_idx].snapshot_index() >= 25,
+            "the lagging follower must have been caught up by InstallSnapshot"
+        );
+        group.shutdown();
+    }
+
+    #[test]
+    fn install_snapshot_interrupted_mid_transfer_converges() {
+        // The follower revives, the leader opens the catch-up, and is
+        // kill −9'd a beat later: the snapshot message and/or its ack die in
+        // flight. The restarted leader (or a successor) must finish the job.
+        let (group, leader_idx, victim_idx) = interrupted_snapshot_setup(610);
+        group.restart_and_register(victim_idx, CountSm::new());
+        std::thread::sleep(Duration::from_millis(10));
+        group.crash_replica(leader_idx);
+        std::thread::sleep(Duration::from_millis(30));
+        group.restart_and_register(leader_idx, CountSm::new());
+        group.wait_for_leader(Duration::from_secs(10)).unwrap();
+        for i in 30..33u32 {
+            group
+                .propose(i.to_be_bytes().to_vec(), Duration::from_secs(10))
+                .unwrap();
+        }
+        wait_converged(&group, 33);
+        assert!(
+            group.nodes()[victim_idx].snapshot_index() >= 25,
+            "the lagging follower must have been caught up by InstallSnapshot"
+        );
+        group.shutdown();
+    }
+
+    #[test]
+    fn install_snapshot_interrupted_after_restore_before_ack_converges() {
+        // The follower finishes restoring the image, and the leader dies at
+        // that instant — the ack may be processed, in flight, or lost. The
+        // restarted leader must re-probe the follower's progress and resume
+        // plain appends without re-installing or double-applying.
+        let (group, leader_idx, victim_idx) = interrupted_snapshot_setup(620);
+        group.restart_and_register(victim_idx, CountSm::new());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while group.nodes()[victim_idx].snapshot_index() < 25 {
+            assert!(Instant::now() < deadline, "follower never restored");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        group.crash_replica(leader_idx);
+        std::thread::sleep(Duration::from_millis(30));
+        group.restart_and_register(leader_idx, CountSm::new());
+        group.wait_for_leader(Duration::from_secs(10)).unwrap();
+        for i in 30..33u32 {
+            group
+                .propose(i.to_be_bytes().to_vec(), Duration::from_secs(10))
+                .unwrap();
+        }
+        wait_converged(&group, 33);
         group.shutdown();
     }
 

@@ -1,6 +1,7 @@
 //! The Raft node: roles, election, replication, commit, apply.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -161,6 +162,11 @@ pub struct RaftNode<S: StateMachine> {
     /// Durable state written through before replies are sent; `None` runs the
     /// node memory-only (state dies with it, as before storage existed).
     storage: Option<Arc<RaftStorage>>,
+    /// Set while the replica's durable writes are failing (disk full, torn
+    /// write, wedged device). A degraded replica keeps serving reads and
+    /// keeps its role, but proposals fail with the storage error until the
+    /// volume heals; the flag drives the `raft_storage_degraded` gauge.
+    degraded: AtomicBool,
     /// Serializes `StateMachine::restore` against reader closures. Normal
     /// applies mutate one key at a time on internally-synchronized state, so
     /// concurrent readers see at worst a slightly stale value — but restore
@@ -190,6 +196,9 @@ struct Obs {
     restore_ns: Arc<Histogram>,
     /// Log compactions performed (snapshots taken).
     truncations: Arc<Counter>,
+    /// 1 while the replica's storage is rejecting writes (ENOSPC / wedged
+    /// device), 0 once a durable write succeeds again.
+    storage_degraded: Arc<Gauge>,
 }
 
 impl Obs {
@@ -203,6 +212,7 @@ impl Obs {
             snapshot_ns: reg.histogram("raft_snapshot_ns"),
             restore_ns: reg.histogram("raft_restore_ns"),
             truncations: reg.counter("raft_log_truncations"),
+            storage_degraded: reg.gauge("raft_storage_degraded"),
         }
     }
 }
@@ -296,6 +306,7 @@ impl<S: StateMachine> RaftNode<S> {
             config,
             obs: Obs::for_node(id),
             storage,
+            degraded: AtomicBool::new(false),
             sm_gate: RwLock::new(()),
         });
         {
@@ -414,7 +425,17 @@ impl<S: StateMachine> RaftNode<S> {
             st.log.push(entry.clone());
             let index = last_index(&st);
             if let Some(storage) = &self.storage {
-                storage.append(index, &[entry]);
+                if let Err(e) = storage.append(index, &[entry]) {
+                    // Graceful ENOSPC degradation: the entry was never made
+                    // durable, so it was never replicated — drop it and fail
+                    // the proposal with the (retryable) storage error. The
+                    // node keeps its role and keeps serving reads.
+                    st.log.pop();
+                    self.obs.log_len.set(st.log.len() as i64);
+                    self.mark_storage(true);
+                    return Err(e);
+                }
+                self.mark_storage(false);
             }
             st.waiters.insert(index, (term, tx));
             self.obs.log_len.set(st.log.len() as i64);
@@ -613,10 +634,31 @@ impl<S: StateMachine> RaftNode<S> {
             };
             st.log.push(entry.clone());
             if let Some(storage) = &self.storage {
-                storage.append(last_index(st), &[entry]);
+                if let Err(_e) = storage.append(last_index(st), &[entry]) {
+                    // Degraded volume: leadership stands, but the no-op
+                    // barrier can't persist. Drop it; commit advances once a
+                    // later append succeeds in this term.
+                    st.log.pop();
+                    self.mark_storage(true);
+                } else {
+                    self.mark_storage(false);
+                }
             }
             st.next_heartbeat = now;
         }
+    }
+
+    /// Tracks transitions in and out of the storage-degraded state and
+    /// mirrors them onto the `raft_storage_degraded` gauge.
+    fn mark_storage(&self, failed: bool) {
+        if self.degraded.swap(failed, Ordering::Relaxed) != failed {
+            self.obs.storage_degraded.set(i64::from(failed));
+        }
+    }
+
+    /// True while the replica's durable writes are failing.
+    pub fn storage_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
     }
 
     fn broadcast(&self, _st: &NodeState, msg: RaftMsg) {
@@ -895,7 +937,31 @@ impl<S: StateMachine> RaftNode<S> {
                         // overwrote a conflict; truncate-then-append covers
                         // both, and the sync lands before the response.
                         storage.truncate_from(fresh_from);
-                        storage.append(fresh_from, &fresh);
+                        if let Err(_e) = storage.append(fresh_from, &fresh) {
+                            // The fresh suffix (or part of it) never became
+                            // durable: roll the in-memory log back to what we
+                            // can honestly ack and nack so the leader backs
+                            // up and retries once the volume heals.
+                            self.mark_storage(true);
+                            let keep = (fresh_from - 1 - st.snap_index) as usize;
+                            st.log.truncate(keep);
+                            self.obs.log_len.set(st.log.len() as i64);
+                            let match_index = fresh_from - 1;
+                            if leader_commit > st.commit {
+                                st.commit = leader_commit.min(last_index(&st));
+                                self.apply_committed(&mut st);
+                            }
+                            self.send_one(
+                                from,
+                                RaftMsg::AppendResp {
+                                    term: st.term,
+                                    success: false,
+                                    match_index,
+                                },
+                            );
+                            return;
+                        }
+                        self.mark_storage(false);
                     }
                 }
                 let match_index = idx.max(st.snap_index);
@@ -1051,6 +1117,24 @@ impl<S: StateMachine> RaftNode<S> {
                 }
                 self.become_follower(&mut st, term, Some(from));
                 if index > st.applied {
+                    // Make the image durable *before* adopting it: a failed
+                    // sidecar write (disk full / wedged volume) must leave
+                    // both the state machine and our ack untouched, so the
+                    // leader retries the transfer once the volume heals.
+                    if let Some(storage) = &self.storage {
+                        if let Err(_e) = storage.reset_to_snapshot(index, snap_term, data.clone()) {
+                            self.mark_storage(true);
+                            self.send_one(
+                                from,
+                                RaftMsg::InstallSnapshotResp {
+                                    term: st.term,
+                                    index: st.applied,
+                                },
+                            );
+                            return;
+                        }
+                        self.mark_storage(false);
+                    }
                     let started = Instant::now();
                     {
                         // Readers that passed their role/applied check but
@@ -1066,9 +1150,6 @@ impl<S: StateMachine> RaftNode<S> {
                     st.snap_term = snap_term;
                     st.commit = index;
                     st.applied = index;
-                    if let Some(storage) = &self.storage {
-                        storage.reset_to_snapshot(index, snap_term, data.clone());
-                    }
                     st.snap_data = data;
                     self.obs
                         .restore_ns
@@ -1187,14 +1268,22 @@ impl<S: StateMachine> RaftNode<S> {
         };
         let applied = st.applied;
         let term = term_at(st, applied);
+        if let Some(storage) = &self.storage {
+            // Persist the sidecar before truncating anything: a failed write
+            // (disk full) skips this compaction attempt entirely — the log
+            // keeps growing until the volume heals, which the next apply
+            // retries, rather than losing the only copy of the prefix.
+            if let Err(_e) = storage.save_snapshot(applied, term, data.clone()) {
+                self.mark_storage(true);
+                return;
+            }
+            self.mark_storage(false);
+        }
         let drop_n = (applied - st.snap_index) as usize;
         st.log.drain(..drop_n);
         st.snap_index = applied;
         st.snap_term = term;
-        st.snap_data = data.clone();
-        if let Some(storage) = &self.storage {
-            storage.save_snapshot(applied, term, data);
-        }
+        st.snap_data = data;
         self.obs.truncations.add(1);
         self.obs
             .snapshot_ns

@@ -17,8 +17,8 @@
 use std::sync::Arc;
 
 use cfs_types::codec::{Decode, Encode};
-use cfs_types::NodeId;
-use cfs_wal::{Wal, WalConfig};
+use cfs_types::{FsResult, NodeId};
+use cfs_wal::{FaultFs, Wal, WalConfig, WriteVerdict};
 use parking_lot::Mutex;
 
 use crate::msg::LogEntry;
@@ -87,13 +87,16 @@ impl RaftStorage {
     }
 
     /// Reads everything back at node spawn. Entries below the snapshot index
-    /// are skipped; a gap in the remainder truncates recovery there (the
-    /// missing suffix is re-replicated by the leader).
+    /// are skipped; a gap or an undecodable record (a torn write) truncates
+    /// recovery there — and physically truncates the unreachable suffix, the
+    /// way reopening a file-backed log cuts its torn tail — so the leader
+    /// re-replicates the missing entries onto a clean log.
     pub fn recover(&self) -> Recovered {
         let hard = *self.hard.lock();
         let snapshot = self.snap.lock().clone();
         let base = snapshot.as_ref().map_or(0, |s| s.index);
         let mut entries = Vec::new();
+        let mut next = base + 1;
         for (expect, we) in (base + 1..).zip(self.wal.read_from(base + 1)) {
             if we.seq != expect {
                 break;
@@ -102,6 +105,10 @@ impl RaftStorage {
                 break;
             };
             entries.push(entry);
+            next = expect + 1;
+        }
+        if self.wal.last_seq() >= next {
+            self.wal.truncate_suffix(next);
         }
         Recovered {
             hard,
@@ -111,16 +118,17 @@ impl RaftStorage {
     }
 
     /// Appends `entries` at `first_index` (contiguous with the retained log)
-    /// and syncs. The sync is where an injected `slow_fsync` stall bites.
-    pub fn append(&self, first_index: u64, entries: &[LogEntry]) {
+    /// and syncs. The sync is where an injected `slow_fsync` stall bites;
+    /// disk-full and torn-write faults surface here as typed errors the node
+    /// degrades on instead of panicking.
+    pub fn append(&self, first_index: u64, entries: &[LogEntry]) -> FsResult<()> {
         if entries.is_empty() {
-            return;
+            return Ok(());
         }
         debug_assert_eq!(self.wal.last_seq().max(first_index - 1), first_index - 1);
         self.wal
-            .append_batch(entries.iter().map(Encode::to_bytes))
-            .expect("raft log append");
-        self.wal.sync().expect("raft log sync");
+            .append_batch(entries.iter().map(Encode::to_bytes))?;
+        self.wal.sync()
     }
 
     /// Drops persisted entries with index `>= from` (conflict resolution).
@@ -134,20 +142,39 @@ impl RaftStorage {
         *self.hard.lock() = HardState { term, voted_for };
     }
 
+    /// Charges a snapshot image of `len` bytes against the simulated volume.
+    /// Snapshot sidecars are written atomically (temp + rename in the real
+    /// deployment), so any injected fault leaves the previous snapshot in
+    /// place: the image is either fully durable or not written at all.
+    fn charge_snapshot(&self, len: u64) -> FsResult<()> {
+        match self.wal.faults().before_write(len) {
+            WriteVerdict::Ok => Ok(()),
+            WriteVerdict::NoSpace => Err(cfs_types::FsError::NoSpace),
+            WriteVerdict::Torn(_) | WriteVerdict::Wedged => Err(cfs_types::FsError::Io(
+                "simulated fault while writing snapshot sidecar".into(),
+            )),
+        }
+    }
+
     /// Records a snapshot taken locally at `index` and prefix-truncates the
     /// persisted log behind it (leader/follower compaction: the tail after
-    /// `index` is kept).
-    pub fn save_snapshot(&self, index: u64, term: u64, data: Vec<u8>) {
+    /// `index` is kept). On an injected storage fault nothing changes — the
+    /// caller skips compaction and retries after the next applies.
+    pub fn save_snapshot(&self, index: u64, term: u64, data: Vec<u8>) -> FsResult<()> {
+        self.charge_snapshot(data.len() as u64)?;
         *self.snap.lock() = Some(SnapshotBlob { index, term, data });
         self.wal.truncate_prefix(index);
+        Ok(())
     }
 
     /// Installs a snapshot streamed from the leader: the entire retained log
     /// is discarded (InstallSnapshot replaces the replica's history
-    /// wholesale).
-    pub fn reset_to_snapshot(&self, index: u64, term: u64, data: Vec<u8>) {
+    /// wholesale). On an injected storage fault nothing is installed.
+    pub fn reset_to_snapshot(&self, index: u64, term: u64, data: Vec<u8>) -> FsResult<()> {
+        self.charge_snapshot(data.len() as u64)?;
         *self.snap.lock() = Some(SnapshotBlob { index, term, data });
         self.wal.reset_to(index);
+        Ok(())
     }
 
     /// The latest snapshot, if any.
@@ -167,6 +194,12 @@ impl RaftStorage {
     pub fn set_extra_sync_latency(&self, extra: std::time::Duration) {
         self.wal.set_extra_sync_latency(extra);
     }
+
+    /// The simulated device under this replica's log, for arming disk-full,
+    /// torn-write, and fsync faults.
+    pub fn faults(&self) -> &Arc<FaultFs> {
+        self.wal.faults()
+    }
 }
 
 #[cfg(test)]
@@ -180,8 +213,8 @@ mod tests {
     #[test]
     fn append_and_recover_round_trip() {
         let s = RaftStorage::new_in_memory();
-        s.append(1, &[e(1, 1), e(1, 2)]);
-        s.append(3, &[e(2, 3)]);
+        s.append(1, &[e(1, 1), e(1, 2)]).unwrap();
+        s.append(3, &[e(2, 3)]).unwrap();
         s.save_hard_state(2, Some(NodeId(7)));
         let r = s.recover();
         assert_eq!(
@@ -198,9 +231,9 @@ mod tests {
     #[test]
     fn conflict_truncation_rewrites_the_tail() {
         let s = RaftStorage::new_in_memory();
-        s.append(1, &[e(1, 1), e(1, 2), e(1, 3)]);
+        s.append(1, &[e(1, 1), e(1, 2), e(1, 3)]).unwrap();
         s.truncate_from(2);
-        s.append(2, &[e(2, 9)]);
+        s.append(2, &[e(2, 9)]).unwrap();
         let r = s.recover();
         assert_eq!(r.entries, vec![e(1, 1), e(2, 9)]);
     }
@@ -208,8 +241,8 @@ mod tests {
     #[test]
     fn snapshot_compacts_the_recovered_prefix() {
         let s = RaftStorage::new_in_memory();
-        s.append(1, &[e(1, 1), e(1, 2), e(1, 3), e(1, 4)]);
-        s.save_snapshot(3, 1, b"image".to_vec());
+        s.append(1, &[e(1, 1), e(1, 2), e(1, 3), e(1, 4)]).unwrap();
+        s.save_snapshot(3, 1, b"image".to_vec()).unwrap();
         let r = s.recover();
         let snap = r.snapshot.unwrap();
         assert_eq!((snap.index, snap.term), (3, 1));
@@ -221,14 +254,69 @@ mod tests {
     #[test]
     fn install_discards_the_whole_log() {
         let s = RaftStorage::new_in_memory();
-        s.append(1, &[e(1, 1), e(1, 2), e(1, 3)]);
-        s.reset_to_snapshot(10, 2, b"img".to_vec());
+        s.append(1, &[e(1, 1), e(1, 2), e(1, 3)]).unwrap();
+        s.reset_to_snapshot(10, 2, b"img".to_vec()).unwrap();
         let r = s.recover();
         assert_eq!(r.snapshot.unwrap().index, 10);
         assert!(r.entries.is_empty());
         assert_eq!(s.last_index(), 10);
         // Appends resume after the snapshot index.
-        s.append(11, &[e(3, 9)]);
+        s.append(11, &[e(3, 9)]).unwrap();
         assert_eq!(s.recover().entries, vec![e(3, 9)]);
+    }
+
+    #[test]
+    fn enospc_append_is_a_typed_error_and_heals_when_space_returns() {
+        let s = RaftStorage::new_in_memory();
+        s.append(1, &[e(1, 1)]).unwrap();
+        s.faults().set_byte_budget(Some(0));
+        assert_eq!(s.append(2, &[e(1, 2)]), Err(cfs_types::FsError::NoSpace));
+        assert_eq!(s.last_index(), 1, "rejected entry must not be persisted");
+        s.faults().clear();
+        s.append(2, &[e(1, 2)]).unwrap();
+        assert_eq!(s.recover().entries, vec![e(1, 1), e(1, 2)]);
+    }
+
+    #[test]
+    fn enospc_snapshot_leaves_the_previous_snapshot_intact() {
+        let s = RaftStorage::new_in_memory();
+        s.append(1, &[e(1, 1), e(1, 2), e(1, 3)]).unwrap();
+        s.save_snapshot(2, 1, b"old".to_vec()).unwrap();
+        s.faults().set_byte_budget(Some(1));
+        assert_eq!(
+            s.save_snapshot(3, 1, b"new-image".to_vec()),
+            Err(cfs_types::FsError::NoSpace)
+        );
+        assert_eq!(s.snapshot().unwrap().data, b"old");
+        assert_eq!(
+            s.recover().entries,
+            vec![e(1, 3)],
+            "log behind the failed snapshot must not be truncated"
+        );
+    }
+
+    #[test]
+    fn torn_append_keeps_the_batch_prefix_and_recovery_resumes_cleanly() {
+        let s = RaftStorage::new_in_memory();
+        s.append(1, &[e(1, 1), e(1, 2)]).unwrap();
+        // Tear the next write mid-batch; the device wedges afterwards, like a
+        // disk that died between the torn write(2) and the process kill.
+        s.faults().arm_torn_write(500_000);
+        assert!(s.append(3, &[e(1, 3), e(1, 4), e(1, 5)]).is_err());
+        assert!(s.append(6, &[e(1, 6)]).is_err(), "wedged until healed");
+        // "Restart": heal the device and recover. Whatever whole records
+        // landed before the tear survive; the rest is truncated so the log
+        // stays contiguous and the leader re-replicates the missing suffix.
+        s.faults().clear();
+        let r = s.recover();
+        assert!(r.entries.len() >= 2, "synced prefix must survive");
+        assert!(r.entries.len() < 5, "the tear must lose a suffix");
+        assert_eq!(r.entries[..2], [e(1, 1), e(1, 2)]);
+        let next = r.entries.len() as u64 + 1;
+        assert_eq!(s.last_index(), next - 1);
+        s.append(next, &[e(2, 9)]).unwrap();
+        let r2 = s.recover();
+        assert_eq!(*r2.entries.last().unwrap(), e(2, 9));
+        assert_eq!(r2.entries.len() as u64, next);
     }
 }

@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 
 use crate::api::{ShardCmd, TafRequest, TafResponse};
 use crate::locking::{LockManager, TxnService};
-use crate::shard::TafShard;
+use crate::shard::{CdcHandoff, TafShard};
 
 /// One shard's replicated deployment: a Raft group of [`TafShard`] state
 /// machines with the client (`CH_APP`) and transaction (`CH_TXN`) services
@@ -90,8 +90,24 @@ impl TafBackendGroup {
     /// [`TafShard`] is restored from the persisted snapshot and log tail, a
     /// fresh lock manager and service stack are mounted, and the address
     /// rejoins the network.
+    ///
+    /// The crashed incarnation's CDC stream is handed over to the rebuilt
+    /// shard (the stream, like the [`RaftStorage`], plays the role of
+    /// machine-local state that survives a process kill): events the garbage
+    /// collector has not drained yet stay available, its watch cursors stay
+    /// valid, and log replay below the old applied index does not re-emit.
     pub fn restart_replica(&self, i: usize) -> Arc<RaftNode<TafShard>> {
-        let sm = Arc::new(TafShard::new(self.kv_config.clone()).expect("shard init"));
+        let handoff = {
+            let nodes = self.group.nodes();
+            let old = nodes[i].state_machine();
+            CdcHandoff {
+                wal: old.cdc().clone(),
+                emitted_through: old.applied_index(),
+            }
+        };
+        let sm = Arc::new(
+            TafShard::new_with_cdc(self.kv_config.clone(), Some(handoff)).expect("shard init"),
+        );
         let (node, mux) = self.group.restart_replica(i, sm);
         let lm = Self::mount_services(&node, &mux);
         self.locks.write()[i] = lm;
@@ -111,6 +127,12 @@ impl TafBackendGroup {
                 s.set_extra_sync_latency(extra);
             }
         }
+    }
+
+    /// The simulated storage device under replica `i`'s log, for arming
+    /// disk-full / torn-write / fsync faults (`None` for memory-only nodes).
+    pub fn replica_faults(&self, i: usize) -> Option<Arc<cfs_wal::FaultFs>> {
+        self.group.storage(i).map(|s| Arc::clone(s.faults()))
     }
 
     /// The shard this group serves.

@@ -37,5 +37,5 @@ pub use backend::TafBackendGroup;
 pub use client::{ReadConsistency, TafDbClient};
 pub use primitive::{PrimResult, Primitive, UpdateSpec};
 pub use router::PartitionMap;
-pub use shard::{ShardMetrics, TafShard};
+pub use shard::{CdcHandoff, ShardMetrics, TafShard};
 pub use tserver::{TimeService, TsClient};

@@ -259,24 +259,63 @@ pub struct TafShard {
     /// Raft index of the last applied command; tags kvstore checkpoints and
     /// snapshot images with the log position they cover.
     applied_index: AtomicU64,
+    /// Raft index of the command *currently* being applied (set before
+    /// `apply_cmd` runs; `u64::MAX` outside the replicated apply funnel).
+    /// Compared against `cdc_barrier` to suppress duplicate CDC emission.
+    applying_index: AtomicU64,
+    /// Highest Raft index whose CDC events were already emitted by a
+    /// previous incarnation of this replica (see [`CdcHandoff`]): log replay
+    /// at or below the barrier must not re-emit onto the handed-over stream.
+    cdc_barrier: u64,
+}
+
+/// The CDC stream carried over from a crashed replica into its restarted
+/// incarnation.
+///
+/// The change stream is replica-local plumbing to the garbage collector, so
+/// it is excluded from snapshot images — but it must also never *lose* the
+/// events a crashed replica emitted that the GC has not drained yet. Handing
+/// the old incarnation's WAL (with `emitted_through`, its applied index at
+/// the crash) to [`TafShard::new_with_cdc`] keeps undrained events and the
+/// GC's cursors alive across the rebuild, while log replay below the barrier
+/// is suppressed so drained-or-pending events are never duplicated.
+pub struct CdcHandoff {
+    /// The crashed incarnation's CDC stream (shared handle; GC watchers keep
+    /// their positions).
+    pub wal: cfs_wal::Wal,
+    /// The crashed incarnation's applied index: every command at or below it
+    /// already emitted its events onto `wal`.
+    pub emitted_through: u64,
 }
 
 impl TafShard {
     /// Creates a shard over an LSM store with the given config.
     pub fn new(kv_config: KvConfig) -> FsResult<TafShard> {
+        Self::new_with_cdc(kv_config, None)
+    }
+
+    /// Like [`TafShard::new`], but resuming a crashed replica's CDC stream
+    /// instead of starting a fresh one (see [`CdcHandoff`]).
+    pub fn new_with_cdc(kv_config: KvConfig, handoff: Option<CdcHandoff>) -> FsResult<TafShard> {
         let apply_cost = kv_config.apply_cost;
         let read_cost = kv_config.read_cost;
+        let (cdc, cdc_barrier) = match handoff {
+            Some(h) => (h.wal, h.emitted_through),
+            None => (cfs_wal::Wal::new_in_memory(), 0),
+        };
         Ok(TafShard {
             kv: KvStore::with_config(kv_config)?,
             prepared: Mutex::new(HashMap::new()),
             metrics: Arc::new(ShardMetrics::default()),
-            cdc: cfs_wal::Wal::new_in_memory(),
+            cdc,
             mig: Mutex::new(MigState::default()),
             dir_gens: Mutex::new(HashMap::new()),
             apply_cost,
             read_cost,
             read_gate: Mutex::new(()),
             applied_index: AtomicU64::new(0),
+            applying_index: AtomicU64::new(u64::MAX),
+            cdc_barrier,
         })
     }
 
@@ -315,6 +354,12 @@ impl TafShard {
     }
 
     fn emit(&self, event: cfs_types::CdcEvent) {
+        // Log replay at or below the handoff barrier re-applies commands
+        // whose events the crashed incarnation already emitted onto this
+        // same stream; emitting again would double-count GC work.
+        if self.applying_index.load(Ordering::Relaxed) <= self.cdc_barrier {
+            return;
+        }
         let _ = self.cdc.append(event.to_bytes());
     }
 
@@ -869,9 +914,10 @@ impl TafShard {
     /// transactions, headed by the applied index and partition-map epoch.
     ///
     /// The CDC stream is deliberately excluded — it is replica-local
-    /// plumbing to the garbage collector, not replicated state, and a
-    /// restored replica restarts it empty (the GC must drain a replica's
-    /// events before that replica is rebuilt from a snapshot).
+    /// plumbing to the garbage collector, not replicated state. A replica
+    /// rebuilt in place carries its stream (and any undrained events) across
+    /// the restart via [`CdcHandoff`]; only a replica restored on a genuinely
+    /// fresh "machine" starts one empty.
     fn encode_image(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         self.applied_index().encode(&mut buf);
@@ -1072,6 +1118,9 @@ impl RecordStore for StagingStore<'_> {
 
 impl StateMachine for TafShard {
     fn apply(&self, index: u64, cmd: &[u8]) -> Vec<u8> {
+        // Published before the command runs so CDC emission can compare the
+        // in-flight index against the handoff barrier.
+        self.applying_index.store(index, Ordering::Relaxed);
         let resp = match ShardCmd::from_bytes(cmd) {
             Ok(cmd) => self.apply_cmd(cmd),
             Err(e) => TafResponse::Err(FsError::from(e)),

@@ -52,7 +52,8 @@ pub enum FsError {
 
 impl FsError {
     /// Returns true when retrying the same request against the same service
-    /// may succeed (leadership changes, timeouts, transient conflicts).
+    /// may succeed (leadership changes, timeouts, transient conflicts, and a
+    /// shard degraded by a full log volume that may be freed).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -61,6 +62,7 @@ impl FsError {
                 | FsError::Conflict
                 | FsError::Busy
                 | FsError::WrongShard(_)
+                | FsError::NoSpace
         )
     }
 
@@ -180,8 +182,13 @@ mod tests {
         assert!(FsError::NotLeader(Some(3)).is_retryable());
         assert!(FsError::Conflict.is_retryable());
         assert!(FsError::WrongShard(3).is_retryable());
+        assert!(
+            FsError::NoSpace.is_retryable(),
+            "a full shard volume is a degraded state clients back off on"
+        );
         assert!(!FsError::NotFound.is_retryable());
         assert!(!FsError::AlreadyExists.is_retryable());
+        assert!(!FsError::Io("torn".into()).is_retryable());
     }
 
     #[test]

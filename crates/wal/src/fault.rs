@@ -1,0 +1,274 @@
+//! Deterministic storage fault injection.
+//!
+//! A [`FaultFs`] models the failure modes of the device under a WAL or
+//! checkpoint sidecar: a volume that runs out of space after a budgeted
+//! number of bytes, a write torn mid-record by a crash, and an fsync that is
+//! silently dropped or wedged. Every [`crate::Wal`] owns one (shared between
+//! a store's log and its checkpoint sidecar when they sit on the same
+//! simulated volume), and the nemesis harness arms it from the same seeded
+//! `SimRng` streams that drive the network simulator — so a storage fault
+//! schedule is as reproducible as a partition schedule.
+//!
+//! The device is *passive* until armed: the hot path is a single relaxed
+//! atomic load, so production-shaped benchmarks pay nothing for the hooks.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Verdict for one write of `len` bytes, from [`FaultFs::before_write`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteVerdict {
+    /// The write proceeds normally.
+    Ok,
+    /// The volume is out of budgeted space: fail with `ENOSPC`, write
+    /// nothing. The device stays usable — freeing space (a larger budget)
+    /// lets later writes through.
+    NoSpace,
+    /// The write tears after this many bytes (a crash mid-`write(2)`); the
+    /// device wedges afterwards, modelling the dead interval between the
+    /// tear and the process being killed.
+    Torn(usize),
+    /// The device wedged after an earlier tear; every operation fails until
+    /// [`FaultFs::clear`].
+    Wedged,
+}
+
+/// Verdict for one fsync, from [`FaultFs::before_sync`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncVerdict {
+    /// Sync normally.
+    Ok,
+    /// Report success without making anything durable (a lying device; the
+    /// harness only pairs this with crashes that keep the in-memory state,
+    /// since modelling the lost-suffix outcome needs a file to truncate).
+    Drop,
+    /// The device wedged; the sync fails.
+    Wedged,
+}
+
+#[derive(Default)]
+struct Armed {
+    /// Remaining writable bytes before `ENOSPC`; `None` = unlimited.
+    budget: Option<u64>,
+    /// When set, the next write tears at `len * ppm / 1_000_000` bytes.
+    torn_ppm: Option<u32>,
+    /// Set after a tear fires: the device is dead until cleared.
+    wedged: bool,
+    /// Silently drop fsyncs instead of syncing.
+    drop_syncs: bool,
+}
+
+impl Armed {
+    fn is_armed(&self) -> bool {
+        self.budget.is_some() || self.torn_ppm.is_some() || self.wedged || self.drop_syncs
+    }
+}
+
+/// The injectable storage device under a [`crate::Wal`].
+pub struct FaultFs {
+    /// Fast-path guard: false means nothing is armed and the state lock is
+    /// never taken on the write path.
+    active: AtomicBool,
+    armed: Mutex<Armed>,
+    enospc_writes: AtomicU64,
+    torn_writes: AtomicU64,
+    dropped_syncs: AtomicU64,
+}
+
+impl Default for FaultFs {
+    fn default() -> Self {
+        FaultFs::new()
+    }
+}
+
+impl std::fmt::Debug for FaultFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultFs")
+            .field("active", &self.active.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl FaultFs {
+    /// A healthy device with no faults armed.
+    pub fn new() -> FaultFs {
+        FaultFs {
+            active: AtomicBool::new(false),
+            armed: Mutex::new(Armed::default()),
+            enospc_writes: AtomicU64::new(0),
+            torn_writes: AtomicU64::new(0),
+            dropped_syncs: AtomicU64::new(0),
+        }
+    }
+
+    /// Caps the bytes this device will accept before returning `ENOSPC`;
+    /// `None` lifts the cap. The budget is consumed by successful writes
+    /// only.
+    pub fn set_byte_budget(&self, budget: Option<u64>) {
+        let mut a = self.armed.lock();
+        a.budget = budget;
+        self.refresh_active(&a);
+    }
+
+    /// Arms a one-shot torn write: the next write is cut at
+    /// `len * ppm / 1_000_000` bytes and the device wedges (the simulated
+    /// crash follows). `ppm` is clamped to `999_999` so at least the final
+    /// byte is always torn off.
+    pub fn arm_torn_write(&self, ppm: u32) {
+        let mut a = self.armed.lock();
+        a.torn_ppm = Some(ppm.min(999_999));
+        self.refresh_active(&a);
+    }
+
+    /// Starts or stops silently dropping fsyncs.
+    pub fn set_drop_syncs(&self, drop: bool) {
+        let mut a = self.armed.lock();
+        a.drop_syncs = drop;
+        self.refresh_active(&a);
+    }
+
+    /// Heals the device: lifts the byte budget, disarms any pending tear,
+    /// un-wedges, and stops dropping fsyncs. Counters are preserved.
+    pub fn clear(&self) {
+        let mut a = self.armed.lock();
+        *a = Armed::default();
+        self.refresh_active(&a);
+    }
+
+    /// True once a tear has fired and the device is dead.
+    pub fn is_wedged(&self) -> bool {
+        self.active.load(Ordering::Relaxed) && self.armed.lock().wedged
+    }
+
+    /// Writes rejected with `ENOSPC` so far.
+    pub fn enospc_writes(&self) -> u64 {
+        self.enospc_writes.load(Ordering::Relaxed)
+    }
+
+    /// Writes torn so far.
+    pub fn torn_writes(&self) -> u64 {
+        self.torn_writes.load(Ordering::Relaxed)
+    }
+
+    /// Fsyncs silently dropped so far.
+    pub fn dropped_syncs(&self) -> u64 {
+        self.dropped_syncs.load(Ordering::Relaxed)
+    }
+
+    /// Adjudicates a write of `len` bytes. Order of precedence: a wedged
+    /// device fails everything; an armed tear fires before the budget (the
+    /// crash interrupts the write regardless of space accounting); then the
+    /// budget admits or rejects, charging on admission.
+    pub fn before_write(&self, len: u64) -> WriteVerdict {
+        if !self.active.load(Ordering::Relaxed) {
+            return WriteVerdict::Ok;
+        }
+        let mut a = self.armed.lock();
+        if a.wedged {
+            return WriteVerdict::Wedged;
+        }
+        if let Some(ppm) = a.torn_ppm.take() {
+            a.wedged = true;
+            self.refresh_active(&a);
+            self.torn_writes.fetch_add(1, Ordering::Relaxed);
+            let keep = (len.saturating_mul(u64::from(ppm)) / 1_000_000) as usize;
+            return WriteVerdict::Torn(keep);
+        }
+        if let Some(budget) = a.budget.as_mut() {
+            if *budget < len {
+                self.enospc_writes.fetch_add(1, Ordering::Relaxed);
+                return WriteVerdict::NoSpace;
+            }
+            *budget -= len;
+        }
+        WriteVerdict::Ok
+    }
+
+    /// Adjudicates one fsync.
+    pub fn before_sync(&self) -> SyncVerdict {
+        if !self.active.load(Ordering::Relaxed) {
+            return SyncVerdict::Ok;
+        }
+        let a = self.armed.lock();
+        if a.wedged {
+            return SyncVerdict::Wedged;
+        }
+        if a.drop_syncs {
+            self.dropped_syncs.fetch_add(1, Ordering::Relaxed);
+            return SyncVerdict::Drop;
+        }
+        SyncVerdict::Ok
+    }
+
+    fn refresh_active(&self, a: &Armed) {
+        self.active.store(a.is_armed(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_device_admits_everything() {
+        let f = FaultFs::new();
+        assert_eq!(f.before_write(1 << 40), WriteVerdict::Ok);
+        assert_eq!(f.before_sync(), SyncVerdict::Ok);
+        assert_eq!(f.enospc_writes(), 0);
+    }
+
+    #[test]
+    fn byte_budget_drains_then_rejects_then_heals() {
+        let f = FaultFs::new();
+        f.set_byte_budget(Some(100));
+        assert_eq!(f.before_write(60), WriteVerdict::Ok);
+        assert_eq!(f.before_write(60), WriteVerdict::NoSpace, "40 left < 60");
+        assert_eq!(f.before_write(40), WriteVerdict::Ok, "exact fit admitted");
+        assert_eq!(f.before_write(1), WriteVerdict::NoSpace);
+        assert_eq!(f.enospc_writes(), 2);
+        f.clear();
+        assert_eq!(f.before_write(1 << 30), WriteVerdict::Ok);
+    }
+
+    #[test]
+    fn rejected_writes_do_not_consume_budget() {
+        let f = FaultFs::new();
+        f.set_byte_budget(Some(10));
+        assert_eq!(f.before_write(100), WriteVerdict::NoSpace);
+        assert_eq!(f.before_write(10), WriteVerdict::Ok, "budget untouched");
+    }
+
+    #[test]
+    fn torn_write_fires_once_then_wedges() {
+        let f = FaultFs::new();
+        f.arm_torn_write(500_000);
+        assert_eq!(f.before_write(100), WriteVerdict::Torn(50));
+        assert!(f.is_wedged());
+        assert_eq!(f.before_write(1), WriteVerdict::Wedged);
+        assert_eq!(f.before_sync(), SyncVerdict::Wedged);
+        assert_eq!(f.torn_writes(), 1);
+        f.clear();
+        assert!(!f.is_wedged());
+        assert_eq!(f.before_write(1), WriteVerdict::Ok);
+    }
+
+    #[test]
+    fn tear_offset_is_proportional_and_never_whole() {
+        let f = FaultFs::new();
+        f.arm_torn_write(1_000_000); // clamped: a "tear" must lose bytes
+        assert_eq!(f.before_write(1_000_000), WriteVerdict::Torn(999_999));
+    }
+
+    #[test]
+    fn dropped_syncs_are_counted() {
+        let f = FaultFs::new();
+        f.set_drop_syncs(true);
+        assert_eq!(f.before_sync(), SyncVerdict::Drop);
+        assert_eq!(f.before_sync(), SyncVerdict::Drop);
+        assert_eq!(f.before_write(8), WriteVerdict::Ok, "writes unaffected");
+        assert_eq!(f.dropped_syncs(), 2);
+        f.set_drop_syncs(false);
+        assert_eq!(f.before_sync(), SyncVerdict::Ok);
+    }
+}

@@ -12,6 +12,8 @@
 //! logs do.
 
 pub mod crc32;
+pub mod fault;
 pub mod log;
 
+pub use fault::{FaultFs, SyncVerdict, WriteVerdict};
 pub use log::{Wal, WalConfig, WalEntry, WalWatcher};

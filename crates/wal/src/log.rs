@@ -12,6 +12,7 @@ use cfs_types::{FsError, FsResult};
 use parking_lot::{Condvar, Mutex};
 
 use crate::crc32::crc32;
+use crate::fault::{FaultFs, SyncVerdict, WriteVerdict};
 
 /// One appended log entry.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -31,6 +32,10 @@ pub struct WalConfig {
     /// Simulated device sync cost added to every [`Wal::sync`], modelling the
     /// NVMe-SSD flush of the paper's deployment.
     pub sync_latency: Duration,
+    /// The simulated device under this log. `None` gives the log a private
+    /// healthy [`FaultFs`]; pass a shared handle to put several logs (e.g. a
+    /// store's WAL and its checkpoint sidecar) on the same faulty volume.
+    pub faults: Option<Arc<FaultFs>>,
 }
 
 struct State {
@@ -54,9 +59,15 @@ struct Inner {
     /// of [`WalConfig::sync_latency`]. The `slow_fsync` nemesis fault raises
     /// it for a window to model a device whose flushes suddenly stall.
     extra_sync_ns: AtomicU64,
+    /// The simulated device: disk-full, torn-write, and fsync faults.
+    faults: Arc<FaultFs>,
 }
 
 /// An append-only, CRC-protected, watchable write-ahead log.
+///
+/// Cloning is cheap and shares the underlying log (the clone is another
+/// handle to the same device, entries, and cursors).
+#[derive(Clone)]
 pub struct Wal {
     inner: Arc<Inner>,
 }
@@ -100,6 +111,7 @@ impl Wal {
             writer = Some(BufWriter::new(file));
         }
         let first_seq = entries.front().map_or(last_seq + 1, |e| e.seq);
+        let faults = config.faults.clone().unwrap_or_default();
         Ok(Wal {
             inner: Arc::new(Inner {
                 state: Mutex::new(State {
@@ -112,8 +124,14 @@ impl Wal {
                 appended: Condvar::new(),
                 config,
                 extra_sync_ns: AtomicU64::new(0),
+                faults,
             }),
         })
+    }
+
+    /// The simulated device under this log, for arming storage faults.
+    pub fn faults(&self) -> &Arc<FaultFs> {
+        &self.inner.faults
     }
 
     /// Appends one payload, returning its sequence number.
@@ -124,39 +142,88 @@ impl Wal {
     /// Appends a batch atomically, returning the `(first, last)` sequence
     /// numbers assigned. Group commit: one lock acquisition, one buffered
     /// write per batch.
+    ///
+    /// Injected storage faults surface here: a volume over its byte budget
+    /// rejects the whole batch with [`FsError::NoSpace`] (nothing is
+    /// appended), and an armed torn write persists only the records that fit
+    /// before the tear, fails the call, and wedges the device — exactly the
+    /// state a crash mid-`write(2)` leaves behind.
     pub fn append_batch(
         &self,
         payloads: impl IntoIterator<Item = Vec<u8>>,
     ) -> FsResult<(u64, u64)> {
+        let payloads: Vec<Vec<u8>> = payloads.into_iter().collect();
+        if payloads.is_empty() {
+            return Err(FsError::Invalid("empty wal batch".into()));
+        }
+        let total: u64 = payloads.iter().map(|p| p.len() as u64).sum();
         let mut st = self.inner.state.lock();
+        let verdict = self.inner.faults.before_write(total);
+        let keep = match verdict {
+            WriteVerdict::Ok => None,
+            WriteVerdict::NoSpace => return Err(FsError::NoSpace),
+            WriteVerdict::Wedged => {
+                return Err(FsError::Io("simulated storage device is wedged".into()))
+            }
+            WriteVerdict::Torn(keep) => Some(keep as u64),
+        };
         let first = st.last_seq + 1;
         let mut seq = st.last_seq;
         let mut file_buf = Vec::new();
+        let mut written = 0u64;
         for payload in payloads {
+            if let Some(keep) = keep {
+                if written + payload.len() as u64 > keep {
+                    // The tear lands inside this record: the file gets the
+                    // record's torn prefix (discarded as garbage at reopen),
+                    // memory gets nothing, and the rest of the batch is lost.
+                    if st.writer.is_some() {
+                        let mut torn = Vec::new();
+                        encode_entry(seq + 1, &payload, &mut torn);
+                        torn.truncate((keep - written) as usize);
+                        file_buf.extend_from_slice(&torn);
+                    }
+                    break;
+                }
+            }
             seq += 1;
+            written += payload.len() as u64;
             if st.writer.is_some() {
                 encode_entry(seq, &payload, &mut file_buf);
             }
             st.entries.push_back(WalEntry { seq, payload });
-        }
-        if seq == st.last_seq {
-            return Err(FsError::Invalid("empty wal batch".into()));
         }
         st.last_seq = seq;
         if let Some(w) = st.writer.as_mut() {
             w.write_all(&file_buf)?;
         }
         drop(st);
-        self.inner.appended.notify_all();
+        if seq >= first {
+            self.inner.appended.notify_all();
+        }
+        if keep.is_some() {
+            return Err(FsError::Io("simulated torn write".into()));
+        }
         Ok((first, seq))
     }
 
     /// Forces durability of everything appended so far.
+    ///
+    /// A wedged device (post-tear) fails the sync; a lying device
+    /// ([`FaultFs::set_drop_syncs`]) reports success without flushing.
     pub fn sync(&self) -> FsResult<()> {
         let mut st = self.inner.state.lock();
-        if let Some(w) = st.writer.as_mut() {
-            w.flush()?;
-            w.get_ref().sync_data()?;
+        match self.inner.faults.before_sync() {
+            SyncVerdict::Ok => {
+                if let Some(w) = st.writer.as_mut() {
+                    w.flush()?;
+                    w.get_ref().sync_data()?;
+                }
+            }
+            SyncVerdict::Drop => {}
+            SyncVerdict::Wedged => {
+                return Err(FsError::Io("simulated storage device is wedged".into()))
+            }
         }
         st.synced_seq = st.last_seq;
         let lat = self.inner.config.sync_latency

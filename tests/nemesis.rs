@@ -128,6 +128,43 @@ fn restart_nemesis_sweep_passes_divergence_oracle() {
     }
 }
 
+/// The storage-fault sweep: disk-full budgets starving a replica's log
+/// volume (graceful ENOSPC degradation — retryable rejection, then clean
+/// resumption), torn writes followed by kill −9 (recovery truncates the tear
+/// and rejoins), and snapshot-crash windows (the leader dies mid-
+/// `InstallSnapshot` toward a lagging follower). Zero oracle divergences
+/// allowed, and across the sweep every one of the three families must
+/// actually be drawn so none of them silently rides free.
+#[test]
+fn storage_nemesis_sweep_passes_divergence_oracle() {
+    use cfs_harness::nemesis::Fault;
+    let base = seed_from_env().wrapping_add(0x0d15_f417);
+    let count = env_usize("CFS_NEMESIS_SEEDS", 20) as u64;
+    let opts = NemesisOptions {
+        disk_full: true,
+        torn_write: true,
+        snapshot_crash: true,
+        ..NemesisOptions::default()
+    };
+    let (mut disk, mut torn, mut snap) = (0, 0, 0);
+    for seed in base..base + count {
+        for w in NemesisSchedule::generate_with(seed, 2, 2, 3, &opts).windows {
+            match w.fault {
+                Fault::DiskFull(..) => disk += 1,
+                Fault::TornWrite(..) => torn += 1,
+                Fault::SnapshotCrash { .. } => snap += 1,
+                _ => {}
+            }
+        }
+        check_seed_with(seed, opts);
+    }
+    assert!(
+        disk > 0 && torn > 0 && snap > 0,
+        "a storage fault family was never drawn across {count} seeds \
+         (disk-full {disk}, torn-write {torn}, snapshot-crash {snap})"
+    );
+}
+
 /// Reproduction entry point for a single failing seed: run with
 /// `CFS_SIM_SEED=<n> cargo test --test nemesis single_seed_from_env -- --ignored`.
 #[test]
