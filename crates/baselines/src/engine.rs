@@ -1345,6 +1345,8 @@ fn full_record(
         gid: Some(Lww::new(0, ts)),
         symlink_target: None,
         parent,
+        inode_limit: None,
+        byte_limit: None,
     }
 }
 

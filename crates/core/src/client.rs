@@ -11,13 +11,14 @@ use std::sync::Arc;
 
 use cfs_filestore::{FileStoreClient, SetAttrPatch};
 use cfs_renamer::{RenameRequest, RenamerClient};
-use cfs_tafdb::primitive::{Primitive, UpdateSpec};
+use cfs_tafdb::primitive::{PrimResult, Primitive, UpdateSpec};
 use cfs_tafdb::{ResolveEnd, TafDbClient, TsClient};
 use cfs_types::record::{LwwField, NumField, Pred};
 use cfs_types::{
     Attr, BlockId, Cond, FieldAssign, FileType, FsError, FsResult, InodeId, Key, Record, Timestamp,
-    ROOT_INODE,
+    VolumeId, ROOT_INODE,
 };
+use cfs_volume::QosLimiter;
 use crossbeam::channel::{unbounded, Sender};
 
 use cfs_obs::trace;
@@ -47,6 +48,13 @@ pub struct CfsClient {
     /// resolve responses.
     dcache: DentryCache,
     block_size: u64,
+    /// The volume this client operates in; paths are volume-relative and
+    /// resolution starts at the volume's root inode.
+    volume: VolumeId,
+    root: InodeId,
+    /// Per-tenant fair-share admission, shared by every client of a cluster.
+    /// `None` = QoS off (no admission control).
+    qos: Option<Arc<QosLimiter>>,
     writeback_tx: Sender<Writeback>,
     writeback_thread: Option<std::thread::JoinHandle<()>>,
 }
@@ -84,8 +92,40 @@ impl CfsClient {
             renamer,
             dcache: DentryCache::new(crate::dcache::DEFAULT_CAPACITY),
             block_size,
+            volume: VolumeId::DEFAULT,
+            root: ROOT_INODE,
+            qos: None,
             writeback_tx: tx,
             writeback_thread: Some(writeback_thread),
+        }
+    }
+
+    /// Scopes this client to `vol`: paths resolve from the volume's root,
+    /// new inodes are allocated inside the volume's id band, and namespace
+    /// mutations charge the volume's quota record.
+    pub fn with_volume(mut self, vol: VolumeId) -> CfsClient {
+        self.volume = vol;
+        self.root = vol.root_inode();
+        self
+    }
+
+    /// Attaches the cluster-shared QoS limiter: every operation passes
+    /// fair-share admission for this client's volume before issuing RPCs.
+    pub fn with_qos(mut self, qos: Arc<QosLimiter>) -> CfsClient {
+        self.qos = Some(qos);
+        self
+    }
+
+    /// The volume this client operates in.
+    pub fn volume(&self) -> VolumeId {
+        self.volume
+    }
+
+    /// QoS fair-share admission for one operation (no-op with QoS off).
+    fn admit(&self) -> FsResult<()> {
+        match &self.qos {
+            Some(q) => q.admit(self.volume),
+            None => Ok(()),
         }
     }
 
@@ -201,14 +241,15 @@ impl CfsClient {
         self.walk(parent, &[name])
     }
 
-    /// Resolves a full path to its final `(ino, type)`.
+    /// Resolves a full path to its final `(ino, type)`. Paths are relative
+    /// to this client's volume root.
     fn resolve_path(&self, comps: &[&str]) -> FsResult<(InodeId, FileType)> {
-        self.walk(ROOT_INODE, comps)
+        self.walk(self.root, comps)
     }
 
     /// Walks directory components to the containing directory's inode.
     fn resolve_dir(&self, comps: &[&str]) -> FsResult<InodeId> {
-        let (ino, ftype) = self.walk(ROOT_INODE, comps)?;
+        let (ino, ftype) = self.walk(self.root, comps)?;
         if ftype != FileType::Dir {
             return Err(FsError::NotDir);
         }
@@ -274,6 +315,122 @@ impl CfsClient {
         )
     }
 
+    // ---- volume quota ----------------------------------------------------
+
+    /// Whether namespace mutations are metered against a quota record.
+    /// The default volume is unmetered (no quota record is seeded for it).
+    fn metered(&self) -> bool {
+        self.volume != VolumeId::DEFAULT
+    }
+
+    /// The quota clause charging (positive) or releasing (negative) usage.
+    /// Charges carry the admission predicate so the shard rejects the whole
+    /// primitive with `QuotaExceeded` when the volume is out of room;
+    /// releases apply unconditionally. `if_exist` makes a missing quota
+    /// record mean "unmetered".
+    fn quota_spec(&self, inodes: i64, bytes: i64) -> UpdateSpec {
+        let quota_key = Key::attr(self.volume.quota_kid());
+        let preds = if inodes > 0 || bytes > 0 {
+            vec![Pred::QuotaHasRoom { inodes, bytes }]
+        } else {
+            Vec::new()
+        };
+        let mut assigns = Vec::new();
+        if inodes != 0 {
+            assigns.push(FieldAssign::Delta {
+                field: NumField::Links,
+                delta: inodes,
+            });
+        }
+        if bytes != 0 {
+            assigns.push(FieldAssign::Delta {
+                field: NumField::Size,
+                delta: bytes,
+            });
+        }
+        UpdateSpec::new(Cond::if_exist(quota_key, preds), assigns)
+    }
+
+    /// Applies a quota delta as its own single-shard primitive on the quota
+    /// record's home shard (reservation / release / compensation).
+    fn quota_apply(&self, inodes: i64, bytes: i64) -> FsResult<()> {
+        let prim = Primitive {
+            quota: Some(self.quota_spec(inodes, bytes)),
+            ..Primitive::default()
+        };
+        self.taf.execute(prim)?;
+        self.note_usage(inodes, bytes);
+        Ok(())
+    }
+
+    /// Mirrors applied deltas on this client's per-tenant usage gauges.
+    fn note_usage(&self, inodes: i64, bytes: i64) {
+        if !self.metered() || (inodes == 0 && bytes == 0) {
+            return;
+        }
+        let m = cfs_obs::metrics::local();
+        m.gauge(&format!("tenant.vol{}.quota_inodes", self.volume.0))
+            .add(inodes);
+        m.gauge(&format!("tenant.vol{}.quota_bytes", self.volume.0))
+            .add(bytes);
+    }
+
+    /// Executes a namespace primitive whose keys live on `target_kid`'s
+    /// shard, charging `inodes`/`bytes` against the volume quota.
+    ///
+    /// Co-located quota record: the charge rides inside the primitive — one
+    /// atomic replicated command, enforcement exactly as deterministic as
+    /// the delta-apply merge itself. Cross-shard (the volume spans shards
+    /// after a split): reserve on the quota shard first, compensate if the
+    /// namespace op then fails. The deltas commute, so a client crash
+    /// between the two steps can only leak a reservation — quota then
+    /// over-restricts, never under-enforces, and namespace isolation (what
+    /// the oracle checks) is unaffected.
+    fn execute_charged(
+        &self,
+        prim: Primitive,
+        target_kid: InodeId,
+        inodes: i64,
+        bytes: i64,
+    ) -> FsResult<PrimResult> {
+        if !self.metered() || (inodes == 0 && bytes == 0) {
+            return self.taf.execute(prim);
+        }
+        debug_assert!(inodes >= 0 && bytes >= 0, "releases go through quota_apply");
+        let pm = self.taf.partition_map();
+        if pm.shard_for(self.volume.quota_kid()) == pm.shard_for(target_kid) {
+            let res = self
+                .taf
+                .execute(prim.with_quota(self.quota_spec(inodes, bytes)))?;
+            self.note_usage(inodes, bytes);
+            return Ok(res);
+        }
+        self.quota_apply(inodes, bytes)?;
+        match self.taf.execute(prim) {
+            Ok(res) => Ok(res),
+            Err(e) => {
+                let _ = self.quota_apply(-inodes, -bytes);
+                Err(e)
+            }
+        }
+    }
+
+    /// Best-effort post-op release (unlink/rmdir/overwriting rename).
+    fn quota_release(&self, inodes: i64, bytes: i64) {
+        if self.metered() && (inodes != 0 || bytes != 0) {
+            let _ = self.quota_apply(-inodes, -bytes);
+        }
+    }
+
+    /// The logical size of `ino`'s FileStore attribute (0 when absent or
+    /// unreadable); used to size quota releases before deletion.
+    fn file_size_of(&self, ino: InodeId) -> i64 {
+        match self.fs.get_attr(ino) {
+            Ok(Some(a)) => a.size as i64,
+            _ => 0,
+        }
+    }
+
     // ---- internal op used by tests to model a crashed client -------------
 
     /// First phase of `create` only: writes the FileStore attribute but never
@@ -282,7 +439,7 @@ impl CfsClient {
     #[doc(hidden)]
     pub fn create_crash_before_link(&self, p: &str) -> FsResult<InodeId> {
         let (_parent, _name) = self.resolve_parent_of(p)?;
-        let ino = self.ts.alloc_id()?;
+        let ino = self.ts.alloc_id_in(self.volume)?;
         let now = self.ts.timestamp()?;
         self.fs.put_attr(Attr::new_file(ino, now.raw()))?;
         Ok(ino)
@@ -324,8 +481,9 @@ impl Drop for CfsClient {
 impl FileSystem for CfsClient {
     fn create(&self, p: &str) -> FsResult<InodeId> {
         let _op = self.op_scope("fs.create");
+        self.admit()?;
         let (parent, name) = self.resolve_parent_of(p)?;
-        let ino = self.ts.alloc_id()?;
+        let ino = self.ts.alloc_id_in(self.volume)?;
         let ts = self.ts.timestamp()?;
         let now = ts.raw();
         // Figure 7: creation writes FileStore first, namespace link last, so
@@ -339,7 +497,7 @@ impl FileSystem for CfsClient {
             now,
             ts,
         );
-        match self.taf.execute(prim) {
+        match self.execute_charged(prim, parent, 1, 0) {
             Ok(_) => {
                 // The create bumped the parent's generation server-side; a
                 // cached negative for this name is now stale.
@@ -356,8 +514,9 @@ impl FileSystem for CfsClient {
 
     fn mkdir(&self, p: &str) -> FsResult<InodeId> {
         let _op = self.op_scope("fs.mkdir");
+        self.admit()?;
         let (parent, name) = self.resolve_parent_of(p)?;
-        let ino = self.ts.alloc_id()?;
+        let ino = self.ts.alloc_id_in(self.volume)?;
         let ts = self.ts.timestamp()?;
         let now = ts.raw();
         // Same deterministic order inside TafDB: the new directory's /_ATTR
@@ -373,7 +532,7 @@ impl FileSystem for CfsClient {
             now,
             ts,
         );
-        match self.taf.execute(prim) {
+        match self.execute_charged(prim, parent, 1, 0) {
             Ok(_) => {
                 self.cache_forget(parent, &name);
                 Ok(ino)
@@ -384,6 +543,7 @@ impl FileSystem for CfsClient {
 
     fn unlink(&self, p: &str) -> FsResult<()> {
         let _op = self.op_scope("fs.unlink");
+        self.admit()?;
         let (parent, name) = self.resolve_parent_of(p)?;
         let ts = self.ts.timestamp()?;
         // Figure 7: deletion unlinks from the namespace first, then removes
@@ -398,13 +558,21 @@ impl FileSystem for CfsClient {
         let res = self.taf.execute(prim)?;
         self.cache_forget(parent, &name);
         if let Some(ino) = res.deleted.first().and_then(|(_, r)| r.id) {
+            // Size the quota release off the attribute before it is deleted.
+            let bytes = if self.metered() {
+                self.file_size_of(ino)
+            } else {
+                0
+            };
             let _ = self.writeback_tx.send(Writeback::DeleteFile(ino));
+            self.quota_release(1, bytes);
         }
         Ok(())
     }
 
     fn rmdir(&self, p: &str) -> FsResult<()> {
         let _op = self.op_scope("fs.rmdir");
+        self.admit()?;
         let (parent, name) = self.resolve_parent_of(p)?;
         let (ino, ftype) = self.resolve_entry(parent, &name)?;
         if ftype != FileType::Dir {
@@ -436,17 +604,20 @@ impl FileSystem for CfsClient {
         self.cache_forget(parent, &name);
         // The directory is gone; drop everything cached under it too.
         self.dcache.forget_dir(ino);
+        self.quota_release(1, 0);
         Ok(())
     }
 
     fn lookup(&self, p: &str) -> FsResult<InodeId> {
         let _op = self.op_scope("fs.lookup");
+        self.admit()?;
         let comps = path::split(p)?;
         Ok(self.resolve_path(&comps)?.0)
     }
 
     fn getattr(&self, p: &str) -> FsResult<Attr> {
         let _op = self.op_scope("fs.getattr");
+        self.admit()?;
         let comps = path::split(p)?;
         let (ino, ftype) = self.resolve_path(&comps)?;
         match ftype {
@@ -475,6 +646,7 @@ impl FileSystem for CfsClient {
 
     fn setattr(&self, p: &str, patch: SetAttrPatch) -> FsResult<()> {
         let _op = self.op_scope("fs.setattr");
+        self.admit()?;
         let comps = path::split(p)?;
         let (ino, ftype) = self.resolve_path(&comps)?;
         let ts = self.ts.timestamp()?;
@@ -531,6 +703,7 @@ impl FileSystem for CfsClient {
 
     fn readdir(&self, p: &str) -> FsResult<Vec<DirEntryInfo>> {
         let _op = self.op_scope("fs.readdir");
+        self.admit()?;
         let comps = path::split(p)?;
         let dir = self.resolve_dir(&comps)?;
         // Confirm it exists as a directory (root always does).
@@ -567,6 +740,7 @@ impl FileSystem for CfsClient {
 
     fn rename(&self, src: &str, dst: &str) -> FsResult<()> {
         let _op = self.op_scope("fs.rename");
+        self.admit()?;
         let (src_parent, src_name) = self.resolve_parent_of(src)?;
         let (dst_parent, dst_name) = self.resolve_parent_of(dst)?;
         if src_parent == dst_parent && src_name == dst_name {
@@ -624,7 +798,15 @@ impl FileSystem for CfsClient {
                     for (key, rec) in res.deleted {
                         if key == Key::entry(dst_parent, &dst_name) {
                             if let Some(ino) = rec.id {
+                                let bytes = if self.metered() {
+                                    self.file_size_of(ino)
+                                } else {
+                                    0
+                                };
                                 let _ = self.writeback_tx.send(Writeback::DeleteFile(ino));
+                                if self.metered() {
+                                    self.quota_release(1, bytes);
+                                }
                             }
                         }
                     }
@@ -658,21 +840,23 @@ impl FileSystem for CfsClient {
 
     fn symlink(&self, target: &str, linkpath: &str) -> FsResult<InodeId> {
         let _op = self.op_scope("fs.symlink");
+        self.admit()?;
         let (parent, name) = self.resolve_parent_of(linkpath)?;
-        let ino = self.ts.alloc_id()?;
+        let ino = self.ts.alloc_id_in(self.volume)?;
         let ts = self.ts.timestamp()?;
         let now = ts.raw();
         self.fs.put_attr(Attr::new_symlink(ino, now, target))?;
         let mut rec = Record::id_record(ino, FileType::Symlink);
         rec.symlink_target = Some(target.to_string());
         let prim = Self::insert_entry_prim(parent, &name, rec, 0, now, ts);
-        self.taf.execute(prim)?;
+        self.execute_charged(prim, parent, 1, 0)?;
         self.cache_forget(parent, &name);
         Ok(ino)
     }
 
     fn readlink(&self, p: &str) -> FsResult<String> {
         let _op = self.op_scope("fs.readlink");
+        self.admit()?;
         let (parent, name) = self.resolve_parent_of(p)?;
         let rec = self
             .taf
@@ -687,10 +871,20 @@ impl FileSystem for CfsClient {
 
     fn write(&self, p: &str, offset: u64, data: &[u8]) -> FsResult<()> {
         let _op = self.op_scope("fs.write");
+        self.admit()?;
         let (parent, name) = self.resolve_parent_of(p)?;
         let (ino, ftype) = self.resolve_entry(parent, &name)?;
         if ftype == FileType::Dir {
             return Err(FsError::IsDir);
+        }
+        // Charge the byte extension against the volume quota before any
+        // block lands; overwrites inside the current size are free.
+        if self.metered() && !data.is_empty() {
+            let size = self.fs.get_attr(ino)?.map(|a| a.size).unwrap_or(0);
+            let new_end = offset + data.len() as u64;
+            if new_end > size {
+                self.quota_apply(0, (new_end - size) as i64)?;
+            }
         }
         let ts = self.ts.timestamp()?;
         // Split the write into block-aligned chunks.
@@ -724,6 +918,7 @@ impl FileSystem for CfsClient {
 
     fn read(&self, p: &str, offset: u64, len: usize) -> FsResult<Vec<u8>> {
         let _op = self.op_scope("fs.read");
+        self.admit()?;
         let (parent, name) = self.resolve_parent_of(p)?;
         let (ino, ftype) = self.resolve_entry(parent, &name)?;
         if ftype == FileType::Dir {

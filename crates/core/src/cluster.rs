@@ -12,7 +12,8 @@ use cfs_renamer::{RenamerClient, RenamerService};
 use cfs_rpc::{NetConfig, Network};
 use cfs_tafdb::router::{PartitionMap, ShardInfo};
 use cfs_tafdb::{ReadConsistency, TafBackendGroup, TafDbClient, TimeService, TsClient};
-use cfs_types::{FsError, FsResult, NodeId, Record, ShardId, Timestamp, ROOT_INODE};
+use cfs_types::{FsError, FsResult, NodeId, Record, ShardId, Timestamp, VolumeId, ROOT_INODE};
+use cfs_volume::{QosConfig, QosLimiter, VolumeRegistry};
 use parking_lot::RwLock;
 
 use crate::client::CfsClient;
@@ -107,6 +108,7 @@ pub struct CfsCluster {
     taf_groups: RwLock<Vec<Arc<TafBackendGroup>>>,
     fs_groups: Vec<FileStoreGroup>,
     driver: Arc<PlacementDriver>,
+    qos: Arc<QosLimiter>,
     _time_service: Arc<TimeService>,
     _renamer: Arc<RenamerService>,
     next_client: AtomicU32,
@@ -186,6 +188,9 @@ impl CfsCluster {
         let mut root = Record::dir_attr_record(0, Timestamp(0));
         root.id = Some(ROOT_INODE);
         boot_taf.put(cfs_types::Key::attr(ROOT_INODE), root)?;
+        // Seed the volume registry's counter record (kid 0 on shard 0) so
+        // concurrent `create` calls race only on the CAS, never on init.
+        VolumeRegistry::new(boot_taf).ensure_init()?;
 
         // Renamer coordinator with its own component clients.
         let renamer = RenamerService::new(
@@ -212,6 +217,7 @@ impl CfsCluster {
             taf_groups: RwLock::new(taf_groups),
             fs_groups,
             driver,
+            qos: Arc::new(QosLimiter::new(QosConfig::default())),
             _time_service: time_service,
             _renamer: renamer,
             next_client: AtomicU32::new(CLIENT_BASE),
@@ -248,6 +254,17 @@ impl CfsCluster {
     /// On failure the donor resumes normal service and the partial receiver
     /// is torn down.
     pub fn split_shard(&self, src: ShardId) -> FsResult<SplitStats> {
+        self.split_shard_inner(src, None)
+    }
+
+    /// Like [`CfsCluster::split_shard`] but at an explicit key. Splitting a
+    /// shard at [`VolumeId::band_start`] gives that volume its own Raft
+    /// group — the scale-out lever for a hot tenant.
+    pub fn split_shard_at(&self, src: ShardId, at: u64) -> FsResult<SplitStats> {
+        self.split_shard_inner(src, Some(at))
+    }
+
+    fn split_shard_inner(&self, src: ShardId, at: Option<u64>) -> FsResult<SplitStats> {
         let id = ShardId(self.next_shard_id.fetch_add(1, Ordering::Relaxed));
         let base = self
             .next_taf_node
@@ -268,7 +285,7 @@ impl CfsCluster {
             self.config.kv.clone(),
         ));
         group.wait_ready(Duration::from_secs(30))?;
-        match self.driver.split(src, None, info) {
+        match self.driver.split(src, at, info) {
             Ok(stats) => {
                 self.taf_groups.write().push(group);
                 Ok(stats)
@@ -306,35 +323,46 @@ impl CfsCluster {
         Ok(())
     }
 
-    /// Caps the bytes the TafDB replica at `id` can still write to its log
-    /// volume before `ENOSPC` (`None` lifts the cap): the `disk_full`
-    /// nemesis fault.
+    /// Caps the bytes the replica at `id` (TafDB or FileStore) can still
+    /// write to its log volume before `ENOSPC` (`None` lifts the cap): the
+    /// `disk_full` nemesis fault.
     pub fn set_disk_budget(&self, id: NodeId, budget: Option<u64>) -> FsResult<()> {
-        let (g, i) = self.find_taf_replica(id)?;
-        if let Some(f) = g.replica_faults(i) {
+        if let Some(f) = self.replica_faults(id)? {
             f.set_byte_budget(budget);
         }
         Ok(())
     }
 
-    /// Arms a one-shot torn write on the TafDB replica at `id`'s log volume
+    /// Arms a one-shot torn write on the replica at `id`'s log volume
     /// (the device wedges after the tear; pair with [`CfsCluster::crash_node`]).
     pub fn arm_torn_write(&self, id: NodeId, ppm: u32) -> FsResult<()> {
-        let (g, i) = self.find_taf_replica(id)?;
-        if let Some(f) = g.replica_faults(i) {
+        if let Some(f) = self.replica_faults(id)? {
             f.arm_torn_write(ppm);
         }
         Ok(())
     }
 
-    /// Heals the TafDB replica at `id`'s simulated log volume (lifts the
-    /// byte budget, disarms tears, un-wedges).
+    /// Heals the replica at `id`'s simulated log volume (lifts the byte
+    /// budget, disarms tears and bit-rot, un-wedges).
     pub fn clear_storage_faults(&self, id: NodeId) -> FsResult<()> {
-        let (g, i) = self.find_taf_replica(id)?;
-        if let Some(f) = g.replica_faults(i) {
+        if let Some(f) = self.replica_faults(id)? {
             f.clear();
         }
         Ok(())
+    }
+
+    /// The simulated storage device under the replica at `id`'s log volume,
+    /// looked up across TafDB and FileStore groups alike.
+    pub fn replica_faults(&self, id: NodeId) -> FsResult<Option<Arc<cfs_wal::FaultFs>>> {
+        if let Ok((g, i)) = self.find_taf_replica(id) {
+            return Ok(g.replica_faults(i));
+        }
+        for g in &self.fs_groups {
+            if let Some(i) = g.raft().nodes().iter().position(|n| n.id() == id) {
+                return Ok(g.replica_faults(i));
+            }
+        }
+        Err(FsError::Invalid(format!("no replica at node {}", id.0)))
     }
 
     fn find_taf_replica(&self, id: NodeId) -> FsResult<(Arc<TafBackendGroup>, usize)> {
@@ -383,6 +411,40 @@ impl CfsCluster {
             RenamerClient::new(Arc::clone(&self.net), me, RENAMER_NODE),
             self.config.block_size,
         )
+    }
+
+    /// The cluster-wide QoS fair-share limiter shared by every client built
+    /// through [`CfsCluster::client_for_volume`]. Override a tenant's share
+    /// with [`QosLimiter::set_rate`].
+    pub fn qos(&self) -> &Arc<QosLimiter> {
+        &self.qos
+    }
+
+    /// A handle on the volume registry: create/list/delete volumes and
+    /// inspect per-tenant quota usage.
+    pub fn volumes(&self) -> VolumeRegistry {
+        let me = NodeId(self.next_client.fetch_add(1, Ordering::Relaxed));
+        VolumeRegistry::new(TafDbClient::new(
+            Arc::clone(&self.net),
+            me,
+            Arc::clone(&self.pmap),
+        ))
+    }
+
+    /// A client mounted on `vol`: paths resolve from the volume root, new
+    /// inodes land in the volume's id band, quota charges apply, and every
+    /// operation passes the shared QoS limiter.
+    pub fn client_for_volume(&self, vol: VolumeId) -> CfsClient {
+        self.client_with_consistency(self.config.read_consistency)
+            .with_volume(vol)
+            .with_qos(Arc::clone(&self.qos))
+    }
+
+    /// Like [`CfsCluster::client_for_volume`] but without QoS admission —
+    /// the "QoS off" arm of the tenant-interference experiment.
+    pub fn client_for_volume_unlimited(&self, vol: VolumeId) -> CfsClient {
+        self.client_with_consistency(self.config.read_consistency)
+            .with_volume(vol)
     }
 
     /// Builds the garbage collector wired to every component's change stream

@@ -203,6 +203,11 @@ impl StateMachine for FileStoreNode {
 
 /// One logical FileStore node as deployed: a Raft group of replicas with the
 /// request service mounted.
+///
+/// Every replica writes through a [`cfs_raft::RaftStorage`], so the same
+/// simulated storage device ([`cfs_wal::FaultFs`]) that covers TafDB volumes
+/// sits under the FileStore path too: disk-full, torn-write, fsync, and
+/// bit-rot faults can be armed per replica.
 pub struct FileStoreGroup {
     group: RaftGroup<FileStoreNode>,
 }
@@ -215,9 +220,17 @@ impl FileStoreGroup {
         raft_config: RaftConfig,
         attr_config: KvConfig,
     ) -> FileStoreGroup {
-        let group = RaftGroup::spawn(net, node_ids, raft_config, |_| {
-            Arc::new(FileStoreNode::new(attr_config.clone()).expect("filestore init"))
-        });
+        let storages: Vec<_> = node_ids
+            .iter()
+            .map(|_| cfs_raft::RaftStorage::new_in_memory())
+            .collect();
+        let group = RaftGroup::spawn_durable(
+            net,
+            node_ids,
+            raft_config,
+            |_| Arc::new(FileStoreNode::new(attr_config.clone()).expect("filestore init")),
+            &storages,
+        );
         for (i, node) in group.nodes().iter().enumerate() {
             let svc = Arc::new(FileStoreService {
                 node: Arc::clone(node),
@@ -230,6 +243,23 @@ impl FileStoreGroup {
     /// The underlying Raft group.
     pub fn raft(&self) -> &RaftGroup<FileStoreNode> {
         &self.group
+    }
+
+    /// Injects extra per-fsync latency into every replica's Raft log WAL
+    /// (the `slow_fsync` nemesis fault); `Duration::ZERO` clears it.
+    pub fn set_fsync_latency(&self, extra: std::time::Duration) {
+        for i in 0..self.group.nodes().len() {
+            if let Some(s) = self.group.storage(i) {
+                s.set_extra_sync_latency(extra);
+            }
+        }
+    }
+
+    /// The simulated storage device under replica `i`'s log, for arming
+    /// disk-full / torn-write / fsync / bit-rot faults (`None` for
+    /// memory-only nodes).
+    pub fn replica_faults(&self, i: usize) -> Option<Arc<cfs_wal::FaultFs>> {
+        self.group.storage(i).map(|s| Arc::clone(s.faults()))
     }
 
     /// Blocks until the group has a leader.

@@ -12,6 +12,7 @@ pub mod model;
 pub mod nemesis;
 pub mod runner;
 pub mod soak;
+pub mod tenants;
 pub mod traces;
 pub mod workload;
 
@@ -20,6 +21,7 @@ pub use model::Model;
 pub use nemesis::{run_nemesis, Divergence, NemOp, NemesisOptions, NemesisReport, NemesisSchedule};
 pub use runner::{run_clients, BenchResult};
 pub use soak::{run_soak, SoakOptions, SoakReport};
+pub use tenants::{run_tenant_nemesis, IsolationViolation, TenantReport};
 pub use traces::{Trace, TraceKind, TraceOp};
 pub use workload::{prepare_op_workload, MetaOp, WorkloadOptions};
 

@@ -210,15 +210,12 @@ impl NemesisSchedule {
                 }),
                 // 500µs..3ms of extra fsync latency per log append.
                 b if opts.slow_fsync && b < slow_end => Fault::SlowFsync(500 + rng.below(2500)),
-                // Storage faults target the durable (TafDB) replicas only:
-                // 256B..2KiB of remaining budget starves the log volume
-                // mid-window without taking the whole batch path down.
+                // Disk-full hits any durable replica — TafDB or FileStore,
+                // both sit on a FaultFs-backed log volume: 256B..2KiB of
+                // remaining budget starves the volume mid-window without
+                // taking the whole batch path down.
                 b if opts.disk_full && b < disk_end => Fault::DiskFull(
-                    Target {
-                        taf: true,
-                        group: rng.below(taf_shards as u64) as usize,
-                        replica: rng.below(replication as u64) as usize,
-                    },
+                    pick_target(&mut rng, taf_shards, fs_groups, replication),
                     256 + rng.below(1792),
                 ),
                 // Tear 20%..80% of the way into the straddling record.
@@ -929,6 +926,9 @@ pub(crate) fn apply_fault(cluster: &CfsCluster, start: Instant, w: &FaultWindow)
             for g in cluster.taf_groups() {
                 g.set_fsync_latency(Duration::from_micros(us));
             }
+            for g in cluster.fs_groups() {
+                g.set_fsync_latency(Duration::from_micros(us));
+            }
             ActiveFault::SlowFsync
         }
         Fault::DiskFull(t, budget) => {
@@ -980,6 +980,9 @@ pub(crate) fn revert_fault(cluster: &CfsCluster, active: &ActiveFault) {
         }
         ActiveFault::SlowFsync => {
             for g in cluster.taf_groups() {
+                g.set_fsync_latency(Duration::ZERO);
+            }
+            for g in cluster.fs_groups() {
                 g.set_fsync_latency(Duration::ZERO);
             }
         }
@@ -1189,7 +1192,7 @@ mod tests {
     }
 
     #[test]
-    fn storage_schedule_is_pure_and_targets_taf_only() {
+    fn storage_schedule_is_pure_and_targets_both_planes() {
         let opts = NemesisOptions {
             disk_full: true,
             torn_write: true,
@@ -1198,21 +1201,24 @@ mod tests {
         };
         let a = NemesisSchedule::generate_with(7, 2, 2, 3, &opts);
         assert_eq!(a, NemesisSchedule::generate_with(7, 2, 2, 3, &opts));
-        // Over many seeds: every storage fault hits a durable TafDB replica,
-        // parameters stay in their stated bands, and all three families
-        // actually occur.
-        let (mut disk, mut torn, mut snap) = (0, 0, 0);
+        // Over many seeds: every storage fault hits a durable replica on a
+        // valid plane (disk-full may land on TafDB or FileStore; torn-write
+        // stays TafDB-only because it pairs with crash/restart), parameters
+        // stay in their stated bands, and all three families occur.
+        let (mut disk, mut disk_fs, mut torn, mut snap) = (0, 0, 0, 0);
         for seed in 0..64 {
             for w in NemesisSchedule::generate_with(seed, 2, 2, 3, &opts).windows {
                 match w.fault {
                     Fault::DiskFull(t, budget) => {
-                        assert!(t.taf, "disk-full must target a TafDB replica");
                         assert!(t.group < 2 && t.replica < 3);
                         assert!(
                             (256..2048).contains(&budget),
                             "budget out of band: {budget}"
                         );
                         disk += 1;
+                        if !t.taf {
+                            disk_fs += 1;
+                        }
                     }
                     Fault::TornWrite(t, ppm) => {
                         assert!(t.taf, "torn-write must target a TafDB replica");
@@ -1229,6 +1235,7 @@ mod tests {
             }
         }
         assert!(disk > 0, "no DiskFull windows in 64 seeds");
+        assert!(disk_fs > 0, "no FileStore DiskFull windows in 64 seeds");
         assert!(torn > 0, "no TornWrite windows in 64 seeds");
         assert!(snap > 0, "no SnapshotCrash windows in 64 seeds");
     }

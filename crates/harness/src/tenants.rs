@@ -1,0 +1,344 @@
+//! Multi-tenant nemesis: per-volume workloads under the fault schedule.
+//!
+//! Each tenant mounts its own volume (isolated namespace, own inode-id band,
+//! quota record, QoS bucket) and drives the same seeded op streams the base
+//! nemesis uses, while the seed-derived fault schedule kills, isolates, and
+//! degrades replicas underneath all of them. Two oracles judge the run:
+//!
+//! 1. The per-thread **divergence oracle** (shared with the base nemesis):
+//!    every tenant thread's surviving history must be explainable by the
+//!    reference model, and the healed namespace must match a candidate.
+//! 2. The **isolation oracle**: walking a volume after heal, every inode id
+//!    visible anywhere in its namespace must lie inside that volume's id
+//!    band — a cross-tenant key leaking through a shard split, migration, or
+//!    recovery path is a violation even if both tenants' histories check
+//!    out individually. The default volume must stay empty: no tenant op
+//!    may escape into the shared root namespace.
+//!
+//! A failing seed reproduces with `CFS_SIM_SEED=<seed>` exactly like the
+//! base sweep.
+
+use std::time::{Duration, Instant};
+
+use cfs_core::{CfsCluster, CfsConfig, FileSystem};
+use cfs_rpc::SimRng;
+use cfs_types::{FsError, InodeId, VolumeId};
+
+use crate::model::Model;
+use crate::nemesis::{
+    apply_fault, check_thread_history_under, generate_ops_under, heal_cluster, revert_fault,
+    sleep_until, walk_subtree, Divergence, NemOp, NemesisSchedule,
+};
+
+/// Tenants (volumes) driven per run.
+pub const TENANTS: usize = 2;
+/// Workload threads per tenant.
+pub const THREADS_PER_TENANT: usize = 2;
+
+/// Stream label carving the tenant workload's pacing RNG out of the seed
+/// (distinct from the base nemesis labels so the same seed draws fresh
+/// streams here).
+const LBL_TENANT_PACE: u64 = 0x7e4a_0001;
+
+/// The per-tenant inode quota for nemesis runs: high enough that the
+/// workload never hits it (quota *rejections* are exercised by dedicated
+/// tests), low enough that the charge/release path runs on every op.
+const NEMESIS_INODE_LIMIT: i64 = 100_000;
+
+/// The subtree root owned by tenant thread `t` (inside its volume's
+/// namespace — both tenants use the same paths, which is itself part of the
+/// isolation story).
+pub fn tenant_thread_root(t: usize) -> String {
+    format!("/nem/c{t}")
+}
+
+/// One isolation violation: a key visible where it must not be.
+#[derive(Clone, Debug)]
+pub struct IsolationViolation {
+    /// The tenant whose namespace surfaced the foreign key (`None`: the
+    /// default volume surfaced tenant data).
+    pub volume: Option<u16>,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// Everything a tenant nemesis run yields.
+pub struct TenantReport {
+    /// The seed the run derived from.
+    pub seed: u64,
+    /// First divergence found across all tenant threads, if any.
+    pub divergence: Option<Divergence>,
+    /// Cross-tenant isolation violations (empty on a clean run).
+    pub isolation: Vec<IsolationViolation>,
+    /// Per-tenant `(inodes, bytes)` quota usage read back after heal.
+    pub usage: Vec<(i64, i64)>,
+}
+
+/// Walks `root` collecting every visible `(path, inode id)`, retrying
+/// transient errors (the cluster has healed).
+fn walk_ids(fs: &impl FileSystem, root: &str) -> Vec<(String, InodeId)> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_string()];
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while let Some(dir) = stack.pop() {
+        let entries = loop {
+            match fs.readdir(&dir) {
+                Ok(es) => break es,
+                Err(e) if e.is_retryable() && Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("readdir {dir} after heal failed: {e:?}"),
+            }
+        };
+        for e in entries {
+            let path = format!("{}/{}", dir.trim_end_matches('/'), e.name);
+            if e.ftype == cfs_types::FileType::Dir {
+                stack.push(path.clone());
+            }
+            out.push((path, e.ino));
+        }
+    }
+    out
+}
+
+/// Boots a `test_small` cluster, creates [`TENANTS`] volumes, drives the
+/// seed-derived per-tenant workloads under the seed-derived fault schedule,
+/// heals, and runs both oracles.
+pub fn run_tenant_nemesis(seed: u64, ops_per_thread: usize) -> TenantReport {
+    let mut config = CfsConfig::test_small();
+    config.net.seed = seed;
+    let schedule = NemesisSchedule::generate(
+        seed,
+        config.taf_shards,
+        config.filestore_nodes,
+        config.replication,
+    );
+
+    let cluster = CfsCluster::start(config).expect("cluster boot");
+
+    // One volume per tenant, each with a (generous) inode quota so every
+    // create/unlink runs the charge/release path through the merge fields.
+    let registry = cluster.volumes();
+    let vols: Vec<VolumeId> = (0..TENANTS)
+        .map(|i| {
+            registry
+                .create(&format!("tenant{i}"), Some(NEMESIS_INODE_LIMIT), None)
+                .expect("create tenant volume")
+                .id
+        })
+        .collect();
+
+    // Pre-create the per-thread roots in every tenant namespace before any
+    // fault opens.
+    for &v in &vols {
+        let setup = cluster.client_for_volume(v);
+        setup.mkdir("/nem").expect("setup mkdir /nem");
+        for t in 0..THREADS_PER_TENANT {
+            setup
+                .mkdir(&tenant_thread_root(t))
+                .expect("setup thread root");
+        }
+    }
+
+    // Per-(tenant, thread) op streams: pure functions of the seed. Both
+    // tenants draw *distinct* streams (stream index = tenant*threads+t) over
+    // the *same* path universe, so colliding names across tenants are the
+    // norm, not the exception.
+    let streams: Vec<Vec<Vec<NemOp>>> = (0..TENANTS)
+        .map(|v| {
+            (0..THREADS_PER_TENANT)
+                .map(|t| {
+                    generate_ops_under(
+                        seed,
+                        v * THREADS_PER_TENANT + t,
+                        ops_per_thread,
+                        &tenant_thread_root(t),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let pace_rng = SimRng::from_seed(seed).split(LBL_TENANT_PACE);
+
+    let start = Instant::now();
+    let results: Vec<Vec<Vec<Result<(), FsError>>>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (v, tenant_ops) in streams.iter().enumerate() {
+            for (t, ops) in tenant_ops.iter().enumerate() {
+                // QoS admission is live on every tenant client; the default
+                // share (2000 ops/s) never throttles this workload, it just
+                // keeps the admission path under fault coverage.
+                let client = cluster.client_for_volume(vols[v]);
+                let mut pace = pace_rng.split(v as u64 + 1).split(t as u64 + 1);
+                handles.push(scope.spawn(move || {
+                    ops.iter()
+                        .map(|op| {
+                            std::thread::sleep(Duration::from_millis(4 + pace.below(12)));
+                            crate::nemesis::apply_fs(&client, op)
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+        }
+
+        // The nemesis: walk the schedule on this thread.
+        for w in &schedule.windows {
+            sleep_until(start, w.start_ms);
+            let active = apply_fault(&cluster, start, w);
+            sleep_until(start, w.end_ms);
+            revert_fault(&cluster, &active);
+        }
+
+        let mut per_thread = handles
+            .into_iter()
+            .map(|h| h.join().expect("workload thread"));
+        (0..TENANTS)
+            .map(|_| {
+                (0..THREADS_PER_TENANT)
+                    .map(|_| per_thread.next().unwrap())
+                    .collect()
+            })
+            .collect()
+    });
+
+    heal_cluster(&cluster);
+
+    // Let abandoned proposals land before the final reads (same settling
+    // logic as the base nemesis).
+    let any_abandoned = results
+        .iter()
+        .flatten()
+        .flatten()
+        .any(|r| matches!(r, Err(e) if e.is_retryable()));
+    if any_abandoned {
+        std::thread::sleep(Duration::from_secs(6));
+    }
+
+    // Oracle 1: per-tenant-thread divergence check.
+    let mut divergence = None;
+    'outer: for (v, tenant_ops) in streams.iter().enumerate() {
+        let walker = cluster.client_for_volume_unlimited(vols[v]);
+        for (t, ops) in tenant_ops.iter().enumerate() {
+            let root = tenant_thread_root(t);
+            let observed = walk_subtree(&walker, &root);
+            let thread = v * THREADS_PER_TENANT + t;
+            if let Err(d) =
+                check_thread_history_under(thread, &root, ops, &results[v][t], &observed)
+            {
+                divergence = Some(d);
+                break 'outer;
+            }
+        }
+    }
+
+    // Oracle 2: isolation. Every inode id visible inside a tenant's
+    // namespace must lie in that volume's band, and the default volume's
+    // root must have stayed empty.
+    let mut isolation = Vec::new();
+    for (i, &v) in vols.iter().enumerate() {
+        let walker = cluster.client_for_volume_unlimited(v);
+        for (path, ino) in walk_ids(&walker, "/") {
+            if ino.volume() != v {
+                isolation.push(IsolationViolation {
+                    volume: Some(v.0),
+                    detail: format!(
+                        "tenant{i} (vol {}) sees {path} with inode {:#x} from volume {}",
+                        v.0,
+                        ino.raw(),
+                        ino.volume().0
+                    ),
+                });
+            }
+        }
+    }
+    let default_client = cluster.client();
+    for (path, ino) in walk_ids(&default_client, "/") {
+        isolation.push(IsolationViolation {
+            volume: None,
+            detail: format!(
+                "default volume sees {path} (inode {:#x}) — tenant data escaped",
+                ino.raw()
+            ),
+        });
+    }
+
+    let usage = vols
+        .iter()
+        .map(|&v| registry.usage(v).expect("quota usage readback"))
+        .collect();
+
+    TenantReport {
+        seed,
+        divergence,
+        isolation,
+        usage,
+    }
+}
+
+/// Replays every tenant thread's issued stream against the reference model
+/// to bound how many inodes a clean run can have outstanding — a sanity
+/// check used by the sweep to catch quota drift that is *under* the limit
+/// but still wrong in sign (usage must never go negative).
+pub fn model_final_count(seed: u64, ops_per_thread: usize) -> usize {
+    let mut total = 0;
+    for v in 0..TENANTS {
+        for t in 0..THREADS_PER_TENANT {
+            let root = tenant_thread_root(t);
+            let mut m = Model::new();
+            let mut prefix = String::new();
+            for comp in root.trim_start_matches('/').split('/') {
+                prefix.push('/');
+                prefix.push_str(comp);
+                m.mkdir(&prefix).expect("fresh model");
+            }
+            for op in generate_ops_under(seed, v * THREADS_PER_TENANT + t, ops_per_thread, &root) {
+                let _ = apply_model_op(&mut m, &op);
+            }
+            total += m.subtree(&root).len();
+        }
+    }
+    total
+}
+
+fn apply_model_op(m: &mut Model, op: &NemOp) -> Result<(), FsError> {
+    match op {
+        NemOp::Create(p) => m.create(p),
+        NemOp::Mkdir(p) => m.mkdir(p),
+        NemOp::Unlink(p) => m.unlink(p),
+        NemOp::Rmdir(p) => m.rmdir(p),
+        NemOp::Rename(s, d) => m.rename(s, d),
+        NemOp::Setattr(p) => m.setattr(p),
+        NemOp::Lookup(p) => m.lookup(p),
+    }
+}
+
+/// Formats a report's violations for a panic message.
+pub fn isolation_summary(report: &TenantReport) -> String {
+    report
+        .isolation
+        .iter()
+        .map(|v| format!("  {}\n", v.detail))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_streams_are_pure_and_distinct_per_tenant() {
+        let a = generate_ops_under(5, 0, 30, &tenant_thread_root(0));
+        let b = generate_ops_under(5, 0, 30, &tenant_thread_root(0));
+        assert_eq!(a, b);
+        // Tenant 1's thread 0 draws stream index THREADS_PER_TENANT — a
+        // different stream over the same path universe.
+        let c = generate_ops_under(5, THREADS_PER_TENANT, 30, &tenant_thread_root(0));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn model_final_count_is_deterministic() {
+        assert_eq!(model_final_count(9, 40), model_final_count(9, 40));
+        assert!(model_final_count(9, 40) >= TENANTS * THREADS_PER_TENANT);
+    }
+}

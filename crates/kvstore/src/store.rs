@@ -168,7 +168,11 @@ impl KvStore {
             // A stale temp file is a crashed checkpoint attempt that never
             // got installed; it must not influence recovery.
             let _ = std::fs::remove_file(Self::tmp_path(&path));
-            if let Some((info, entries)) = load_checkpoint(&path) {
+            // The sidecar sits on the same simulated volume as the WAL, so
+            // its reads pass through the same device: armed bit-rot turns a
+            // CRC failure into a typed error instead of a silent fallback.
+            let faults = wal.as_ref().map(|w| Arc::clone(w.faults()));
+            if let Some((info, entries)) = load_checkpoint_on(&path, faults.as_deref())? {
                 for (k, v) in entries {
                     mem.put(k, v);
                 }
@@ -611,9 +615,40 @@ fn encode_checkpoint(info: &CheckpointInfo, entries: &[(Vec<u8>, Vec<u8>)]) -> V
 
 /// Loads and validates a checkpoint sidecar; `None` on missing, torn, or
 /// corrupt files (recovery then falls back to full WAL replay).
+#[cfg(test)]
 #[allow(clippy::type_complexity)]
 fn load_checkpoint(path: &std::path::Path) -> Option<(CheckpointInfo, Vec<(Vec<u8>, Vec<u8>)>)> {
-    let data = std::fs::read(path).ok()?;
+    load_checkpoint_on(path, None).ok().flatten()
+}
+
+/// [`load_checkpoint`] with the read routed through the simulated device:
+/// when armed bit-rot corrupts the sidecar bytes and the trailing CRC then
+/// fails, the result is a typed [`cfs_types::StorageError::Corrupt`] error
+/// rather than the silent fall-back-to-WAL-replay of an (un-rotted) torn
+/// file — a decaying device must fail loudly, not quietly drop a valid
+/// checkpoint.
+#[allow(clippy::type_complexity)]
+fn load_checkpoint_on(
+    path: &std::path::Path,
+    faults: Option<&cfs_wal::FaultFs>,
+) -> FsResult<Option<(CheckpointInfo, Vec<(Vec<u8>, Vec<u8>)>)>> {
+    let Ok(mut data) = std::fs::read(path) else {
+        return Ok(None);
+    };
+    let rotted = faults.map_or(0, |f| f.corrupt_read(&mut data));
+    match parse_checkpoint(&data) {
+        Some(parsed) => Ok(Some(parsed)),
+        None if rotted > 0 => Err(cfs_types::StorageError::Corrupt(format!(
+            "checkpoint {}: invalid after a bit-rotted read ({rotted} corrupted bytes)",
+            path.display()
+        ))
+        .into()),
+        None => Ok(None),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_checkpoint(data: &[u8]) -> Option<(CheckpointInfo, Vec<(Vec<u8>, Vec<u8>)>)> {
     let rest = data.strip_prefix(CKPT_MAGIC.as_slice())?;
     if rest.len() < 4 {
         return None;
@@ -1189,6 +1224,48 @@ mod tests {
             );
             assert_eq!(kv.approx_live_entries(), 25);
         }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn bit_rotted_checkpoint_read_is_a_typed_error_not_a_silent_fallback() {
+        // A torn/corrupt sidecar silently falls back to WAL replay (pinned
+        // above); a sidecar corrupted by the *device* on read must not — the
+        // checkpoint on disk is valid, so quietly replaying from offset 0
+        // would mask real hardware decay. Recovery fails typed instead.
+        let (mut cfg, path) = file_cfg("ckpt-bitrot");
+        let faults = Arc::new(cfs_wal::FaultFs::new());
+        cfg.wal.as_mut().unwrap().faults = Some(Arc::clone(&faults));
+        {
+            let kv = KvStore::with_config(cfg.clone()).unwrap();
+            for i in 0..25u32 {
+                kv.put(i.to_be_bytes().to_vec(), vec![3]).unwrap();
+            }
+            kv.sync().unwrap();
+            kv.checkpoint(1, 0).unwrap();
+        }
+        faults.arm_bit_rot(11, 1_000_000);
+        let err = KvStore::with_config(cfg.clone())
+            .map(|_| ())
+            .expect_err("rotted checkpoint must fail recovery");
+        assert!(
+            matches!(&err, FsError::Corrupted(d) if d.contains("bit rot")),
+            "expected typed device corruption, got {err:?}"
+        );
+        assert!(faults.rotted_reads() > 0);
+        // The sidecar reader itself (not just the WAL replay that precedes
+        // it in recovery) classifies a rotted read as typed corruption.
+        let ckpt_path = KvStore::checkpoint_path(&cfg).unwrap();
+        let err = load_checkpoint_on(&ckpt_path, Some(&faults))
+            .expect_err("rotted sidecar read must be typed");
+        assert!(matches!(&err, FsError::Corrupted(d) if d.contains("bit rot")));
+        // An un-rotted device keeps the silent-fallback contract.
+        assert!(load_checkpoint_on(&ckpt_path, None).unwrap().is_some());
+        // Healing the device recovers the intact checkpoint.
+        faults.clear();
+        let kv = KvStore::with_config(cfg.clone()).unwrap();
+        assert_eq!(kv.last_checkpoint().unwrap().applied_index, 1);
+        assert_eq!(kv.approx_live_entries(), 25);
         cleanup(&path);
     }
 

@@ -664,6 +664,9 @@ impl Decode for ShardCmd {
 }
 
 /// Interactive transaction requests served on `CH_TXN` (baseline engines).
+// Quota fields on `Record` widened the primitive-bearing variants; these
+// requests are heap-bound RPC envelopes, so boxing would only add a hop.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum TxnRequest {
     /// Acquire an exclusive row lock and read the record (SELECT ... FOR

@@ -114,6 +114,14 @@ pub struct Primitive {
     pub deletes: Vec<Cond>,
     /// The merge-based update clause.
     pub update: Option<UpdateSpec>,
+    /// Optional volume-quota clause, applied to the volume's quota record
+    /// (kid = band start, local id 0) in the same atomic batch. Admission
+    /// predicates ([`cfs_types::Pred::QuotaHasRoom`]) and usage deltas run
+    /// inside the replicated apply funnel, so enforcement is deterministic
+    /// across replicas. Only legal when the quota record shares the
+    /// primitive's shard; cross-shard callers reserve against the quota
+    /// record with a separate primitive first.
+    pub quota: Option<UpdateSpec>,
 }
 
 impl Primitive {
@@ -129,6 +137,7 @@ impl Primitive {
             inserts: vec![(insert_key, insert_rec)],
             deletes: Vec::new(),
             update: Some(update),
+            quota: None,
         }
     }
 
@@ -140,6 +149,7 @@ impl Primitive {
             inserts: Vec::new(),
             deletes: vec![delete],
             update: Some(update),
+            quota: None,
         }
     }
 
@@ -156,7 +166,15 @@ impl Primitive {
             inserts: vec![(insert_key, insert_rec)],
             deletes,
             update: Some(update),
+            quota: None,
         }
+    }
+
+    /// Attaches a volume-quota clause (admission predicate + usage deltas)
+    /// to this primitive. The quota record must live on the same shard.
+    pub fn with_quota(mut self, quota: UpdateSpec) -> Primitive {
+        self.quota = Some(quota);
+        self
     }
 
     /// Every key this primitive touches (used by shard routing assertions:
@@ -169,6 +187,7 @@ impl Primitive {
             .chain(self.inserts.iter().map(|(k, _)| k.kid))
             .chain(self.deletes.iter().map(|c| c.key.kid))
             .chain(self.update.iter().map(|u| u.cond.key.kid))
+            .chain(self.quota.iter().map(|u| u.cond.key.kid))
             .collect();
         kids.sort_unstable();
         kids.dedup();
@@ -186,6 +205,7 @@ impl Encode for Primitive {
         }
         self.deletes.encode(buf);
         self.update.encode(buf);
+        self.quota.encode(buf);
     }
 }
 
@@ -202,6 +222,7 @@ impl Decode for Primitive {
             inserts,
             deletes: Vec::<Cond>::decode(input)?,
             update: Option::<UpdateSpec>::decode(input)?,
+            quota: Option::<UpdateSpec>::decode(input)?,
         })
     }
 }
@@ -313,6 +334,34 @@ pub fn execute(store: &mut dyn RecordStore, prim: &Primitive) -> FsResult<PrimRe
             None => return Err(FsError::NotFound),
         }
     }
+    let mut quota_updated: Option<(Key, Record)> = None;
+    if let Some(quota) = &prim.quota {
+        match store.load(&quota.cond.key) {
+            Some(mut rec) => {
+                // QuotaHasRoom admission runs here, against the replicated
+                // quota record, before anything is staged — deterministic
+                // across replicas and all-or-nothing with the namespace op.
+                for pred in &quota.cond.preds {
+                    rec.check(pred)?;
+                }
+                for assign in &quota.assigns {
+                    rec.apply(assign);
+                }
+                for (field, delta) in &quota.per_deleted {
+                    let scaled = FieldAssign::Delta {
+                        field: *field,
+                        delta: delta * deleted.len() as i64,
+                    };
+                    rec.apply(&scaled);
+                }
+                quota_updated = Some((quota.cond.key.clone(), rec));
+            }
+            // A missing quota record means the volume is unmetered (the
+            // default volume unless an operator creates one).
+            None if quota.cond.if_exist => {}
+            None => return Err(FsError::NotFound),
+        }
+    }
     // Phase 2: stage all mutations (the shard commits them as one batch).
     for (key, _) in &deleted {
         store.stage_delete(key.clone());
@@ -321,6 +370,9 @@ pub fn execute(store: &mut dyn RecordStore, prim: &Primitive) -> FsResult<PrimRe
         store.stage_put(key.clone(), rec.clone());
     }
     if let Some((key, rec)) = updated {
+        store.stage_put(key, rec);
+    }
+    if let Some((key, rec)) = quota_updated {
         store.stage_put(key, rec);
     }
     Ok(PrimResult { deleted })
@@ -648,12 +700,94 @@ mod tests {
         assert_eq!(prim.touched_kids(), vec![DIR]);
     }
 
+    const QUOTA: InodeId = InodeId(0);
+
+    fn quota_charge(inodes: i64, bytes: i64) -> UpdateSpec {
+        UpdateSpec::new(
+            Cond::if_exist(Key::attr(QUOTA), vec![Pred::QuotaHasRoom { inodes, bytes }]),
+            vec![
+                FieldAssign::Delta {
+                    field: NumField::Links,
+                    delta: inodes,
+                },
+                FieldAssign::Delta {
+                    field: NumField::Size,
+                    delta: bytes,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn quota_clause_admits_charges_and_rejects_past_the_limit() {
+        let mut s = store_with_dir();
+        s.records
+            .insert(Key::attr(QUOTA), Record::quota_record(Some(2), None));
+        execute(
+            &mut s,
+            &create_prim("a", 1, 100).with_quota(quota_charge(1, 0)),
+        )
+        .unwrap();
+        s.commit();
+        execute(
+            &mut s,
+            &create_prim("b", 2, 101).with_quota(quota_charge(1, 0)),
+        )
+        .unwrap();
+        s.commit();
+        assert_eq!(s.records.get(&Key::attr(QUOTA)).unwrap().links, Some(2));
+        // Third create is over the inode limit: rejected atomically, so
+        // neither the entry insert nor the parent update lands.
+        let err = execute(
+            &mut s,
+            &create_prim("c", 3, 102).with_quota(quota_charge(1, 0)),
+        )
+        .unwrap_err();
+        assert_eq!(err, FsError::QuotaExceeded);
+        assert!(s.staged.is_empty(), "rejected primitive stages nothing");
+        assert!(!s.records.contains_key(&Key::entry(DIR, "c")));
+        // Releasing via a negative delta (unlink) makes room again.
+        execute(
+            &mut s,
+            &unlink_prim("a", 200).with_quota(quota_charge(-1, 0)),
+        )
+        .unwrap();
+        s.commit();
+        execute(
+            &mut s,
+            &create_prim("c", 3, 300).with_quota(quota_charge(1, 0)),
+        )
+        .unwrap();
+        s.commit();
+        assert_eq!(s.records.get(&Key::attr(QUOTA)).unwrap().links, Some(2));
+    }
+
+    #[test]
+    fn missing_quota_record_means_unmetered() {
+        let mut s = store_with_dir();
+        execute(
+            &mut s,
+            &create_prim("a", 1, 100).with_quota(quota_charge(1, 0)),
+        )
+        .unwrap();
+        s.commit();
+        assert!(s.records.contains_key(&Key::entry(DIR, "a")));
+        assert!(!s.records.contains_key(&Key::attr(QUOTA)));
+    }
+
+    #[test]
+    fn touched_kids_includes_the_quota_record() {
+        let prim = create_prim("a", 1, 1).with_quota(quota_charge(1, 0));
+        assert_eq!(prim.touched_kids(), vec![QUOTA, DIR]);
+    }
+
     #[test]
     fn primitive_codec_round_trip() {
         let prims = vec![
             create_prim("file", 3, 50),
             unlink_prim("file", 60),
             rename_prim("a", "b", 3, 70),
+            create_prim("file", 3, 50).with_quota(quota_charge(1, 4096)),
         ];
         for p in prims {
             let buf = p.to_bytes();

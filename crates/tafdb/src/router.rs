@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use cfs_types::codec::{Decode, DecodeError, Encode, EncodeListItem};
-use cfs_types::{FsError, FsResult, InodeId, NodeId, ShardId};
+use cfs_types::{FsError, FsResult, InodeId, NodeId, ShardId, VOLUME_SHIFT};
 use parking_lot::RwLock;
 
 /// Static description of one shard.
@@ -110,8 +110,8 @@ impl Decode for MapVersion {
 }
 
 impl MapVersion {
-    /// Builds the epoch-1 assignment of `shards` equal ranges (the boot-time
-    /// layout every deployment starts from).
+    /// Builds the epoch-1 assignment of `shards` equal ranges (the legacy
+    /// boot-time layout slicing the full 64-bit id space).
     pub fn equal_ranges(shards: Vec<ShardInfo>) -> MapVersion {
         assert!(!shards.is_empty());
         let n = shards.len() as u64;
@@ -127,6 +127,35 @@ impl MapVersion {
                     u64::MAX
                 } else {
                     (i as u64 + 1) * range_size - 1
+                },
+            })
+            .collect();
+        MapVersion { epoch: 1, shards }
+    }
+
+    /// Builds the epoch-1 volume-aware boot layout: the *default volume's*
+    /// key band `[0, 2^48)` is sliced equally across the boot shards, and the
+    /// last shard's range extends through `u64::MAX` so the tiling invariant
+    /// holds. Ids carry their volume in the top 16 bits ([`VOLUME_SHIFT`]),
+    /// so under this layout boot traffic (all volume 0) still spreads over
+    /// every shard, while each newly created volume's band starts out on the
+    /// last shard and earns its own shards through ordinary splits.
+    pub fn volume_boot_ranges(shards: Vec<ShardInfo>) -> MapVersion {
+        assert!(!shards.is_empty());
+        let n = shards.len() as u64;
+        let band = 1u64 << VOLUME_SHIFT;
+        let slice = band / n;
+        let last = shards.len() - 1;
+        let shards = shards
+            .into_iter()
+            .enumerate()
+            .map(|(i, info)| ShardRange {
+                info,
+                start: i as u64 * slice,
+                end: if i == last {
+                    u64::MAX
+                } else {
+                    (i as u64 + 1) * slice - 1
                 },
             })
             .collect();
@@ -239,9 +268,11 @@ impl Inner {
 }
 
 impl PartitionMap {
-    /// Builds an epoch-1 map over `shards` equal ranges of the id space.
+    /// Builds an epoch-1 map over `shards` using the volume-aware boot
+    /// layout ([`MapVersion::volume_boot_ranges`]): the default volume's
+    /// band is sliced equally; other volumes start on the last shard.
     pub fn new(shards: Vec<ShardInfo>) -> PartitionMap {
-        PartitionMap::from_version(MapVersion::equal_ranges(shards))
+        PartitionMap::from_version(MapVersion::volume_boot_ranges(shards))
     }
 
     /// Builds a map caching `version`.
@@ -441,6 +472,31 @@ mod tests {
         assert_eq!(m.shard_for(InodeId(u64::MAX)), ShardId(3));
         assert_eq!(m.range_of(ShardId(3)).1, u64::MAX);
         assert_eq!(m.range_of(ShardId(0)).0, 0);
+    }
+
+    #[test]
+    fn boot_layout_slices_the_default_volume_band() {
+        use cfs_types::VolumeId;
+        let m = map(4);
+        m.current_version().validate().expect("tiling holds");
+        // Every boot-shard boundary below the last shard's end falls inside
+        // volume 0's band, so default-volume traffic spreads over all shards.
+        let band_end = VolumeId::DEFAULT.band_end().raw();
+        for s in 0..3u32 {
+            let (start, end) = m.range_of(ShardId(s));
+            assert!(start <= band_end && end < band_end, "shard {s} in band");
+        }
+        // A non-default volume's whole band routes to the last boot shard
+        // until an explicit split gives it shards of its own.
+        let v = VolumeId(7);
+        assert_eq!(m.shard_for(v.band_start()), ShardId(3));
+        assert_eq!(m.shard_for(v.root_inode()), ShardId(3));
+        assert_eq!(m.shard_for(v.band_end()), ShardId(3));
+        // The legacy full-space layout remains available for deployments
+        // that predate volumes.
+        let legacy = MapVersion::equal_ranges(infos(4));
+        legacy.validate().expect("legacy tiling holds");
+        assert_eq!(legacy.shards[0].end, u64::MAX / 4 - 1);
     }
 
     #[test]

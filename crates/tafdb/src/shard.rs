@@ -132,6 +132,9 @@ impl Decode for ShardMetricsSnapshot {
 }
 
 /// A transaction staged by 2PC prepare, awaiting commit or abort.
+// `Primitive` outgrew the writes variant once records carried quota
+// limits; staged entries are few and short-lived, so no box.
+#[allow(clippy::large_enum_variant)]
 enum Staged {
     /// Raw writes (baseline locking engine).
     Writes(Vec<(Key, Option<Record>)>),

@@ -12,13 +12,14 @@
 //! last-writer-wins needs); within a block a client consumes them
 //! monotonically.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cfs_rpc::mux::{frame, CH_APP};
 use cfs_rpc::{Network, Service};
 use cfs_types::codec::{Decode, DecodeError, Encode};
-use cfs_types::{FsError, FsResult, InodeId, NodeId, Timestamp};
+use cfs_types::{FsError, FsResult, InodeId, NodeId, Timestamp, VolumeId};
 use parking_lot::Mutex;
 
 use crate::router::PartitionMap;
@@ -37,6 +38,15 @@ pub enum TsRequest {
         /// Number of ids.
         count: u32,
     },
+    /// Allocate `count` inode ids inside `vol`'s key band. Non-default
+    /// volumes get a per-volume bump allocator starting at local id 2
+    /// (local 0 is the quota record, local 1 the volume root).
+    IdsIn {
+        /// The owning volume.
+        vol: VolumeId,
+        /// Number of ids.
+        count: u32,
+    },
 }
 
 impl Encode for TsRequest {
@@ -50,6 +60,11 @@ impl Encode for TsRequest {
                 buf.push(1);
                 count.encode(buf);
             }
+            TsRequest::IdsIn { vol, count } => {
+                buf.push(2);
+                vol.encode(buf);
+                count.encode(buf);
+            }
         }
     }
 }
@@ -61,6 +76,10 @@ impl Decode for TsRequest {
                 count: u32::decode(input)?,
             },
             1 => TsRequest::Ids {
+                count: u32::decode(input)?,
+            },
+            2 => TsRequest::IdsIn {
+                vol: VolumeId::decode(input)?,
                 count: u32::decode(input)?,
             },
             t => return Err(DecodeError::InvalidTag(t)),
@@ -119,6 +138,10 @@ pub struct TimeService {
     /// Per-shard next id offset within the shard's range.
     per_shard_next: Vec<AtomicU64>,
     round_robin: AtomicU64,
+    /// Per-volume next local id for non-default volumes (bump allocator;
+    /// the volume's whole band starts on one shard so striping buys
+    /// nothing until the band is split).
+    per_volume_next: Mutex<HashMap<u16, u64>>,
     pmap: Arc<PartitionMap>,
 }
 
@@ -138,6 +161,7 @@ impl TimeService {
             next_ts: AtomicU64::new(1),
             per_shard_next,
             round_robin: AtomicU64::new(0),
+            per_volume_next: Mutex::new(HashMap::new()),
             pmap,
         })
     }
@@ -158,6 +182,23 @@ impl TimeService {
             })
             .collect()
     }
+
+    fn alloc_ids_in(&self, vol: VolumeId, count: u32) -> Vec<u64> {
+        if vol == VolumeId::DEFAULT {
+            // The default volume keeps the shard-striped allocator: its band
+            // is the one sliced across the boot shards.
+            return self.alloc_ids(count);
+        }
+        let mut next = self.per_volume_next.lock();
+        let local = next.entry(vol.0).or_insert(2);
+        (0..count)
+            .map(|_| {
+                let id = InodeId::compose(vol, *local);
+                *local += 1;
+                id.raw()
+            })
+            .collect()
+    }
 }
 
 impl Service for TimeService {
@@ -172,6 +213,9 @@ impl Service for TimeService {
                 TsResponse::Timestamps { start, count }
             }
             TsRequest::Ids { count } => TsResponse::Ids(self.alloc_ids(count.max(1))),
+            TsRequest::IdsIn { vol, count } => {
+                TsResponse::Ids(self.alloc_ids_in(vol, count.max(1)))
+            }
         };
         let _ = &self.pmap;
         resp.to_bytes()
@@ -193,6 +237,8 @@ struct TsCache {
     ts_next: u64,
     ts_end: u64,
     ids: Vec<u64>,
+    /// Cached id blocks per non-default volume.
+    vol_ids: HashMap<u16, Vec<u64>>,
 }
 
 impl TsClient {
@@ -261,6 +307,29 @@ impl TsClient {
         }
         Ok(InodeId(cache.ids.pop().expect("block non-empty")))
     }
+
+    /// Returns a fresh inode id inside `vol`'s key band.
+    pub fn alloc_id_in(&self, vol: VolumeId) -> FsResult<InodeId> {
+        if vol == VolumeId::DEFAULT {
+            return self.alloc_id();
+        }
+        let mut cache = self.cache.lock();
+        let block = cache.vol_ids.entry(vol.0).or_default();
+        if block.is_empty() {
+            match self.rpc(TsRequest::IdsIn {
+                vol,
+                count: self.id_block,
+            })? {
+                TsResponse::Ids(ids) => *block = ids,
+                other => {
+                    return Err(FsError::Corrupted(format!(
+                        "unexpected id response {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(InodeId(block.pop().expect("block non-empty")))
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +379,31 @@ mod tests {
         for (s, n) in per_shard.iter().enumerate() {
             assert_eq!(*n, 16, "shard {s} should receive an equal share");
         }
+    }
+
+    #[test]
+    fn volume_ids_stay_inside_the_volume_band() {
+        let net = Network::new(NetConfig::default());
+        let ts = TimeService::new(pmap(2));
+        ts.register(&net, NodeId(1));
+        let c = TsClient::new(Arc::clone(&net), NodeId(50), NodeId(1), 4, 8);
+        let v = VolumeId(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let id = c.alloc_id_in(v).unwrap();
+            assert_eq!(id.volume(), v, "id carries the volume prefix");
+            assert!(id.local() >= 2, "locals 0 (quota) and 1 (root) reserved");
+            assert!(seen.insert(id), "id reuse detected");
+        }
+        // Default-volume allocation through the same entry point keeps the
+        // classic striped allocator.
+        let d = c.alloc_id_in(VolumeId::DEFAULT).unwrap();
+        assert_eq!(d.volume(), VolumeId::DEFAULT);
+        // Two volumes never share ids even with interleaved allocation.
+        let w = VolumeId(6);
+        let from_w = c.alloc_id_in(w).unwrap();
+        assert_eq!(from_w.volume(), w);
+        assert!(!seen.contains(&from_w));
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub enum FsError {
     /// (0 while a migration is still in flight). Clients refresh their
     /// cached map from the placement driver and retry.
     WrongShard(u64),
+    /// EDQUOT: the operation would push the volume past its inode or byte
+    /// quota. Not retryable — the tenant must free space first.
+    QuotaExceeded,
 }
 
 impl FsError {
@@ -85,7 +88,57 @@ impl FsError {
             FsError::NotLeader(_) => 13,
             FsError::Unsupported(_) => 14,
             FsError::WrongShard(_) => 15,
+            FsError::QuotaExceeded => 16,
         }
+    }
+}
+
+/// Typed storage-layer failure, surfaced by WAL and snapshot readers.
+///
+/// Distinguishes the faults a durable device can inflict: running out of
+/// space, wedging after a torn write, and — the bit-rot case — returning
+/// data whose checksum no longer matches what was written. Readers must
+/// surface [`StorageError::Corrupt`] instead of panicking so a replica with
+/// a rotten disk can be rebuilt from its peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The device is out of space.
+    NoSpace,
+    /// The device wedged after a torn write; everything fails until healed.
+    Wedged,
+    /// Read-back data failed its checksum (bit rot / misdirected write).
+    Corrupt(String),
+    /// Other I/O failure.
+    Io(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSpace => write!(f, "no space left on device"),
+            StorageError::Wedged => write!(f, "storage device is wedged"),
+            StorageError::Corrupt(d) => write!(f, "storage corruption detected: {d}"),
+            StorageError::Io(d) => write!(f, "storage i/o error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<StorageError> for FsError {
+    fn from(e: StorageError) -> Self {
+        match e {
+            StorageError::NoSpace => FsError::NoSpace,
+            StorageError::Wedged => FsError::Io("storage device is wedged".into()),
+            StorageError::Corrupt(d) => FsError::Corrupted(format!("storage bit rot: {d}")),
+            StorageError::Io(d) => FsError::Io(d),
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
     }
 }
 
@@ -113,6 +166,7 @@ impl fmt::Display for FsError {
             FsError::WrongShard(epoch) => {
                 write!(f, "shard no longer owns the range (map epoch {epoch})")
             }
+            FsError::QuotaExceeded => write!(f, "volume quota exceeded"),
         }
     }
 }
@@ -166,6 +220,7 @@ impl Decode for FsError {
             13 => FsError::NotLeader(Option::<u32>::decode(input)?),
             14 => FsError::Unsupported(String::decode(input)?),
             15 => FsError::WrongShard(u64::decode(input)?),
+            16 => FsError::QuotaExceeded,
             t => return Err(DecodeError::InvalidTag(t)),
         })
     }
@@ -189,6 +244,23 @@ mod tests {
         assert!(!FsError::NotFound.is_retryable());
         assert!(!FsError::AlreadyExists.is_retryable());
         assert!(!FsError::Io("torn".into()).is_retryable());
+        assert!(
+            !FsError::QuotaExceeded.is_retryable(),
+            "quota rejection only clears when the tenant frees space"
+        );
+    }
+
+    #[test]
+    fn storage_error_maps_to_fs_error() {
+        assert_eq!(FsError::from(StorageError::NoSpace), FsError::NoSpace);
+        assert!(matches!(
+            FsError::from(StorageError::Corrupt("crc mismatch at seq 3".into())),
+            FsError::Corrupted(d) if d.contains("bit rot")
+        ));
+        assert!(matches!(
+            FsError::from(StorageError::Wedged),
+            FsError::Io(_)
+        ));
     }
 
     #[test]
@@ -203,6 +275,7 @@ mod tests {
             FsError::Loop,
             FsError::WrongShard(0),
             FsError::WrongShard(42),
+            FsError::QuotaExceeded,
         ];
         for e in cases {
             let buf = e.to_bytes();

@@ -21,8 +21,8 @@ pub mod time;
 pub use attr::{Attr, FileType};
 pub use cdc::CdcEvent;
 pub use codec::{Decode, DecodeError, Encode};
-pub use error::{FsError, FsResult};
-pub use id::{BlockId, InodeId, NodeId, ShardId, ROOT_INODE};
+pub use error::{FsError, FsResult, StorageError};
+pub use id::{BlockId, InodeId, NodeId, ShardId, VolumeId, ROOT_INODE, VOLUME_SHIFT};
 pub use key::{KStr, Key};
 pub use record::{Cond, FieldAssign, LwwField, NumField, Pred, Record};
 pub use time::Timestamp;

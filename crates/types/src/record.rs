@@ -188,6 +188,20 @@ pub enum Pred {
     /// The record's `id` field must equal the given inode id (used by rename
     /// to guard against the entry changing under the cached resolution).
     IdEq(InodeId),
+    /// Quota admission on a volume's quota record: after charging `inodes`
+    /// more inodes and `bytes` more logical bytes, usage (`links` counts
+    /// inodes, `size` counts bytes) must stay within the record's limits
+    /// (`inode_limit` / `byte_limit`; an unset limit is unlimited).
+    ///
+    /// Evaluated inside the replicated apply funnel like every predicate, so
+    /// enforcement is deterministic: whichever create commits first under
+    /// Raft takes the last slot, on every replica identically.
+    QuotaHasRoom {
+        /// Inodes about to be charged.
+        inodes: i64,
+        /// Logical bytes about to be charged.
+        bytes: i64,
+    },
 }
 
 impl EncodeListItem for Pred {}
@@ -213,6 +227,11 @@ impl Encode for Pred {
                 buf.push(5);
                 t.encode(buf);
             }
+            Pred::QuotaHasRoom { inodes, bytes } => {
+                buf.push(6);
+                inodes.encode(buf);
+                bytes.encode(buf);
+            }
         }
     }
 }
@@ -226,6 +245,10 @@ impl Decode for Pred {
             3 => Pred::ChildrenEq(i64::decode(input)?),
             4 => Pred::IdEq(InodeId::decode(input)?),
             5 => Pred::TypeIsNot(FileType::decode(input)?),
+            6 => Pred::QuotaHasRoom {
+                inodes: i64::decode(input)?,
+                bytes: i64::decode(input)?,
+            },
             t => return Err(DecodeError::InvalidTag(t)),
         })
     }
@@ -316,6 +339,12 @@ pub struct Record {
     /// Parent directory pointer (baseline inline-attribute rows; CFS stores
     /// the parent in the `id` field of `/_ATTR` records instead).
     pub parent: Option<InodeId>,
+    /// Inode-count quota limit (volume quota records only; `None` on a quota
+    /// record means unlimited). Usage is tracked in `links` via deltas.
+    pub inode_limit: Option<i64>,
+    /// Logical-byte quota limit (volume quota records only). Usage is
+    /// tracked in `size` via deltas.
+    pub byte_limit: Option<i64>,
 }
 
 impl Record {
@@ -341,6 +370,19 @@ impl Record {
             mode: Some(Lww::new(u64::from(crate::attr::DEFAULT_DIR_MODE), ts)),
             uid: Some(Lww::new(0, ts)),
             gid: Some(Lww::new(0, ts)),
+            ..Record::default()
+        }
+    }
+
+    /// Builds a volume quota record: usage counters start at zero (`links`
+    /// tracks inodes, `size` tracks logical bytes, both delta-applied), with
+    /// the given limits (`None` = unlimited).
+    pub fn quota_record(inode_limit: Option<i64>, byte_limit: Option<i64>) -> Record {
+        Record {
+            links: Some(0),
+            size: Some(0),
+            inode_limit,
+            byte_limit,
             ..Record::default()
         }
     }
@@ -387,6 +429,19 @@ impl Record {
                     Ok(())
                 } else {
                     Err(FsError::Conflict)
+                }
+            }
+            Pred::QuotaHasRoom { inodes, bytes } => {
+                let inode_ok = self
+                    .inode_limit
+                    .is_none_or(|lim| self.links.unwrap_or(0).saturating_add(*inodes) <= lim);
+                let byte_ok = self
+                    .byte_limit
+                    .is_none_or(|lim| self.size.unwrap_or(0).saturating_add(*bytes) <= lim);
+                if inode_ok && byte_ok {
+                    Ok(())
+                } else {
+                    Err(FsError::QuotaExceeded)
                 }
             }
         }
@@ -466,6 +521,8 @@ impl Encode for Record {
         self.gid.encode(buf);
         self.symlink_target.encode(buf);
         self.parent.encode(buf);
+        self.inode_limit.encode(buf);
+        self.byte_limit.encode(buf);
     }
 }
 
@@ -485,6 +542,8 @@ impl Decode for Record {
             gid: Option::<Lww>::decode(input)?,
             symlink_target: Option::<String>::decode(input)?,
             parent: Option::<InodeId>::decode(input)?,
+            inode_limit: Option::<i64>::decode(input)?,
+            byte_limit: Option::<i64>::decode(input)?,
         })
     }
 }
@@ -581,6 +640,85 @@ mod tests {
         let id = Record::id_record(InodeId(77), FileType::Symlink);
         let buf = id.to_bytes();
         assert_eq!(Record::from_bytes(&buf).unwrap(), id);
+        let q = Record::quota_record(Some(100), None);
+        let buf = q.to_bytes();
+        assert_eq!(Record::from_bytes(&buf).unwrap(), q);
+    }
+
+    #[test]
+    fn quota_predicate_admits_exactly_to_the_limit() {
+        let mut q = Record::quota_record(Some(2), Some(1000));
+        // Empty volume: one inode of 600 bytes fits.
+        let want = Pred::QuotaHasRoom {
+            inodes: 1,
+            bytes: 600,
+        };
+        assert!(q.check(&want).is_ok());
+        q.apply(&FieldAssign::Delta {
+            field: NumField::Links,
+            delta: 1,
+        });
+        q.apply(&FieldAssign::Delta {
+            field: NumField::Size,
+            delta: 600,
+        });
+        // Create-at-exact-limit: the second inode lands exactly on the inode
+        // limit and 400 more bytes exactly on the byte limit — admitted.
+        assert!(q
+            .check(&Pred::QuotaHasRoom {
+                inodes: 1,
+                bytes: 400,
+            })
+            .is_ok());
+        // One byte or one inode over is rejected with the typed error.
+        assert_eq!(
+            q.check(&Pred::QuotaHasRoom {
+                inodes: 1,
+                bytes: 401,
+            }),
+            Err(FsError::QuotaExceeded)
+        );
+        q.apply(&FieldAssign::Delta {
+            field: NumField::Links,
+            delta: 1,
+        });
+        assert_eq!(
+            q.check(&Pred::QuotaHasRoom {
+                inodes: 1,
+                bytes: 0,
+            }),
+            Err(FsError::QuotaExceeded)
+        );
+        // Releases (negative deltas) always pass.
+        assert!(q
+            .check(&Pred::QuotaHasRoom {
+                inodes: -1,
+                bytes: -600,
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn unlimited_quota_record_admits_everything() {
+        let q = Record::quota_record(None, None);
+        assert!(q
+            .check(&Pred::QuotaHasRoom {
+                inodes: i64::MAX / 2,
+                bytes: i64::MAX / 2,
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn quota_pred_codec_round_trip() {
+        let p = Pred::QuotaHasRoom {
+            inodes: 1,
+            bytes: -42,
+        };
+        let mut buf = Vec::new();
+        p.encode(&mut buf);
+        let mut input = buf.as_slice();
+        assert_eq!(Pred::decode(&mut input).unwrap(), p);
     }
 
     fn arb_delta() -> impl Strategy<Value = FieldAssign> {

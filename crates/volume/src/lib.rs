@@ -1,0 +1,23 @@
+//! Multi-tenant volumes for the CFS reproduction.
+//!
+//! ChubaoFS's headline scenario is millions of filesystem *volumes* sharing
+//! one metadata substrate. This crate adds the tenant layer on top of the
+//! paper's pruned-critical-section machinery:
+//!
+//! * [`VolumeRegistry`] — create/delete/list volumes. Each volume is an
+//!   isolated namespace rooted at its own root inode; the tenant id rides in
+//!   the top 16 bits of every inode id ([`cfs_types::VOLUME_SHIFT`]), so the
+//!   sortable TafDB key schema carries it as a byte prefix and every
+//!   shard/split/migration path is tenant-aware for free.
+//! * Per-tenant **quotas** (inode count + logical bytes) stored in an
+//!   ordinary replicated record at the volume's band start and enforced by
+//!   [`cfs_types::Pred::QuotaHasRoom`] inside the delta-apply funnel —
+//!   deterministic across replicas, so the divergence oracle holds.
+//! * [`QosLimiter`] — per-tenant token-bucket fair-share admission used by
+//!   `CfsClient`, with per-tenant op-rate/throttle metrics through cfs-obs.
+
+pub mod qos;
+pub mod registry;
+
+pub use qos::{QosConfig, QosLimiter};
+pub use registry::{VolumeInfo, VolumeRegistry};

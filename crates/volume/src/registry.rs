@@ -1,0 +1,216 @@
+//! The volume registry: named tenants mapped to inode-id bands.
+//!
+//! Registry state lives in TafDB itself, under the reserved kid 0 (the
+//! "null inode", never allocated to a file):
+//!
+//! * `Key::attr(0)` — the registry record; its `children` field is the next
+//!   unallocated volume id, advanced with a compare-and-swap
+//!   (`Pred::ChildrenEq`) so concurrent creators never mint the same id.
+//! * `Key::entry(0, <name>)` — one name entry per volume, whose `id` field
+//!   is the volume's root inode. Kid 0 sorts first in the key space, so all
+//!   registry records live on shard 0 and every registry mutation is a
+//!   single-shard primitive.
+//!
+//! Creating volume `v` also writes two records inside `v`'s own band:
+//! the quota record at the band start (local id 0) and the root directory's
+//! `/_ATTR` record at local id 1.
+
+use cfs_tafdb::primitive::{Primitive, UpdateSpec};
+use cfs_tafdb::TafDbClient;
+use cfs_types::record::{FieldAssign, NumField, Pred};
+use cfs_types::{Cond, FileType, FsError, FsResult, InodeId, Key, Record, Timestamp, VolumeId};
+
+/// The reserved kid hosting the registry (the null inode id).
+pub const REGISTRY_KID: InodeId = InodeId(0);
+
+/// A registered volume.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VolumeInfo {
+    /// Tenant-visible name.
+    pub name: String,
+    /// The volume id (top 16 bits of every inode in the volume).
+    pub id: VolumeId,
+    /// The volume's root directory inode.
+    pub root: InodeId,
+}
+
+/// Client handle over the replicated registry.
+pub struct VolumeRegistry {
+    taf: TafDbClient,
+}
+
+impl VolumeRegistry {
+    /// Wraps a TafDB client. Call [`VolumeRegistry::ensure_init`] once per
+    /// cluster before creating volumes (cluster boot does this).
+    pub fn new(taf: TafDbClient) -> VolumeRegistry {
+        VolumeRegistry { taf }
+    }
+
+    /// Seeds the registry record if absent (idempotent). Volume ids start
+    /// at 1; id 0 is the default volume, which needs no registration.
+    pub fn ensure_init(&self) -> FsResult<()> {
+        let rec = Record {
+            ftype: Some(FileType::Dir),
+            children: Some(1),
+            ..Record::default()
+        };
+        let prim = Primitive {
+            inserts: vec![(Key::attr(REGISTRY_KID), rec)],
+            ..Primitive::default()
+        };
+        match self.taf.execute(prim) {
+            Ok(_) | Err(FsError::AlreadyExists) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Creates a volume named `name` with the given quota limits (`None` =
+    /// unlimited) and returns its descriptor. Fails with `AlreadyExists`
+    /// when the name is taken.
+    pub fn create(
+        &self,
+        name: &str,
+        inode_limit: Option<i64>,
+        byte_limit: Option<i64>,
+    ) -> FsResult<VolumeInfo> {
+        if name.is_empty() || name.contains('/') {
+            return Err(FsError::Invalid("bad volume name".into()));
+        }
+        loop {
+            let reg = self
+                .taf
+                .get(&Key::attr(REGISTRY_KID))?
+                .ok_or_else(|| FsError::Corrupted("volume registry not initialized".into()))?;
+            let next = reg.children.unwrap_or(1);
+            if next <= 0 || next > i64::from(u16::MAX) {
+                return Err(FsError::NoSpace);
+            }
+            let vol = VolumeId(next as u16);
+            let root = vol.root_inode();
+            let mut entry = Record::id_record(root, FileType::Dir);
+            entry.inode_limit = inode_limit;
+            entry.byte_limit = byte_limit;
+            // One single-shard primitive: link the name AND advance the id
+            // counter under a CAS. Either both happen or neither; a lost CAS
+            // means another creator won the id and we retry with the next.
+            let prim = Primitive::insert_with_update(
+                Key::entry(REGISTRY_KID, name),
+                entry,
+                UpdateSpec::new(
+                    Cond::require(Key::attr(REGISTRY_KID), vec![Pred::ChildrenEq(next)]),
+                    vec![FieldAssign::Delta {
+                        field: NumField::Children,
+                        delta: 1,
+                    }],
+                ),
+            );
+            match self.taf.execute(prim) {
+                Ok(_) => {
+                    // The id is ours alone now: materialize the volume's
+                    // band — quota record at local 0, root /_ATTR at local 1.
+                    self.taf.put(
+                        Key::attr(vol.quota_kid()),
+                        Record::quota_record(inode_limit, byte_limit),
+                    )?;
+                    let mut root_rec = Record::dir_attr_record(0, Timestamp(0));
+                    root_rec.id = Some(root); // parent pointer = itself
+                    self.taf.put(Key::attr(root), root_rec)?;
+                    return Ok(VolumeInfo {
+                        name: name.to_string(),
+                        id: vol,
+                        root,
+                    });
+                }
+                // CAS lost: another create advanced the counter first.
+                Err(FsError::NotEmpty) | Err(FsError::Conflict) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Looks a volume up by name.
+    pub fn lookup(&self, name: &str) -> FsResult<VolumeInfo> {
+        let rec = self
+            .taf
+            .get(&Key::entry(REGISTRY_KID, name))?
+            .ok_or(FsError::NotFound)?;
+        let root = rec
+            .id
+            .ok_or_else(|| FsError::Corrupted("volume entry lacks root".into()))?;
+        Ok(VolumeInfo {
+            name: name.to_string(),
+            id: root.volume(),
+            root,
+        })
+    }
+
+    /// Lists every registered volume in name order.
+    pub fn list(&self) -> FsResult<Vec<VolumeInfo>> {
+        let mut out = Vec::new();
+        let mut after: Option<String> = None;
+        loop {
+            let page = self.taf.scan(REGISTRY_KID, after.clone(), 256)?;
+            let done = page.len() < 256;
+            for e in &page {
+                let root = e
+                    .record
+                    .id
+                    .ok_or_else(|| FsError::Corrupted("volume entry lacks root".into()))?;
+                out.push(VolumeInfo {
+                    name: e.name.clone(),
+                    id: root.volume(),
+                    root,
+                });
+            }
+            if done {
+                return Ok(out);
+            }
+            after = page.last().map(|e| e.name.clone());
+        }
+    }
+
+    /// Deletes an *empty* volume: fails with `NotEmpty` while its root
+    /// directory still has children. Volume ids are never reused.
+    pub fn delete(&self, name: &str) -> FsResult<()> {
+        let info = self.lookup(name)?;
+        // Emptiness check on the root's home shard (racy with concurrent
+        // creates inside the volume, like POSIX rmdir is with creates).
+        let check = Primitive {
+            checks: vec![Cond::require(
+                Key::attr(info.root),
+                vec![Pred::ChildrenEq(0)],
+            )],
+            ..Primitive::default()
+        };
+        self.taf.execute(check)?;
+        let unlink = Primitive {
+            deletes: vec![Cond::require(
+                Key::entry(REGISTRY_KID, name),
+                vec![Pred::IdEq(info.root)],
+            )],
+            ..Primitive::default()
+        };
+        self.taf.execute(unlink)?;
+        self.taf.delete(Key::attr(info.root))?;
+        self.taf.delete(Key::attr(info.id.quota_kid()))?;
+        Ok(())
+    }
+
+    /// Current quota usage of a volume: `(inodes_used, bytes_used)`.
+    pub fn usage(&self, vol: VolumeId) -> FsResult<(i64, i64)> {
+        let rec = self
+            .taf
+            .get(&Key::attr(vol.quota_kid()))?
+            .ok_or(FsError::NotFound)?;
+        Ok((rec.links.unwrap_or(0), rec.size.unwrap_or(0)))
+    }
+
+    /// A volume's configured limits: `(inode_limit, byte_limit)`.
+    pub fn limits(&self, vol: VolumeId) -> FsResult<(Option<i64>, Option<i64>)> {
+        let rec = self
+            .taf
+            .get(&Key::attr(vol.quota_kid()))?
+            .ok_or(FsError::NotFound)?;
+        Ok((rec.inode_limit, rec.byte_limit))
+    }
+}

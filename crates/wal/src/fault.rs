@@ -47,6 +47,14 @@ pub enum SyncVerdict {
     Wedged,
 }
 
+/// Seeded bit-rot state: a cheap xorshift stream deciding which read bytes
+/// flip a bit.
+struct BitRot {
+    state: u64,
+    /// Per-byte corruption probability in parts-per-million.
+    ppm: u32,
+}
+
 #[derive(Default)]
 struct Armed {
     /// Remaining writable bytes before `ENOSPC`; `None` = unlimited.
@@ -57,11 +65,17 @@ struct Armed {
     wedged: bool,
     /// Silently drop fsyncs instead of syncing.
     drop_syncs: bool,
+    /// When set, reads passed through [`FaultFs::corrupt_read`] flip bits.
+    bit_rot: Option<BitRot>,
 }
 
 impl Armed {
     fn is_armed(&self) -> bool {
-        self.budget.is_some() || self.torn_ppm.is_some() || self.wedged || self.drop_syncs
+        self.budget.is_some()
+            || self.torn_ppm.is_some()
+            || self.wedged
+            || self.drop_syncs
+            || self.bit_rot.is_some()
     }
 }
 
@@ -74,6 +88,7 @@ pub struct FaultFs {
     enospc_writes: AtomicU64,
     torn_writes: AtomicU64,
     dropped_syncs: AtomicU64,
+    rotted_reads: AtomicU64,
 }
 
 impl Default for FaultFs {
@@ -99,6 +114,7 @@ impl FaultFs {
             enospc_writes: AtomicU64::new(0),
             torn_writes: AtomicU64::new(0),
             dropped_syncs: AtomicU64::new(0),
+            rotted_reads: AtomicU64::new(0),
         }
     }
 
@@ -128,8 +144,27 @@ impl FaultFs {
         self.refresh_active(&a);
     }
 
-    /// Heals the device: lifts the byte budget, disarms any pending tear,
-    /// un-wedges, and stops dropping fsyncs. Counters are preserved.
+    /// Arms seeded bit-rot: every byte passed through
+    /// [`FaultFs::corrupt_read`] flips one bit with probability
+    /// `ppm / 1_000_000`, drawn from a deterministic stream seeded by
+    /// `seed`. Models latent sector decay / a flaky controller: the device
+    /// keeps *working*, it just lies about what it stored.
+    pub fn arm_bit_rot(&self, seed: u64, ppm: u32) {
+        // Splitmix64 finalizer: adjacent seeds must draw unrelated streams,
+        // and xorshift needs a non-zero state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let mut a = self.armed.lock();
+        a.bit_rot = Some(BitRot {
+            state: (z ^ (z >> 31)) | 1,
+            ppm: ppm.min(1_000_000),
+        });
+        self.refresh_active(&a);
+    }
+
+    /// Heals the device: lifts the byte budget, disarms any pending tear and
+    /// bit-rot, un-wedges, and stops dropping fsyncs. Counters are preserved.
     pub fn clear(&self) {
         let mut a = self.armed.lock();
         *a = Armed::default();
@@ -154,6 +189,39 @@ impl FaultFs {
     /// Fsyncs silently dropped so far.
     pub fn dropped_syncs(&self) -> u64 {
         self.dropped_syncs.load(Ordering::Relaxed)
+    }
+
+    /// Reads that came back with at least one flipped bit so far.
+    pub fn rotted_reads(&self) -> u64 {
+        self.rotted_reads.load(Ordering::Relaxed)
+    }
+
+    /// Passes one read buffer through the device, flipping bits if bit-rot
+    /// is armed. Returns the number of corrupted bytes (0 on a healthy
+    /// device — the fast path is the same relaxed load as the write hooks).
+    pub fn corrupt_read(&self, buf: &mut [u8]) -> u64 {
+        if !self.active.load(Ordering::Relaxed) {
+            return 0;
+        }
+        let mut a = self.armed.lock();
+        let Some(rot) = a.bit_rot.as_mut() else {
+            return 0;
+        };
+        let mut flipped = 0u64;
+        for b in buf.iter_mut() {
+            // xorshift64: cheap, deterministic, good enough for fault dice.
+            rot.state ^= rot.state << 13;
+            rot.state ^= rot.state >> 7;
+            rot.state ^= rot.state << 17;
+            if rot.state % 1_000_000 < u64::from(rot.ppm) {
+                *b ^= 1 << ((rot.state >> 32) % 8);
+                flipped += 1;
+            }
+        }
+        if flipped > 0 {
+            self.rotted_reads.fetch_add(1, Ordering::Relaxed);
+        }
+        flipped
     }
 
     /// Adjudicates a write of `len` bytes. Order of precedence: a wedged
@@ -258,6 +326,47 @@ mod tests {
         let f = FaultFs::new();
         f.arm_torn_write(1_000_000); // clamped: a "tear" must lose bytes
         assert_eq!(f.before_write(1_000_000), WriteVerdict::Torn(999_999));
+    }
+
+    #[test]
+    fn bit_rot_is_seeded_deterministic_and_clearable() {
+        let mk = || {
+            let f = FaultFs::new();
+            f.arm_bit_rot(42, 200_000); // ~20% of bytes
+            let mut buf = vec![0xAAu8; 4096];
+            let flipped = f.corrupt_read(&mut buf);
+            (buf, flipped, f)
+        };
+        let (a, fa, f) = mk();
+        let (b, fb, _) = mk();
+        assert_eq!(a, b, "same seed must corrupt identically");
+        assert_eq!(fa, fb);
+        assert!(fa > 0, "20% over 4 KiB must flip something");
+        assert!(fa < 4096, "bit-rot must not rewrite the whole buffer");
+        assert_eq!(f.rotted_reads(), 1);
+
+        // A different seed draws a different stream.
+        let g = FaultFs::new();
+        g.arm_bit_rot(43, 200_000);
+        let mut buf = vec![0xAAu8; 4096];
+        g.corrupt_read(&mut buf);
+        assert_ne!(a, buf);
+
+        // Healing disarms: reads pass through untouched.
+        f.clear();
+        let mut clean = vec![0x55u8; 128];
+        assert_eq!(f.corrupt_read(&mut clean), 0);
+        assert_eq!(clean, vec![0x55u8; 128]);
+        assert_eq!(f.rotted_reads(), 1, "counters survive clear()");
+    }
+
+    #[test]
+    fn healthy_device_never_corrupts_reads() {
+        let f = FaultFs::new();
+        let mut buf = vec![0xFFu8; 1024];
+        assert_eq!(f.corrupt_read(&mut buf), 0);
+        assert_eq!(buf, vec![0xFFu8; 1024]);
+        assert_eq!(f.rotted_reads(), 0);
     }
 
     #[test]

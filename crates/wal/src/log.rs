@@ -80,8 +80,13 @@ impl Wal {
 
     /// Opens or creates a log with the given configuration, replaying any
     /// existing file content. A corrupt or torn tail is truncated, mirroring
-    /// crash recovery of production logs.
+    /// crash recovery of production logs — except when the simulated device
+    /// itself rotted the read ([`FaultFs::arm_bit_rot`]): a CRC mismatch on
+    /// a bit-rotted replay surfaces as a typed
+    /// [`cfs_types::StorageError::Corrupt`] error instead, so the replica
+    /// fails loudly rather than silently discarding durable history.
     pub fn with_config(config: WalConfig) -> FsResult<Wal> {
+        let faults = config.faults.clone().unwrap_or_default();
         let mut entries = VecDeque::new();
         let mut last_seq = 0u64;
         let mut writer = None;
@@ -90,17 +95,34 @@ impl Wal {
             if path.exists() {
                 let mut buf = Vec::new();
                 File::open(path)?.read_to_end(&mut buf)?;
+                let rotted = faults.corrupt_read(&mut buf);
                 let mut pos = 0usize;
-                while let Some((entry, next)) = decode_entry(&buf, pos) {
-                    // Sequence numbers must be contiguous; a gap means the
-                    // file was corrupted in the middle — stop there.
-                    if last_seq != 0 && entry.seq != last_seq + 1 {
-                        break;
+                loop {
+                    match decode_entry(&buf, pos) {
+                        Decoded::Entry(entry, next) => {
+                            // Sequence numbers must be contiguous; a gap
+                            // means the file was corrupted in the middle —
+                            // stop there.
+                            if last_seq != 0 && entry.seq != last_seq + 1 {
+                                break;
+                            }
+                            last_seq = entry.seq;
+                            entries.push_back(entry);
+                            valid_len = next as u64;
+                            pos = next;
+                        }
+                        Decoded::BadCrc if rotted > 0 => {
+                            return Err(cfs_types::StorageError::Corrupt(format!(
+                                "wal {}: crc mismatch at offset {pos} on a \
+                                 bit-rotted read ({rotted} corrupted bytes)",
+                                path.display()
+                            ))
+                            .into());
+                        }
+                        // An un-rotted CRC mismatch or a short tail is crash
+                        // garbage: truncate and move on, as before.
+                        Decoded::BadCrc | Decoded::Truncated => break,
                     }
-                    last_seq = entry.seq;
-                    entries.push_back(entry);
-                    valid_len = next as u64;
-                    pos = next;
                 }
             }
             let file = OpenOptions::new().create(true).append(true).open(path)?;
@@ -111,7 +133,6 @@ impl Wal {
             writer = Some(BufWriter::new(file));
         }
         let first_seq = entries.front().map_or(last_seq + 1, |e| e.seq);
-        let faults = config.faults.clone().unwrap_or_default();
         Ok(Wal {
             inner: Arc::new(Inner {
                 state: Mutex::new(State {
@@ -405,31 +426,47 @@ fn encode_entry(seq: u64, payload: &[u8], out: &mut Vec<u8>) {
     out.extend_from_slice(payload);
 }
 
-/// Decodes the entry starting at `pos`; returns the entry and the offset of
-/// the next one, or `None` when the data is truncated/corrupt.
-fn decode_entry(buf: &[u8], pos: usize) -> Option<(WalEntry, usize)> {
+/// Outcome of decoding one on-disk record.
+enum Decoded {
+    /// A valid entry and the offset of the next one.
+    Entry(WalEntry, usize),
+    /// The data ends before a whole record (a torn tail or an unreadable
+    /// header — indistinguishable from a crash mid-write).
+    Truncated,
+    /// A structurally complete record whose payload fails its CRC.
+    BadCrc,
+}
+
+/// Decodes the entry starting at `pos`, classifying failures so recovery can
+/// tell a torn tail from in-place payload corruption.
+fn decode_entry(buf: &[u8], pos: usize) -> Decoded {
     let mut slice = &buf[pos.min(buf.len())..];
     let before = slice.len();
-    let len = cfs_types::codec::read_varint(&mut slice).ok()? as usize;
-    let seq = cfs_types::codec::read_varint(&mut slice).ok()?;
+    let Ok(len) = cfs_types::codec::read_varint(&mut slice) else {
+        return Decoded::Truncated;
+    };
+    let len = len as usize;
+    let Ok(seq) = cfs_types::codec::read_varint(&mut slice) else {
+        return Decoded::Truncated;
+    };
     if slice.len() < 4 + len {
-        return None;
+        return Decoded::Truncated;
     }
     let mut crc_bytes = [0u8; 4];
     crc_bytes.copy_from_slice(&slice[..4]);
     let expect = u32::from_le_bytes(crc_bytes);
     let payload = &slice[4..4 + len];
     if crc32(payload) != expect {
-        return None;
+        return Decoded::BadCrc;
     }
     let consumed = (before - slice.len()) + 4 + len;
-    Some((
+    Decoded::Entry(
         WalEntry {
             seq,
             payload: payload.to_vec(),
         },
         pos + consumed,
-    ))
+    )
 }
 
 #[cfg(test)]
@@ -697,6 +734,83 @@ mod tests {
         .unwrap();
         assert_eq!(wal2.last_seq(), 3);
         assert_eq!(wal2.get(3).unwrap().payload, b"entry-3b");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_rotted_replay_surfaces_typed_corruption_instead_of_truncating() {
+        let path = tmp("bitrot-typed");
+        {
+            let wal = Wal::with_config(WalConfig {
+                path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            for i in 1..=8u8 {
+                wal.append(format!("durable-{i}").into_bytes()).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        // Reopen on a rotting device: every byte of the replay read flips a
+        // bit, so the first record's CRC must fail — and because the device
+        // (not a crash) caused it, recovery must refuse to silently truncate
+        // away durable history.
+        let faults = Arc::new(crate::FaultFs::new());
+        faults.arm_bit_rot(7, 1_000_000);
+        let err = Wal::with_config(WalConfig {
+            path: Some(path.clone()),
+            faults: Some(Arc::clone(&faults)),
+            ..Default::default()
+        })
+        .map(|w| w.last_seq())
+        .expect_err("bit-rotted replay must fail loudly");
+        match err {
+            FsError::Corrupted(d) => {
+                assert!(d.contains("bit rot"), "typed as device corruption: {d}")
+            }
+            other => panic!("expected Corrupted, got {other:?}"),
+        }
+        assert!(faults.rotted_reads() > 0);
+
+        // The file itself is untouched: healing the device recovers all of
+        // it (contrast with the silent-truncate path, which would have cut
+        // the file down to the valid prefix).
+        faults.clear();
+        let wal = Wal::with_config(WalConfig {
+            path: Some(path.clone()),
+            faults: Some(faults),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(wal.last_seq(), 8);
+        assert_eq!(wal.get(1).unwrap().payload, b"durable-1");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn armed_but_lucky_bit_rot_replays_normally() {
+        // ppm 0: the rot stream is armed but never fires; replay must be
+        // byte-identical to a healthy open.
+        let path = tmp("bitrot-lucky");
+        {
+            let wal = Wal::with_config(WalConfig {
+                path: Some(path.clone()),
+                ..Default::default()
+            })
+            .unwrap();
+            wal.append(b"keep".to_vec()).unwrap();
+            wal.sync().unwrap();
+        }
+        let faults = Arc::new(crate::FaultFs::new());
+        faults.arm_bit_rot(3, 0);
+        let wal = Wal::with_config(WalConfig {
+            path: Some(path.clone()),
+            faults: Some(faults),
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(wal.last_seq(), 1);
+        assert_eq!(wal.get(1).unwrap().payload, b"keep");
         let _ = std::fs::remove_file(&path);
     }
 

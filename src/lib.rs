@@ -19,6 +19,7 @@ pub use cfs_renamer as renamer;
 pub use cfs_rpc as rpc;
 pub use cfs_tafdb as tafdb;
 pub use cfs_types as types;
+pub use cfs_volume as volume;
 pub use cfs_wal as wal;
 
 /// Commonly used items, re-exported for convenience.

@@ -99,3 +99,69 @@ fn enospc_shard_serves_reads_rejects_writes_retryably_and_recovers() {
     }
     cluster.shutdown();
 }
+
+/// The FileStore side of the same story: its replicas sit on FaultFs-backed
+/// log volumes too, so starving them degrades the *data* path (block writes
+/// back off on the retryable ENOSPC) while the metadata path keeps working,
+/// and healing the volumes lets the backed-off write land.
+#[test]
+fn enospc_filestore_degrades_data_path_and_recovers() {
+    let cluster = CfsCluster::start(CfsConfig::test_small()).expect("cluster boot");
+    let client = cluster.client();
+    client.create("/f").expect("create before fault");
+    client
+        .write("/f", 0, &[1u8; 64])
+        .expect("write before fault");
+
+    // Starve every FileStore replica's log volume.
+    let fs_ids: Vec<_> = cluster
+        .fs_groups()
+        .iter()
+        .flat_map(|g| g.raft().nodes())
+        .map(|n| n.id())
+        .collect();
+    assert!(!fs_ids.is_empty());
+    for &id in &fs_ids {
+        cluster.set_disk_budget(id, Some(0)).expect("cap fs volume");
+    }
+
+    std::thread::scope(|scope| {
+        let writer = {
+            let c = cluster.client();
+            scope.spawn(move || c.write("/f", 64, &[2u8; 64]))
+        };
+        std::thread::sleep(Duration::from_millis(400));
+        assert!(
+            !writer.is_finished(),
+            "block write returned during FileStore ENOSPC instead of backing off"
+        );
+
+        // The metadata plane stays readable: the TafDB volumes are healthy.
+        // (Creates are *supposed* to stall too — creation writes FileStore
+        // first, namespace link last, so the starved data plane backs that
+        // path off as well.)
+        client.lookup("/f").expect("lookup while fs degraded");
+        assert!(
+            client
+                .readdir("/")
+                .expect("readdir while fs degraded")
+                .iter()
+                .any(|e| e.name == "f"),
+            "pre-fault entry missing while FileStore is degraded"
+        );
+
+        for &id in &fs_ids {
+            cluster.clear_storage_faults(id).expect("heal fs volume");
+        }
+        writer
+            .join()
+            .expect("writer thread")
+            .expect("backed-off block write must land once space returns");
+    });
+
+    assert_eq!(
+        client.read("/f", 0, 128).expect("read after heal").len(),
+        128
+    );
+    cluster.shutdown();
+}
